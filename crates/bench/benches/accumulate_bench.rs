@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark: pointwise accumulation throughput per
+//! summary (the ingest-side cost that pre-aggregation amortizes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use msketch_bench::SummaryConfig;
+use msketch_datasets::Dataset;
+use msketch_sketches::QuantileSummary;
+
+fn bench_accumulate(c: &mut Criterion) {
+    let data = Dataset::Power.generate(20_000, 21);
+    let mut group = c.benchmark_group("accumulate");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for cfg in [
+        SummaryConfig::MSketch(10),
+        SummaryConfig::Merge12(32),
+        SummaryConfig::RandomW(40),
+        SummaryConfig::Gk(60),
+        SummaryConfig::TDigest(50),
+        SummaryConfig::Sampling(1000),
+        SummaryConfig::SHist(100),
+        SummaryConfig::EwHist(100),
+    ] {
+        group.bench_function(cfg.label(), |b| {
+            b.iter(|| {
+                let mut s = cfg.build(1);
+                s.accumulate_all(black_box(&data));
+                black_box(s.count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulate);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: threshold-query throughput per cascade
+//! stage (the measurement behind Figure 13b).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moments_sketch::bounds::{markov_bound, rtt_bound};
+use moments_sketch::{MomentsSketch, SolverConfig};
+use msketch_datasets::Dataset;
+
+fn bench_cascade_stages(c: &mut Criterion) {
+    let data = Dataset::Power.generate(50_000, 9);
+    let sketch = MomentsSketch::from_data(10, &data);
+    let t = 3.0;
+    let mut group = c.benchmark_group("cascade_stage");
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("simple", |b| {
+        b.iter(|| black_box(t >= sketch.min() && t <= sketch.max()))
+    });
+    group.bench_function("markov", |b| {
+        b.iter(|| black_box(markov_bound(&sketch, black_box(t))))
+    });
+    group.bench_function("rtt", |b| {
+        b.iter(|| black_box(rtt_bound(&sketch, black_box(t))))
+    });
+    group.sample_size(20);
+    group.bench_function("maxent", |b| {
+        b.iter(|| {
+            let sol = sketch.solve(&SolverConfig::default()).unwrap();
+            black_box(sol.quantile(0.99).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade_stages);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark: quantile estimation latency per summary
+//! (the measurement behind Figure 5).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msketch_bench::SummaryConfig;
+use msketch_datasets::Dataset;
+use msketch_sketches::QuantileSummary;
+
+fn bench_estimates(c: &mut Criterion) {
+    let data = Dataset::Milan.generate(100_000, 3);
+    let mut group = c.benchmark_group("estimate");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for cfg in [
+        SummaryConfig::MSketch(10),
+        SummaryConfig::Merge12(32),
+        SummaryConfig::RandomW(40),
+        SummaryConfig::Gk(60),
+        SummaryConfig::TDigest(50),
+        SummaryConfig::Sampling(1000),
+        SummaryConfig::SHist(100),
+        SummaryConfig::EwHist(100),
+    ] {
+        let mut s = cfg.build(1);
+        s.accumulate_all(&data);
+        group.bench_function(cfg.label(), |b| {
+            b.iter(|| black_box(s.quantile(black_box(0.99))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimates);
+criterion_main!(benches);

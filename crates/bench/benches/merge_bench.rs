@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark: per-merge latency by summary type and size
+//! (the measurement behind Figure 4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msketch_bench::{build_cells, SummaryConfig};
+use msketch_datasets::Dataset;
+use msketch_sketches::QuantileSummary;
+
+fn bench_merges(c: &mut Criterion) {
+    let data = Dataset::Exponential.generate(40_000, 7);
+    let chunks: Vec<&[f64]> = data.chunks(200).collect();
+    let mut group = c.benchmark_group("merge");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for cfg in [
+        SummaryConfig::MSketch(10),
+        SummaryConfig::Merge12(32),
+        SummaryConfig::RandomW(40),
+        SummaryConfig::Gk(60),
+        SummaryConfig::TDigest(50),
+        SummaryConfig::Sampling(1000),
+        SummaryConfig::SHist(100),
+        SummaryConfig::EwHist(100),
+    ] {
+        let cells = build_cells(&cfg, &chunks);
+        group.bench_function(cfg.label(), |b| {
+            b.iter(|| {
+                let mut acc = cells[0].clone();
+                for cell in &cells[1..] {
+                    acc.merge_from(black_box(cell));
+                }
+                black_box(acc.count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merges);
+criterion_main!(benches);

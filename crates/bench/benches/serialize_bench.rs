@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark: sketch serialization round-trip throughput
+//! (full precision vs low-precision bit packing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moments_sketch::lowprec::LowPrecisionCodec;
+use moments_sketch::serialize::{from_bytes, to_bytes};
+use moments_sketch::MomentsSketch;
+use msketch_datasets::Dataset;
+
+fn bench_serialize(c: &mut Criterion) {
+    let data = Dataset::Power.generate(10_000, 17);
+    let sketch = MomentsSketch::from_data(10, &data);
+    let mut group = c.benchmark_group("serialize");
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("to_bytes", |b| b.iter(|| black_box(to_bytes(&sketch))));
+    let bytes = to_bytes(&sketch);
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| black_box(from_bytes(black_box(&bytes)).unwrap()))
+    });
+    let codec = LowPrecisionCodec::new(20);
+    group.bench_function("lowprec_encode_20b", |b| {
+        b.iter(|| black_box(codec.encode(&sketch, 7)))
+    });
+    let packed = codec.encode(&sketch, 7);
+    group.bench_function("lowprec_decode_20b", |b| {
+        b.iter(|| black_box(LowPrecisionCodec::decode(black_box(&packed)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmark: solver design ablations (DESIGN.md §6) —
+//! fast vs direct cosine transform, and per-estimator solve times
+//! backing Figure 10's timing panel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moments_sketch::estimators::{
+    BfgsEstimator, GaussianEstimator, OptEstimator, QuantileEstimator,
+};
+use moments_sketch::{MomentsSketch, SolverConfig};
+use msketch_datasets::Dataset;
+use numerics::fct;
+
+fn bench_fct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine_transform");
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n in [32usize, 64, 128] {
+        let v: Vec<f64> = (0..=n).map(|j| ((j * j) as f64).sin()).collect();
+        group.bench_function(format!("fft_{n}"), |b| {
+            b.iter(|| black_box(fct::dct1_fft(black_box(&v))))
+        });
+        group.bench_function(format!("direct_{n}"), |b| {
+            b.iter(|| black_box(fct::dct1_direct(black_box(&v))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let data = Dataset::Hepmass.generate(100_000, 5);
+    let sketch = MomentsSketch::from_data(10, &data);
+    let phis: Vec<f64> = (0..21).map(|i| 0.01 + 0.049 * i as f64).collect();
+    let mut group = c.benchmark_group("estimator_solve");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let opt = OptEstimator {
+        config: SolverConfig {
+            k1: Some(10),
+            k2: Some(0),
+            ..Default::default()
+        },
+    };
+    group.bench_function("opt", |b| {
+        b.iter(|| black_box(opt.estimate(&sketch, &phis).unwrap()))
+    });
+    let bfgs = BfgsEstimator { k1: 10, k2: 0 };
+    group.bench_function("bfgs", |b| {
+        b.iter(|| black_box(bfgs.estimate(&sketch, &phis).unwrap()))
+    });
+    let gauss = GaussianEstimator::default();
+    group.bench_function("gaussian", |b| {
+        b.iter(|| black_box(gauss.estimate(&sketch, &phis).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fct, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 3: total query time (merge all cell summaries + one estimate) at
+//! comparable accuracy (the Table 2 parameterizations).
+//!
+//! The paper reports the moments sketch 15–50× faster than the next
+//! accurate summary (RandomW) on milan/hepmass.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig03 [--full]`
+
+use msketch_bench::{
+    build_cells, fmt_duration, merge_all, print_table_header, print_table_row, time_it,
+    HarnessArgs, SummaryConfig,
+};
+use msketch_datasets::{fixed_cells, Dataset};
+use msketch_sketches::QuantileSummary;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for (dataset, configs) in [
+        (Dataset::Milan, SummaryConfig::table2_milan()),
+        (Dataset::Hepmass, SummaryConfig::table2_hepmass()),
+    ] {
+        let n = args.scale(400_000, dataset.default_size());
+        let data = dataset.generate(n, 3);
+        let chunks = fixed_cells(&data, 200);
+        let widths = [10, 14, 12, 12, 12];
+        print_table_header(
+            &format!(
+                "Figure 3 ({}): total query time, {} cells of 200",
+                dataset.name(),
+                chunks.len()
+            ),
+            &["sketch", "param", "merge", "estimate", "total"],
+            &widths,
+        );
+        let mut msketch_total = None;
+        for cfg in &configs {
+            let cells = build_cells(cfg, &chunks);
+            let (merged, t_merge) = time_it(|| merge_all(&cells));
+            let (q, t_est) = time_it(|| merged.quantile(0.99));
+            assert!(q.is_finite());
+            let total = t_merge + t_est;
+            if cfg.label() == "M-Sketch" {
+                msketch_total = Some(total);
+            }
+            print_table_row(
+                &[
+                    cfg.label().into(),
+                    cfg.param_string(),
+                    fmt_duration(t_merge),
+                    fmt_duration(t_est),
+                    fmt_duration(total),
+                ],
+                &widths,
+            );
+        }
+        if let Some(base) = msketch_total {
+            println!("(speedups vs M-Sketch follow from the `total` column; base = {})",
+                fmt_duration(base));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 4: per-merge latency vs summary size on milan / hepmass /
+//! exponential cells of 200 values.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig04 [--full]`
+
+use msketch_bench::{
+    build_cells, merge_all, print_table_header, print_table_row, time_mean, HarnessArgs,
+    SummaryConfig,
+};
+use msketch_datasets::{fixed_cells, Dataset};
+use msketch_sketches::QuantileSummary;
+use std::time::Duration;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = args.scale(100_000, 400_000);
+    for dataset in [Dataset::Milan, Dataset::Hepmass, Dataset::Exponential] {
+        let data = dataset.generate(n, 11);
+        let chunks = fixed_cells(&data, 200);
+        let widths = [10, 14, 12, 16];
+        print_table_header(
+            &format!("Figure 4 ({}): per-merge latency vs size", dataset.name()),
+            &["sketch", "param", "size(b)", "ns/merge"],
+            &widths,
+        );
+        for label in SummaryConfig::all_labels() {
+            for cfg in SummaryConfig::size_sweep(label) {
+                let cells = build_cells(&cfg, &chunks);
+                let per = time_mean(Duration::from_millis(60), || {
+                    std::hint::black_box(merge_all(&cells));
+                });
+                let per_merge = per.as_nanos() as f64 / (cells.len() - 1) as f64;
+                let size = merge_all(&cells).size_bytes();
+                print_table_row(
+                    &[
+                        label.into(),
+                        cfg.param_string(),
+                        format!("{size}"),
+                        format!("{per_merge:.1}"),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 5: quantile-estimation latency vs summary size.
+//!
+//! The moments sketch trades slower estimates (~ms, one max-entropy solve)
+//! for far faster merges; other summaries answer in microseconds.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig05 [--full]`
+
+use msketch_bench::{
+    fmt_duration, print_table_header, print_table_row, time_mean, HarnessArgs, SummaryConfig,
+};
+use msketch_datasets::Dataset;
+use msketch_sketches::QuantileSummary;
+use std::time::Duration;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = args.scale(150_000, 500_000);
+    for dataset in [Dataset::Milan, Dataset::Hepmass, Dataset::Exponential] {
+        let data = dataset.generate(n, 13);
+        let widths = [10, 14, 12, 14];
+        print_table_header(
+            &format!("Figure 5 ({}): estimation time vs size", dataset.name()),
+            &["sketch", "param", "size(b)", "t_est"],
+            &widths,
+        );
+        for label in SummaryConfig::all_labels() {
+            for cfg in SummaryConfig::size_sweep(label) {
+                let mut s = cfg.build(5);
+                s.accumulate_all(&data);
+                let t = time_mean(Duration::from_millis(40), || {
+                    std::hint::black_box(s.quantile(0.99));
+                });
+                print_table_row(
+                    &[
+                        label.into(),
+                        cfg.param_string(),
+                        format!("{}", s.size_bytes()),
+                        fmt_duration(t),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 6: total query time vs the number of merged cells — locating
+//! the crossover where merge time dominates (paper: n_merge >= 10^4).
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig06 [--full]`
+
+use msketch_bench::{
+    build_cells, fmt_duration, merge_all, print_table_header, print_table_row, time_it,
+    HarnessArgs, SummaryConfig,
+};
+use msketch_datasets::{fixed_cells, Dataset};
+use msketch_sketches::QuantileSummary;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let max_cells = args.scale(20_000, 1_000_000);
+    let configs = [
+        SummaryConfig::MSketch(10),
+        SummaryConfig::Merge12(32),
+        SummaryConfig::RandomW(40),
+    ];
+    for dataset in [Dataset::Milan, Dataset::Hepmass, Dataset::Exponential] {
+        let widths = [10, 10, 12, 12, 12];
+        print_table_header(
+            &format!("Figure 6 ({}): query time vs n_merge", dataset.name()),
+            &["sketch", "cells", "merge", "estimate", "total"],
+            &widths,
+        );
+        let mut n_cells = 100usize;
+        while n_cells <= max_cells {
+            let data = dataset.generate(n_cells * 200, 17);
+            let chunks = fixed_cells(&data, 200);
+            for cfg in &configs {
+                let cells = build_cells(cfg, &chunks);
+                let (merged, t_merge) = time_it(|| merge_all(&cells));
+                let (q, t_est) = time_it(|| merged.quantile(0.99));
+                assert!(q.is_finite());
+                print_table_row(
+                    &[
+                        cfg.label().into(),
+                        format!("{n_cells}"),
+                        fmt_duration(t_merge),
+                        fmt_duration(t_est),
+                        fmt_duration(t_merge + t_est),
+                    ],
+                    &widths,
+                );
+            }
+            n_cells *= 10;
+        }
+    }
+    println!("\nExpect M-Sketch to win once cells >= ~10^4 (merge-dominated regime).");
+}

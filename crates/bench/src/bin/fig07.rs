@@ -1,0 +1,55 @@
+//! Figure 7: average quantile error vs summary size on all six datasets
+//! (pointwise accumulation, 21 quantiles in [.01, .99]).
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig07 [--full]`
+
+use msketch_bench::{print_table_header, print_table_row, HarnessArgs, SummaryConfig};
+use msketch_datasets::Dataset;
+use msketch_sketches::{avg_quantile_error, exact::eval_phis, QuantileSummary};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let phis = eval_phis();
+    for dataset in Dataset::all() {
+        let n = args.scale(
+            dataset.default_size().min(200_000),
+            dataset.default_size(),
+        );
+        let data = dataset.generate(n, 29);
+        let integer_data = data.iter().take(100).all(|x| x.fract() == 0.0);
+        let widths = [10, 14, 12, 12];
+        print_table_header(
+            &format!("Figure 7 ({}): eps_avg vs size", dataset.name()),
+            &["sketch", "param", "size(b)", "eps_avg"],
+            &widths,
+        );
+        for label in SummaryConfig::all_labels() {
+            for cfg in SummaryConfig::size_sweep(label) {
+                let mut s = cfg.build(23);
+                s.accumulate_all(&data);
+                let mut est = s.quantiles(&phis);
+                if integer_data {
+                    est.iter_mut().for_each(|q| *q = q.round());
+                }
+                let err = if est.iter().any(|q| q.is_nan()) {
+                    f64::NAN
+                } else {
+                    avg_quantile_error(&data, &est, &phis)
+                };
+                print_table_row(
+                    &[
+                        label.into(),
+                        cfg.param_string(),
+                        format!("{}", s.size_bytes()),
+                        if err.is_nan() {
+                            "fail".into()
+                        } else {
+                            format!("{err:.5}")
+                        },
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 9: accuracy with and without log moments at a fixed total space
+//! budget (k standard moments vs k/2 standard + k/2 log).
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig09 [--full]`
+
+use moments_sketch::{MomentsSketch, SolverConfig};
+use msketch_bench::{print_table_header, print_table_row, HarnessArgs};
+use msketch_datasets::Dataset;
+use msketch_sketches::{avg_quantile_error, exact::eval_phis};
+
+fn run(
+    sketch: &MomentsSketch,
+    cfg: &SolverConfig,
+    data: &[f64],
+    phis: &[f64],
+    round: bool,
+) -> String {
+    match moments_sketch::solve_robust(sketch, cfg) {
+        Ok(sol) => {
+            let est: Result<Vec<f64>, _> = phis.iter().map(|&p| sol.quantile(p)).collect();
+            match est {
+                Ok(mut e) => {
+                    if round {
+                        e.iter_mut().for_each(|q| *q = q.round());
+                    }
+                    format!("{:.4}", avg_quantile_error(data, &e, phis))
+                }
+                Err(_) => "fail".into(),
+            }
+        }
+        Err(_) => "fail".into(),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let phis = eval_phis();
+    for dataset in [Dataset::Milan, Dataset::Retail, Dataset::Occupancy] {
+        let n = args.scale(dataset.default_size().min(200_000), dataset.default_size());
+        let data = dataset.generate(n, 37);
+        let round = data.iter().take(100).all(|x| x.fract() == 0.0);
+        let widths = [10, 14, 14];
+        print_table_header(
+            &format!(
+                "Figure 9 ({}): eps_avg, same total moment budget",
+                dataset.name()
+            ),
+            &["k_total", "with_log", "no_log"],
+            &widths,
+        );
+        for k_total in [2usize, 4, 6, 8, 10, 12] {
+            let sketch = MomentsSketch::from_data(k_total, &data);
+            let with_log = SolverConfig {
+                k1: Some(k_total / 2),
+                k2: Some(k_total / 2),
+                ..Default::default()
+            };
+            let no_log = SolverConfig {
+                k1: Some(k_total),
+                k2: Some(0),
+                use_log: false,
+                ..Default::default()
+            };
+            print_table_row(
+                &[
+                    format!("{k_total}"),
+                    run(&sketch, &with_log, &data, &phis, round),
+                    run(&sketch, &no_log, &data, &phis, round),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\nExpect log moments to slash error on milan/retail and be neutral on occupancy.");
+}

@@ -1,0 +1,85 @@
+//! Figure 10: the quantile-estimation lesion study — accuracy and solve
+//! time of eight moment-based estimators on the same sketches.
+//!
+//! As in the paper: on `milan` every estimator consumes only the log
+//! moments; on `hepmass` only the standard moments; `k = 10`.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig10 [--full]`
+
+use moments_sketch::estimators::{
+    BfgsEstimator, CvxMaxEntEstimator, CvxMinEstimator, GaussianEstimator, MnatEstimator,
+    MomentSource, NaiveNewtonEstimator, OptEstimator, QuantileEstimator, SvdEstimator,
+};
+use moments_sketch::{MomentsSketch, SolverConfig};
+use msketch_bench::{fmt_duration, print_table_header, print_table_row, time_it, HarnessArgs};
+use msketch_datasets::Dataset;
+use msketch_sketches::{avg_quantile_error, exact::eval_phis};
+
+fn estimators(source: MomentSource, k: usize) -> Vec<Box<dyn QuantileEstimator>> {
+    let (k1, k2) = match source {
+        MomentSource::Standard => (k, 0),
+        MomentSource::Log => (0, k),
+    };
+    vec![
+        Box::new(GaussianEstimator { source }),
+        Box::new(MnatEstimator { source }),
+        Box::new(SvdEstimator { source, grid: 256 }),
+        Box::new(CvxMinEstimator { source, grid: 128 }),
+        Box::new(CvxMaxEntEstimator { source, grid: 1000 }),
+        Box::new(NaiveNewtonEstimator {
+            k1,
+            k2,
+            tol: 1e-9,
+        }),
+        Box::new(BfgsEstimator { k1, k2 }),
+        Box::new(OptEstimator {
+            config: SolverConfig {
+                k1: Some(k1),
+                k2: Some(k2),
+                ..Default::default()
+            },
+        }),
+    ]
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let phis = eval_phis();
+    for (dataset, source) in [
+        (Dataset::Milan, MomentSource::Log),
+        (Dataset::Hepmass, MomentSource::Standard),
+    ] {
+        let n = args.scale(300_000, dataset.default_size());
+        let data = dataset.generate(n, 41);
+        let sketch = MomentsSketch::from_data(10, &data);
+        let widths = [12, 12, 12];
+        print_table_header(
+            &format!(
+                "Figure 10 ({}): lesion study, k=10 {} moments",
+                dataset.name(),
+                match source {
+                    MomentSource::Log => "log",
+                    MomentSource::Standard => "standard",
+                }
+            ),
+            &["estimator", "eps_avg(%)", "t_est"],
+            &widths,
+        );
+        for est in estimators(source, 10) {
+            let (result, t) = time_it(|| est.estimate(&sketch, &phis));
+            let row = match result {
+                Ok(qs) => format!("{:.2}", 100.0 * avg_quantile_error(&data, &qs, &phis)),
+                Err(e) => format!("fail:{e:.15}"),
+            };
+            print_table_row(
+                &[est.name().into(), row, fmt_duration(t)],
+                &widths,
+            );
+        }
+    }
+    println!(
+        "\nExpect maximum-entropy estimators (cvx-maxent/newton/bfgs/opt) to be\n\
+         >=5x more accurate, and opt orders of magnitude faster than the\n\
+         discretized/naive routes."
+    );
+}

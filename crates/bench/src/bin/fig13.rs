@@ -1,0 +1,114 @@
+//! Figure 13: cascade anatomy — (a) threshold-query throughput as stages
+//! are added, (b) single-stage throughput, (c) fraction of queries
+//! reaching each stage.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig13 [--full]`
+
+use moments_sketch::bounds::{markov_bound, rtt_bound};
+use moments_sketch::{CascadeConfig, MomentsSketch, SolverConfig, ThresholdEvaluator};
+use msketch_bench::{print_table_header, print_table_row, time_it, HarnessArgs};
+use msketch_datasets::{fixed_cells, Dataset};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = args.scale(400_000, 2_000_000);
+    let data = Dataset::Milan.generate(n, 53);
+    let groups: Vec<MomentsSketch> = fixed_cells(&data, 400)
+        .iter()
+        .map(|c| MomentsSketch::from_data(10, c))
+        .collect();
+    // Global t99 to use as the threshold.
+    let mut all = groups[0].clone();
+    for g in &groups[1..] {
+        all.merge(g);
+    }
+    let t99 = all
+        .solve(&SolverConfig::default())
+        .unwrap()
+        .quantile(0.99)
+        .unwrap();
+    let phi = 0.7;
+
+    // (a) incremental stages.
+    let base = CascadeConfig::baseline();
+    let variants = [
+        ("Baseline", base),
+        ("+Simple", CascadeConfig { use_simple: true, ..base }),
+        ("+Markov", CascadeConfig { use_simple: true, use_markov: true, ..base }),
+        ("+RTT", CascadeConfig::default()),
+    ];
+    let widths = [10, 14, 14];
+    print_table_header(
+        &format!("Figure 13a: threshold throughput, {} groups", groups.len()),
+        &["stages", "QPS", "time"],
+        &widths,
+    );
+    let mut fractions = [0.0f64; 4];
+    for (label, cascade) in variants {
+        let mut ev = ThresholdEvaluator::new(cascade);
+        let (_hits, t) = time_it(|| {
+            groups
+                .iter()
+                .filter(|g| ev.threshold(g, t99, phi))
+                .count()
+        });
+        let qps = groups.len() as f64 / t.as_secs_f64();
+        if label == "+RTT" {
+            fractions = ev.stats().fraction_reaching();
+        }
+        print_table_row(
+            &[label.into(), format!("{qps:.0}"), msketch_bench::fmt_duration(t)],
+            &widths,
+        );
+    }
+
+    // (b) per-stage throughput in isolation.
+    print_table_header(
+        "Figure 13b: single-stage throughput",
+        &["stage", "QPS", "time"],
+        &widths,
+    );
+    let reps = groups.len();
+    let (_, t_simple) = time_it(|| {
+        groups
+            .iter()
+            .filter(|g| {
+                let g = std::hint::black_box(g);
+                t99 >= g.min() && t99 <= g.max()
+            })
+            .count()
+    });
+    let (_, t_markov) = time_it(|| {
+        groups.iter().map(|g| markov_bound(g, t99).lower).sum::<f64>()
+    });
+    let (_, t_rtt) = time_it(|| groups.iter().map(|g| rtt_bound(g, t99).lower).sum::<f64>());
+    let (_, t_maxent) = time_it(|| {
+        groups
+            .iter()
+            .filter_map(|g| g.solve(&SolverConfig::default()).ok())
+            .filter_map(|s| s.quantile(phi).ok())
+            .count()
+    });
+    for (label, t) in [
+        ("Simple", t_simple),
+        ("Markov", t_markov),
+        ("RTT", t_rtt),
+        ("MaxEnt", t_maxent),
+    ] {
+        let qps = reps as f64 / t.as_secs_f64();
+        print_table_row(
+            &[label.into(), format!("{qps:.0}"), msketch_bench::fmt_duration(t)],
+            &widths,
+        );
+    }
+
+    // (c) fraction reaching each stage (from the full cascade run).
+    print_table_header(
+        "Figure 13c: fraction of queries reaching each stage",
+        &["stage", "fraction", ""],
+        &widths,
+    );
+    for (label, f) in ["Simple", "Markov", "RTT", "MaxEnt"].iter().zip(fractions) {
+        print_table_row(&[(*label).into(), format!("{f:.4}"), String::new()], &widths);
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 14: sliding-window alerting — moments sketch with turnstile
+//! updates + cascade vs Merge12 re-merging, on spiked pane data.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig14 [--full]`
+
+use moments_sketch::{CascadeConfig, MomentsSketch};
+use msketch_bench::{fmt_duration, print_table_header, print_table_row, time_it, HarnessArgs};
+use msketch_cube::sliding_windows_remerge;
+use msketch_datasets::Dataset;
+use msketch_macrobase::scan_windows;
+use msketch_sketches::{Merge12, QuantileSummary};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // Paper: 4320 ten-minute panes over a month, 4-hour windows (w=24),
+    // two injected spikes at values 1000 and 2000, threshold 1500.
+    let n_panes = args.scale(1_440, 4_320);
+    let per_pane = args.scale(400, 2_000);
+    let window = 24;
+    let threshold = 1_500.0;
+    let phi = 0.99;
+    let base = Dataset::Milan.generate(n_panes * per_pane, 59);
+    let spike_panes = [n_panes / 3, 2 * n_panes / 3];
+    let mut pane_data: Vec<Vec<f64>> = base
+        .chunks(per_pane)
+        .map(|c| c.to_vec())
+        .collect();
+    for (i, &p) in spike_panes.iter().enumerate() {
+        let v = if i == 0 { 2_000.0 } else { 1_000.0 };
+        // Spikes span two hours (12 panes) and add 10% extra data.
+        for pane in pane_data.iter_mut().skip(p).take(12) {
+            pane.extend(std::iter::repeat_n(v, per_pane / 10));
+        }
+    }
+
+    let widths = [22, 12, 12, 8];
+    print_table_header(
+        &format!("Figure 14: sliding-window query, {n_panes} panes, w={window}"),
+        &["method", "aggregate", "estimate", "hits"],
+        &widths,
+    );
+
+    // Moments sketch: turnstile + cascade.
+    let (panes, t_build) = time_it(|| {
+        pane_data
+            .iter()
+            .map(|d| MomentsSketch::from_data(10, d))
+            .collect::<Vec<_>>()
+    });
+    let ((alerts, stats), t_scan) = time_it(|| {
+        scan_windows(&panes, window, threshold, phi, CascadeConfig::default())
+    });
+    print_table_row(
+        &[
+            "M-Sketch turnstile".into(),
+            fmt_duration(t_scan),
+            "-".into(),
+            format!("{}", alerts.len()),
+        ],
+        &widths,
+    );
+    let _ = (t_build, stats);
+
+    // Merge12: re-merge every window, estimate directly.
+    let m_panes: Vec<Merge12> = pane_data
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let mut m = Merge12::new(32, i as u64);
+            m.accumulate_all(d);
+            m
+        })
+        .collect();
+    let mut hits = 0usize;
+    let (_, t_merge12) = time_it(|| {
+        sliding_windows_remerge(&m_panes, window, |_, agg| {
+            if agg.quantile(phi) > threshold {
+                hits += 1;
+            }
+        })
+    });
+    print_table_row(
+        &[
+            "Merge12 re-merge".into(),
+            fmt_duration(t_merge12),
+            "-".into(),
+            format!("{hits}"),
+        ],
+        &widths,
+    );
+    println!("\nExpect the turnstile moments sketch to be ~10x faster than re-merging Merge12.");
+}

@@ -1,0 +1,55 @@
+//! Figure 16 (Appendix B): precision loss when shifting power sums and
+//! converting to Chebyshev moments — hepmass (centered near 0) vs
+//! occupancy (centered away from 0).
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig16 [--full]`
+
+use moments_sketch::stats::{cheb_moments_from_mono, shifted_moments, ScaledDomain};
+use moments_sketch::MomentsSketch;
+use msketch_bench::{print_table_header, print_table_row, HarnessArgs};
+use msketch_datasets::Dataset;
+use numerics::chebyshev;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let k = 20;
+    let widths = [6, 16, 16];
+    print_table_header(
+        "Figure 16: Chebyshev-moment precision loss |mu_i - mu_hat_i|",
+        &["k", "hepmass", "occupancy"],
+        &widths,
+    );
+    let mut losses: Vec<Vec<f64>> = Vec::new();
+    for dataset in [Dataset::Hepmass, Dataset::Occupancy] {
+        let n = args.scale(dataset.default_size().min(200_000), dataset.default_size());
+        let data = dataset.generate(n, 61);
+        let sketch = MomentsSketch::from_data(k, &data);
+        let dom = ScaledDomain::from_range(sketch.min(), sketch.max());
+        let mono = shifted_moments(&sketch.moments(), &dom);
+        let cheb = cheb_moments_from_mono(&mono);
+        let nf = data.len() as f64;
+        let loss: Vec<f64> = (0..=k)
+            .map(|i| {
+                let exact: f64 = data
+                    .iter()
+                    .map(|&x| chebyshev::t_eval(i, dom.scale(x)))
+                    .sum::<f64>()
+                    / nf;
+                (cheb.get(i).copied().unwrap_or(f64::NAN) - exact).abs()
+            })
+            .collect();
+        losses.push(loss);
+    }
+    #[allow(clippy::needless_range_loop)] // index doubles as the moment order
+    for i in 0..=k {
+        print_table_row(
+            &[
+                format!("{i}"),
+                format!("{:.3e}", losses[0][i]),
+                format!("{:.3e}", losses[1][i]),
+            ],
+            &widths,
+        );
+    }
+    println!("\nExpect occupancy (offset c ~ 1.5) to lose precision much faster than\nhepmass (c ~ 0.4).");
+}

@@ -1,0 +1,57 @@
+//! Figure 17 (Appendix C): accuracy of low-precision moments sketches
+//! after many merges, sweeping bits per value.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig17 [--full]`
+
+use moments_sketch::lowprec::LowPrecisionCodec;
+use moments_sketch::{MomentsSketch, SolverConfig};
+use msketch_bench::{print_table_header, print_table_row, HarnessArgs};
+use msketch_datasets::{fixed_cells, Dataset};
+use msketch_sketches::{avg_quantile_error, exact::eval_phis};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let phis = eval_phis();
+    let n_cells = args.scale(2_000, 100_000);
+    for dataset in [Dataset::Milan, Dataset::Hepmass] {
+        let data = dataset.generate(n_cells * 200, 67);
+        let chunks = fixed_cells(&data, 200);
+        let widths = [6, 8, 12];
+        print_table_header(
+            &format!(
+                "Figure 17 ({}): eps_avg vs bits/value after {} merges",
+                dataset.name(),
+                n_cells
+            ),
+            &["k", "bits", "eps_avg"],
+            &widths,
+        );
+        for k in [6usize, 10] {
+            let cells: Vec<MomentsSketch> = chunks
+                .iter()
+                .map(|c| MomentsSketch::from_data(k, c))
+                .collect();
+            for bits in [14u32, 16, 18, 20, 24, 32, 48, 64] {
+                let codec = LowPrecisionCodec::new(bits);
+                let mut merged: Option<MomentsSketch> = None;
+                for (i, cell) in cells.iter().enumerate() {
+                    let low = LowPrecisionCodec::decode(&codec.encode(cell, i as u64)).unwrap();
+                    match &mut merged {
+                        None => merged = Some(low),
+                        Some(m) => m.merge(&low),
+                    }
+                }
+                let merged = merged.unwrap();
+                let row = match merged.solve(&SolverConfig::default()) {
+                    Ok(sol) => match sol.quantiles(&phis) {
+                        Ok(est) => format!("{:.4}", avg_quantile_error(&data, &est, &phis)),
+                        Err(_) => "fail".into(),
+                    },
+                    Err(_) => "fail".into(),
+                };
+                print_table_row(&[format!("{k}"), format!("{bits}"), row], &widths);
+            }
+        }
+    }
+    println!("\nExpect accuracy to plateau down to ~20 bits/value, then degrade.");
+}

@@ -1,0 +1,60 @@
+//! Figure 20 (Appendix D.3): per-merge latency with larger
+//! pre-aggregation cells (2000 elements; 10000 for a Gaussian dataset).
+//!
+//! The moments sketch is fixed-size, so its merge time is unchanged;
+//! capacity-bound summaries grow fuller and slower.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig20 [--full]`
+
+use msketch_bench::{
+    build_cells, merge_all, print_table_header, print_table_row, time_mean, HarnessArgs,
+    SummaryConfig,
+};
+use msketch_datasets::{fixed_cells, gen::gaussian, Dataset};
+use msketch_sketches::QuantileSummary;
+use std::time::Duration;
+
+fn run(dataset_name: &str, data: &[f64], cell_size: usize) {
+    let chunks = fixed_cells(data, cell_size);
+    let widths = [10, 14, 12, 16];
+    print_table_header(
+        &format!("Figure 20 ({dataset_name}): per-merge latency, cells of {cell_size}"),
+        &["sketch", "param", "size(b)", "ns/merge"],
+        &widths,
+    );
+    for cfg in [
+        SummaryConfig::MSketch(10),
+        SummaryConfig::Merge12(32),
+        SummaryConfig::RandomW(40),
+        SummaryConfig::Gk(60),
+        SummaryConfig::TDigest(50),
+        SummaryConfig::Sampling(1000),
+        SummaryConfig::EwHist(100),
+    ] {
+        let cells = build_cells(&cfg, &chunks);
+        let per = time_mean(Duration::from_millis(60), || {
+            std::hint::black_box(merge_all(&cells));
+        });
+        let per_merge = per.as_nanos() as f64 / (cells.len() - 1).max(1) as f64;
+        print_table_row(
+            &[
+                cfg.label().into(),
+                cfg.param_string(),
+                format!("{}", merge_all(&cells).size_bytes()),
+                format!("{per_merge:.1}"),
+            ],
+            &widths,
+        );
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = args.scale(200_000, 2_000_000);
+    for dataset in [Dataset::Milan, Dataset::Hepmass, Dataset::Exponential] {
+        let data = dataset.generate(n, 79);
+        run(dataset.name(), &data, 2_000);
+    }
+    let g = gaussian(args.scale(500_000, 10_000_000), 83);
+    run("gauss", &g, 10_000);
+}

@@ -1,0 +1,61 @@
+//! Figure 22 (Appendix D.4): merge time and accuracy on the production
+//! workload with heterogeneous cell sizes.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig22 [--full]`
+
+use msketch_bench::{
+    merge_all, print_table_header, print_table_row, time_mean, AnySummary, HarnessArgs,
+    SummaryConfig,
+};
+use msketch_datasets::ProductionWorkload;
+use msketch_sketches::{avg_quantile_error, exact::eval_phis, QuantileSummary};
+use std::time::Duration;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let rows = args.scale(500_000, 165_000_000);
+    let w = ProductionWorkload::generate(rows, args.scale(500, 2_380) as f64, 97);
+    let flat = w.flatten();
+    let phis = eval_phis();
+    let widths = [10, 14, 12, 16, 10];
+    print_table_header(
+        &format!(
+            "Figure 22: production workload, {} variable-size cells",
+            w.cells.len()
+        ),
+        &["sketch", "param", "size(b)", "ns/merge", "eps_avg"],
+        &widths,
+    );
+    for cfg in SummaryConfig::table2_milan() {
+        let cells: Vec<AnySummary> = w
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut s = cfg.build(0xFACE ^ i as u64);
+                s.accumulate_all(c);
+                s
+            })
+            .collect();
+        let per = time_mean(Duration::from_millis(80), || {
+            std::hint::black_box(merge_all(&cells));
+        });
+        let per_merge = per.as_nanos() as f64 / (cells.len() - 1) as f64;
+        let merged = merge_all(&cells);
+        // Integer metric: round estimates, as the paper does for retail.
+        let mut est = merged.quantiles(&phis);
+        est.iter_mut().for_each(|q| *q = q.round());
+        let err = avg_quantile_error(&flat, &est, &phis);
+        print_table_row(
+            &[
+                cfg.label().into(),
+                cfg.param_string(),
+                format!("{}", merged.size_bytes()),
+                format!("{per_merge:.1}"),
+                format!("{err:.4}"),
+            ],
+            &widths,
+        );
+    }
+    println!("\nExpect M-Sketch to keep its merge-speed lead and eps_avg < 0.01; GK's\nsummary grows large on heterogeneous merges.");
+}

@@ -1,0 +1,52 @@
+//! Figure 24 (Appendix F): strong scaling of parallel merges — fixed
+//! total merge count, growing thread counts.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig24 [--full]`
+
+use msketch_bench::{
+    build_cells, merge_parallel, print_table_header, print_table_row, time_it, HarnessArgs,
+    SummaryConfig,
+};
+use msketch_datasets::{fixed_cells, Dataset};
+use msketch_sketches::QuantileSummary;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n_cells = args.scale(50_000, 400_000);
+    for dataset in [Dataset::Milan, Dataset::Hepmass] {
+        let data = dataset.generate(n_cells * 200, 103);
+        let chunks = fixed_cells(&data, 200);
+        let widths = [10, 10, 16, 12];
+        print_table_header(
+            &format!(
+                "Figure 24 ({}): strong scaling, {} merges",
+                dataset.name(),
+                n_cells
+            ),
+            &["sketch", "threads", "merges/ms", "time"],
+            &widths,
+        );
+        for cfg in [
+            SummaryConfig::MSketch(10),
+            SummaryConfig::Merge12(32),
+            SummaryConfig::RandomW(40),
+            SummaryConfig::EwHist(100),
+        ] {
+            let cells = build_cells(&cfg, &chunks);
+            for threads in [1usize, 2, 4, 8, 16] {
+                let (merged, t) = time_it(|| merge_parallel(&cells, threads));
+                assert_eq!(merged.count() as usize, data.len());
+                let rate = cells.len() as f64 / t.as_secs_f64() / 1e3;
+                print_table_row(
+                    &[
+                        cfg.label().into(),
+                        format!("{threads}"),
+                        format!("{rate:.0}"),
+                        msketch_bench::fmt_duration(t),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 25 (Appendix F): weak scaling of parallel merges — merge count
+//! grows with the thread count.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin fig25 [--full]`
+
+use msketch_bench::{
+    build_cells, merge_parallel, print_table_header, print_table_row, time_it, HarnessArgs,
+    SummaryConfig,
+};
+use msketch_datasets::{fixed_cells, Dataset};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let per_thread = args.scale(20_000, 100_000);
+    for dataset in [Dataset::Milan, Dataset::Hepmass] {
+        let widths = [10, 10, 10, 16];
+        print_table_header(
+            &format!(
+                "Figure 25 ({}): weak scaling, {} merges/thread",
+                dataset.name(),
+                per_thread
+            ),
+            &["sketch", "threads", "cells", "merges/ms"],
+            &widths,
+        );
+        for cfg in [
+            SummaryConfig::MSketch(10),
+            SummaryConfig::Merge12(32),
+            SummaryConfig::RandomW(40),
+        ] {
+            for threads in [1usize, 2, 4, 8] {
+                let n_cells = per_thread * threads;
+                let data = dataset.generate(n_cells * 50, 107);
+                let chunks = fixed_cells(&data, 50);
+                let cells = build_cells(&cfg, &chunks);
+                let (_, t) = time_it(|| merge_parallel(&cells, threads));
+                let rate = cells.len() as f64 / t.as_secs_f64() / 1e3;
+                print_table_row(
+                    &[
+                        cfg.label().into(),
+                        format!("{threads}"),
+                        format!("{n_cells}"),
+                        format!("{rate:.0}"),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+}

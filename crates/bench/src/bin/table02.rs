@@ -1,0 +1,90 @@
+//! Table 2: the smallest parameterization of each summary achieving
+//! ε_avg ≤ 0.01 on `milan`- and `hepmass`-like data, with its size.
+//!
+//! Run: `cargo run --release -p msketch-bench --bin table02 [--full]`
+
+use msketch_bench::{print_table_header, print_table_row, HarnessArgs, SummaryConfig};
+use msketch_datasets::Dataset;
+use msketch_sketches::{avg_quantile_error, exact::eval_phis, QuantileSummary};
+
+fn smallest_accurate(
+    label: &str,
+    data: &[f64],
+    target: f64,
+) -> Option<(SummaryConfig, usize, f64)> {
+    let phis = eval_phis();
+    for cfg in SummaryConfig::size_sweep(label) {
+        let mut s = cfg.build(7);
+        s.accumulate_all(data);
+        let mut est = s.quantiles(&phis);
+        // Integer datasets round estimates, as in the paper.
+        if data.iter().take(100).all(|x| x.fract() == 0.0) {
+            est.iter_mut().for_each(|q| *q = q.round());
+        }
+        let err = avg_quantile_error(data, &est, &phis);
+        if err <= target {
+            return Some((cfg, s.size_bytes(), err));
+        }
+    }
+    None
+}
+
+fn paper_entry(dataset: &str, label: &str) -> &'static str {
+    match (dataset, label) {
+        ("milan", "M-Sketch") => "k=10 / 200b",
+        ("milan", "Merge12") => "k=32 / 5920b",
+        ("milan", "RandomW") => "eps=1/40 / 3200b",
+        ("milan", "GK") => "eps=1/60 / 720b",
+        ("milan", "T-Digest") => "d=5.0 / 769b",
+        ("milan", "Sampling") => "1000 / 8010b",
+        ("milan", "S-Hist") => "100 bins / 1220b (>1% err)",
+        ("milan", "EW-Hist") => "100 bins / 812b (>1% err)",
+        ("hepmass", "M-Sketch") => "k=3 / 72b",
+        ("hepmass", "Merge12") => "k=32 / 5150b",
+        ("hepmass", "RandomW") => "eps=1/40 / 3375b",
+        ("hepmass", "GK") => "eps=1/40 / 496b",
+        ("hepmass", "T-Digest") => "d=1.5 / 93b",
+        ("hepmass", "Sampling") => "1000 / 8010b",
+        ("hepmass", "S-Hist") => "100 bins / 1220b",
+        ("hepmass", "EW-Hist") => "15 bins / 132b",
+        _ => "?",
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = args.scale(300_000, 1_000_000);
+    for dataset in [Dataset::Milan, Dataset::Hepmass] {
+        let data = dataset.generate(n, 21);
+        let widths = [10, 14, 10, 10, 28];
+        print_table_header(
+            &format!("Table 2 ({}): params for eps_avg <= 0.01", dataset.name()),
+            &["sketch", "param", "size(b)", "eps_avg", "paper"],
+            &widths,
+        );
+        for label in SummaryConfig::all_labels() {
+            match smallest_accurate(label, &data, 0.01) {
+                Some((cfg, size, err)) => print_table_row(
+                    &[
+                        label.into(),
+                        cfg.param_string(),
+                        format!("{size}"),
+                        format!("{err:.4}"),
+                        paper_entry(dataset.name(), label).into(),
+                    ],
+                    &widths,
+                ),
+                None => print_table_row(
+                    &[
+                        label.into(),
+                        "none<=1%".into(),
+                        "-".into(),
+                        "-".into(),
+                        paper_entry(dataset.name(), label).into(),
+                    ],
+                    &widths,
+                ),
+            }
+        }
+    }
+}

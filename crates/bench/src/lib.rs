@@ -1,0 +1,443 @@
+//! Shared harness utilities for the per-figure benchmark binaries
+//! (`src/bin/table01.rs` … `src/bin/fig25.rs`) and the Criterion
+//! micro-benchmarks (`benches/`).
+//!
+//! Each binary regenerates one table or figure of the paper: it builds the
+//! workload, drives the summaries through the paper's protocol, and prints
+//! the same rows/series the paper reports. `EXPERIMENTS.md` at the
+//! repository root records paper-vs-measured values.
+//!
+//! Binaries accept `--full` for paper-scale runs; the default sizes are
+//! scaled down to finish interactively while preserving every qualitative
+//! comparison.
+
+use moments_sketch::SolverConfig;
+use msketch_sketches::{
+    EwHist, GkSummary, MSketchSummary, Merge12, QuantileSummary, RandomW, ReservoirSample, SHist,
+    TDigest,
+};
+use std::time::{Duration, Instant};
+
+/// A summary configuration: the parameterizations of Table 2 plus size
+/// sweeps, with uniform construction and labeling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SummaryConfig {
+    /// Moments sketch of order `k`.
+    MSketch(usize),
+    /// Low-discrepancy mergeable sketch with level size `k`.
+    Merge12(usize),
+    /// Random mergeable buffer sketch with buffer size `s`.
+    RandomW(usize),
+    /// Greenwald–Khanna with error `1/inv_eps`.
+    Gk(usize),
+    /// t-digest with compression `delta` (tenths, to stay `Copy + Eq`ish).
+    TDigest(usize),
+    /// Reservoir sample of the given capacity.
+    Sampling(usize),
+    /// Streaming histogram with the given centroid budget.
+    SHist(usize),
+    /// Equi-width histogram with the given bin budget.
+    EwHist(usize),
+}
+
+/// Type-erased summary so heterogeneous sketches run through one harness.
+#[derive(Debug, Clone)]
+pub enum AnySummary {
+    /// Moments sketch.
+    MSketch(MSketchSummary),
+    /// Low-discrepancy sketch.
+    Merge12(Merge12),
+    /// Random buffer sketch.
+    RandomW(RandomW),
+    /// Greenwald–Khanna.
+    Gk(GkSummary),
+    /// t-digest.
+    TDigest(TDigest),
+    /// Reservoir sample.
+    Sampling(ReservoirSample),
+    /// Streaming histogram.
+    SHist(SHist),
+    /// Equi-width histogram.
+    EwHist(EwHist),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            AnySummary::MSketch($s) => $body,
+            AnySummary::Merge12($s) => $body,
+            AnySummary::RandomW($s) => $body,
+            AnySummary::Gk($s) => $body,
+            AnySummary::TDigest($s) => $body,
+            AnySummary::Sampling($s) => $body,
+            AnySummary::SHist($s) => $body,
+            AnySummary::EwHist($s) => $body,
+        }
+    };
+}
+
+impl QuantileSummary for AnySummary {
+    fn name(&self) -> &'static str {
+        dispatch!(self, s => s.name())
+    }
+    fn accumulate(&mut self, x: f64) {
+        dispatch!(self, s => s.accumulate(x))
+    }
+    fn merge_from(&mut self, other: &Self) {
+        match (self, other) {
+            (AnySummary::MSketch(a), AnySummary::MSketch(b)) => a.merge_from(b),
+            (AnySummary::Merge12(a), AnySummary::Merge12(b)) => a.merge_from(b),
+            (AnySummary::RandomW(a), AnySummary::RandomW(b)) => a.merge_from(b),
+            (AnySummary::Gk(a), AnySummary::Gk(b)) => a.merge_from(b),
+            (AnySummary::TDigest(a), AnySummary::TDigest(b)) => a.merge_from(b),
+            (AnySummary::Sampling(a), AnySummary::Sampling(b)) => a.merge_from(b),
+            (AnySummary::SHist(a), AnySummary::SHist(b)) => a.merge_from(b),
+            (AnySummary::EwHist(a), AnySummary::EwHist(b)) => a.merge_from(b),
+            _ => panic!("cannot merge summaries of different kinds"),
+        }
+    }
+    fn quantile(&self, phi: f64) -> f64 {
+        dispatch!(self, s => s.quantile(phi))
+    }
+    fn quantiles(&self, phis: &[f64]) -> Vec<f64> {
+        dispatch!(self, s => s.quantiles(phis))
+    }
+    fn count(&self) -> u64 {
+        dispatch!(self, s => s.count())
+    }
+    fn size_bytes(&self) -> usize {
+        dispatch!(self, s => s.size_bytes())
+    }
+}
+
+impl SummaryConfig {
+    /// Label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SummaryConfig::MSketch(_) => "M-Sketch",
+            SummaryConfig::Merge12(_) => "Merge12",
+            SummaryConfig::RandomW(_) => "RandomW",
+            SummaryConfig::Gk(_) => "GK",
+            SummaryConfig::TDigest(_) => "T-Digest",
+            SummaryConfig::Sampling(_) => "Sampling",
+            SummaryConfig::SHist(_) => "S-Hist",
+            SummaryConfig::EwHist(_) => "EW-Hist",
+        }
+    }
+
+    /// Human-readable parameter (Table 2's "param" column).
+    pub fn param_string(&self) -> String {
+        match self {
+            SummaryConfig::MSketch(k) => format!("k={k}"),
+            SummaryConfig::Merge12(k) => format!("k={k}"),
+            SummaryConfig::RandomW(s) => format!("s={s}"),
+            SummaryConfig::Gk(inv) => format!("eps=1/{inv}"),
+            SummaryConfig::TDigest(d10) => format!("delta={:.1}", *d10 as f64 / 10.0),
+            SummaryConfig::Sampling(n) => format!("{n} samples"),
+            SummaryConfig::SHist(b) => format!("{b} bins"),
+            SummaryConfig::EwHist(b) => format!("{b} bins"),
+        }
+    }
+
+    /// Build an empty summary (seed varies randomized sketches per cell).
+    pub fn build(&self, seed: u64) -> AnySummary {
+        match *self {
+            SummaryConfig::MSketch(k) => AnySummary::MSketch(MSketchSummary::new(k)),
+            SummaryConfig::Merge12(k) => AnySummary::Merge12(Merge12::new(k, seed)),
+            SummaryConfig::RandomW(s) => AnySummary::RandomW(RandomW::new(s, seed)),
+            SummaryConfig::Gk(inv) => AnySummary::Gk(GkSummary::new(1.0 / inv as f64)),
+            SummaryConfig::TDigest(d10) => AnySummary::TDigest(TDigest::new(d10 as f64 / 10.0)),
+            SummaryConfig::Sampling(n) => AnySummary::Sampling(ReservoirSample::new(n, seed)),
+            SummaryConfig::SHist(b) => AnySummary::SHist(SHist::new(b)),
+            SummaryConfig::EwHist(b) => AnySummary::EwHist(EwHist::new(b)),
+        }
+    }
+
+    /// The Table 2 parameterizations for ε_avg ≤ 0.01 on `milan`-like
+    /// data.
+    pub fn table2_milan() -> Vec<SummaryConfig> {
+        vec![
+            SummaryConfig::MSketch(10),
+            SummaryConfig::Merge12(32),
+            SummaryConfig::RandomW(40),
+            SummaryConfig::Gk(60),
+            SummaryConfig::TDigest(50),
+            SummaryConfig::Sampling(1000),
+            SummaryConfig::SHist(100),
+            SummaryConfig::EwHist(100),
+        ]
+    }
+
+    /// The Table 2 parameterizations for `hepmass`-like data.
+    pub fn table2_hepmass() -> Vec<SummaryConfig> {
+        vec![
+            SummaryConfig::MSketch(3),
+            SummaryConfig::Merge12(32),
+            SummaryConfig::RandomW(40),
+            SummaryConfig::Gk(40),
+            SummaryConfig::TDigest(15),
+            SummaryConfig::Sampling(1000),
+            SummaryConfig::SHist(100),
+            SummaryConfig::EwHist(15),
+        ]
+    }
+
+    /// A size sweep for this summary family (Figures 4, 5, 7).
+    pub fn size_sweep(label: &str) -> Vec<SummaryConfig> {
+        match label {
+            "M-Sketch" => vec![2usize, 4, 6, 8, 10, 12, 14]
+                .into_iter()
+                .map(SummaryConfig::MSketch)
+                .collect(),
+            "Merge12" => vec![8, 16, 32, 64, 128, 256]
+                .into_iter()
+                .map(SummaryConfig::Merge12)
+                .collect(),
+            "RandomW" => vec![10, 20, 40, 80, 160, 320]
+                .into_iter()
+                .map(SummaryConfig::RandomW)
+                .collect(),
+            "GK" => vec![10, 20, 40, 80, 160]
+                .into_iter()
+                .map(SummaryConfig::Gk)
+                .collect(),
+            "T-Digest" => vec![10, 20, 50, 100, 200]
+                .into_iter()
+                .map(SummaryConfig::TDigest)
+                .collect(),
+            "Sampling" => vec![16, 64, 256, 1024, 4096]
+                .into_iter()
+                .map(SummaryConfig::Sampling)
+                .collect(),
+            "S-Hist" => vec![10, 30, 100, 300, 1000]
+                .into_iter()
+                .map(SummaryConfig::SHist)
+                .collect(),
+            "EW-Hist" => vec![15, 30, 100, 300, 1000]
+                .into_iter()
+                .map(SummaryConfig::EwHist)
+                .collect(),
+            _ => panic!("unknown summary label {label}"),
+        }
+    }
+
+    /// All eight families (paper legend order).
+    pub fn all_labels() -> [&'static str; 8] {
+        [
+            "M-Sketch", "Merge12", "RandomW", "GK", "T-Digest", "Sampling", "S-Hist", "EW-Hist",
+        ]
+    }
+}
+
+/// Build one summary per cell.
+pub fn build_cells(cfg: &SummaryConfig, cells: &[&[f64]]) -> Vec<AnySummary> {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut s = cfg.build(0x5EED ^ i as u64);
+            s.accumulate_all(chunk);
+            s
+        })
+        .collect()
+}
+
+/// Merge a slice of summaries into the first one (cloned).
+pub fn merge_all(cells: &[AnySummary]) -> AnySummary {
+    let mut acc = cells[0].clone();
+    for c in &cells[1..] {
+        acc.merge_from(c);
+    }
+    acc
+}
+
+/// Merge summaries with `threads` crossbeam workers (Appendix F).
+pub fn merge_parallel(cells: &[AnySummary], threads: usize) -> AnySummary {
+    let threads = threads.max(1).min(cells.len());
+    let chunk = cells.len().div_ceil(threads);
+    let partials: Vec<AnySummary> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move |_| merge_all(shard)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("merge worker panicked");
+    merge_all(&partials)
+}
+
+/// Time a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Time a closure, repeating until at least `min_total` elapsed, and
+/// report the mean duration per run.
+pub fn time_mean(min_total: Duration, mut f: impl FnMut()) -> Duration {
+    // Warm up.
+    f();
+    let mut runs = 0u32;
+    let start = Instant::now();
+    while start.elapsed() < min_total || runs < 3 {
+        f();
+        runs += 1;
+    }
+    start.elapsed() / runs
+}
+
+/// Format a duration adaptively (ns/µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Minimal CLI: `--full` switches to paper-scale workloads.
+pub struct HarnessArgs {
+    /// Paper-scale run requested.
+    pub full: bool,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Self {
+        HarnessArgs {
+            full: std::env::args().any(|a| a == "--full"),
+        }
+    }
+
+    /// Pick between the quick and full variants of a size.
+    pub fn scale(&self, quick: usize, full: usize) -> usize {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+}
+
+/// Print a header row followed by a separator (fixed-width columns).
+pub fn print_table_header(title: &str, cols: &[&str], widths: &[usize]) {
+    println!("\n=== {title} ===");
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Print one row of fixed-width cells.
+pub fn print_table_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} ", w = w));
+    }
+    println!("{line}");
+}
+
+/// The default moments-sketch solver configuration used by harnesses.
+pub fn default_solver() -> SolverConfig {
+    SolverConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_summary_uniform_behavior() {
+        let data: Vec<f64> = (1..=5000).map(f64::from).collect();
+        for label in SummaryConfig::all_labels() {
+            let cfg = &SummaryConfig::size_sweep(label)[2];
+            let mut s = cfg.build(1);
+            s.accumulate_all(&data);
+            assert_eq!(s.count(), 5000, "{label}");
+            let q = s.quantile(0.5);
+            assert!(
+                (q - 2500.0).abs() < 600.0,
+                "{label} median {q} (param {})",
+                cfg.param_string()
+            );
+            assert!(s.size_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn merge_parallel_matches_sequential() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i % 997) as f64).collect();
+        let chunks: Vec<&[f64]> = data.chunks(100).collect();
+        let cfg = SummaryConfig::MSketch(8);
+        let cells = build_cells(&cfg, &chunks);
+        let seq = merge_all(&cells);
+        let par = merge_parallel(&cells, 4);
+        assert_eq!(seq.count(), par.count());
+        assert!((seq.quantile(0.9) - par.quantile(0.9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heterogeneous_merge_panics() {
+        let a = SummaryConfig::MSketch(4).build(0);
+        let b = SummaryConfig::SHist(10).build(0);
+        let result = std::panic::catch_unwind(move || {
+            let mut a = a;
+            a.merge_from(&b);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn harness_args_scaling() {
+        let quick = HarnessArgs { full: false };
+        let full = HarnessArgs { full: true };
+        assert_eq!(quick.scale(10, 100), 10);
+        assert_eq!(full.scale(10, 100), 100);
+    }
+
+    #[test]
+    fn table2_configs_cover_all_families() {
+        use std::collections::HashSet;
+        for configs in [SummaryConfig::table2_milan(), SummaryConfig::table2_hepmass()] {
+            let labels: HashSet<&str> = configs.iter().map(|c| c.label()).collect();
+            assert_eq!(labels.len(), 8);
+            for l in SummaryConfig::all_labels() {
+                assert!(labels.contains(l), "{l} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn size_sweeps_grow_monotonically() {
+        let data: Vec<f64> = (0..4000).map(|i| (i % 251) as f64).collect();
+        for label in SummaryConfig::all_labels() {
+            let sizes: Vec<usize> = SummaryConfig::size_sweep(label)
+                .iter()
+                .map(|cfg| {
+                    let mut s = cfg.build(3);
+                    s.accumulate_all(&data);
+                    s.size_bytes()
+                })
+                .collect();
+            for w in sizes.windows(2) {
+                assert!(w[1] >= w[0], "{label}: sweep not monotone: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert!(fmt_duration(Duration::from_micros(42)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(3)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

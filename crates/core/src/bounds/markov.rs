@@ -1,0 +1,156 @@
+//! Markov-inequality rank bounds (Section 5.1 of the paper).
+//!
+//! For a non-negative variable `y` with `k`-th moment `E[y^k]`, Markov's
+//! inequality gives `P(y >= s) <= E[y^k] / s^k` for every `k`. The paper
+//! applies this to three transforms of the sketched data:
+//!
+//! * `T+ : y = x - xmin` — upper-bounds the mass above a threshold, i.e.
+//!   lower-bounds the CDF;
+//! * `T- : y = xmax - x` — upper-bounds the CDF;
+//! * `T^l : y = ln x` (shifted by `ln xmin`) — both of the above in log
+//!   space, valuable for long-tailed data.
+
+use super::CdfBounds;
+use crate::stats::ScaledDomain;
+use crate::MomentsSketch;
+
+/// Markov bound on the CDF fraction at threshold `t`.
+pub fn markov_bound(sketch: &MomentsSketch, t: f64) -> CdfBounds {
+    if sketch.is_empty() {
+        return CdfBounds::vacuous();
+    }
+    let (a, b) = (sketch.min(), sketch.max());
+    if t <= a {
+        return CdfBounds {
+            lower: 0.0,
+            upper: 0.0,
+        };
+    }
+    if t > b {
+        return CdfBounds {
+            lower: 1.0,
+            upper: 1.0,
+        };
+    }
+    let mut bound = transform_bounds(&sketch.moments(), a, b, t);
+    if sketch.log_usable() && t > 0.0 {
+        let lb = transform_bounds(&sketch.log_moments(), a.ln(), b.ln(), t.ln());
+        bound = bound.intersect(lb);
+    }
+    bound.normalized()
+}
+
+/// Apply the two shifted Markov bounds to one moment vector on `[a, b]`.
+fn transform_bounds(raw: &[f64], a: f64, b: f64, t: f64) -> CdfBounds {
+    // Moments of (x - a) and (b - x), via binomial shifts. Using radius 1
+    // keeps the values unscaled.
+    let plus = crate::stats::shifted_moments(
+        raw,
+        &ScaledDomain {
+            center: a,
+            radius: 1.0,
+        },
+    );
+    let minus_signed = crate::stats::shifted_moments(
+        raw,
+        &ScaledDomain {
+            center: b,
+            radius: 1.0,
+        },
+    );
+    let mut lower = 0.0f64;
+    let mut upper = 1.0f64;
+    let s_plus = t - a;
+    let s_minus = b - t;
+    let mut pow_plus = 1.0;
+    let mut pow_minus = 1.0;
+    for k in 1..raw.len() {
+        pow_plus *= s_plus;
+        pow_minus *= s_minus;
+        // E[(x-a)^k] >= 0 and E[(b-x)^k] = (-1)^k E[(x-b)^k] >= 0; clamp
+        // tiny negatives from float cancellation.
+        let m_plus = plus[k].max(0.0);
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        let m_minus = (sign * minus_signed[k]).max(0.0);
+        if pow_plus > 0.0 && m_plus.is_finite() {
+            // P(x >= t) <= m_plus / (t-a)^k  ->  P(x < t) >= 1 - ratio.
+            lower = lower.max(1.0 - m_plus / pow_plus);
+        }
+        if pow_minus > 0.0 && m_minus.is_finite() {
+            // P(x <= t) <= m_minus / (b-t)^k.
+            upper = upper.min(m_minus / pow_minus);
+        }
+    }
+    CdfBounds { lower, upper }.normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_sketch(k: usize) -> (MomentsSketch, Vec<f64>) {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64 / 9999.0).collect();
+        (MomentsSketch::from_data(k, &data), data)
+    }
+
+    #[test]
+    fn bounds_contain_true_cdf() {
+        let (s, data) = uniform_sketch(10);
+        let n = data.len() as f64;
+        for &t in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let truth = data.iter().filter(|&&x| x < t).count() as f64 / n;
+            let b = markov_bound(&s, t);
+            assert!(b.lower <= truth + 1e-9, "t={t}: lower {} > {truth}", b.lower);
+            assert!(b.upper >= truth - 1e-9, "t={t}: upper {} < {truth}", b.upper);
+        }
+    }
+
+    #[test]
+    fn bounds_are_informative_at_extremes() {
+        let (s, _) = uniform_sketch(10);
+        // Near the max, the T- transform certifies high CDF.
+        let b = markov_bound(&s, 0.99);
+        assert!(b.lower > 0.5, "lower = {}", b.lower);
+        // Near the min, the T+ transform certifies low CDF.
+        let b = markov_bound(&s, 0.01);
+        assert!(b.upper < 0.5, "upper = {}", b.upper);
+    }
+
+    #[test]
+    fn outside_range_is_exact() {
+        let (s, _) = uniform_sketch(6);
+        let b = markov_bound(&s, -1.0);
+        assert_eq!((b.lower, b.upper), (0.0, 0.0));
+        let b = markov_bound(&s, 2.0);
+        assert_eq!((b.lower, b.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn log_moments_tighten_long_tail() {
+        // Long-tailed data: log-space Markov should beat standard-space
+        // for thresholds in the tail.
+        let data: Vec<f64> = (1..20_000).map(|i| (i as f64 / 2000.0).exp()).collect();
+        let with_log = MomentsSketch::from_data(10, &data);
+        // Destroy log moments by adding a non-positive point.
+        let mut no_log = MomentsSketch::from_data(10, &data);
+        no_log.accumulate(0.0);
+        let t = 100.0;
+        let b_log = markov_bound(&with_log, t);
+        let b_std = markov_bound(&no_log, t);
+        assert!(b_log.width() <= b_std.width() + 1e-9);
+    }
+
+    #[test]
+    fn more_moments_never_hurt() {
+        let (s4, data) = {
+            let data: Vec<f64> = (0..5000).map(|i| (i as f64 / 100.0).sin() + 2.0).collect();
+            (MomentsSketch::from_data(4, &data), data)
+        };
+        let s12 = MomentsSketch::from_data(12, &data);
+        for &t in &[1.5, 2.0, 2.5] {
+            let b4 = markov_bound(&s4, t);
+            let b12 = markov_bound(&s12, t);
+            assert!(b12.width() <= b4.width() + 1e-9, "t={t}");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Moment-based rank/CDF bounds (Section 5.1 of the paper).
+//!
+//! Any distribution matching the moments in a sketch must satisfy certain
+//! sharp inequalities; these give worst-case guarantees on quantile
+//! estimates and power the threshold-query cascade:
+//!
+//! * [`markov`] — Markov's inequality applied to the shifted datasets
+//!   `x - xmin`, `xmax - x`, and `ln x` (cheap, loose);
+//! * [`rtt`] — the Racz–Tari–Telek bound via principal representations of
+//!   the truncated moment problem (more expensive, sharp).
+
+pub mod markov;
+pub mod rtt;
+
+pub use markov::markov_bound;
+pub use rtt::rtt_bound;
+
+use crate::MomentsSketch;
+
+/// Two-sided bound on the CDF fraction `P(X < t)` of the sketched data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfBounds {
+    /// Certified lower bound on `P(X < t)`.
+    pub lower: f64,
+    /// Certified upper bound on `P(X <= t)`.
+    pub upper: f64,
+}
+
+impl CdfBounds {
+    /// The vacuous bound `\[0, 1\]`.
+    pub fn vacuous() -> Self {
+        CdfBounds {
+            lower: 0.0,
+            upper: 1.0,
+        }
+    }
+
+    /// Intersect with another bound (both must hold).
+    pub fn intersect(self, other: CdfBounds) -> CdfBounds {
+        CdfBounds {
+            lower: self.lower.max(other.lower),
+            upper: self.upper.min(other.upper),
+        }
+    }
+
+    /// Width of the bound interval.
+    pub fn width(self) -> f64 {
+        (self.upper - self.lower).max(0.0)
+    }
+
+    /// Clamp into `\[0, 1\]` and repair tiny inversions from roundoff.
+    pub fn normalized(self) -> CdfBounds {
+        let lower = self.lower.clamp(0.0, 1.0);
+        let upper = self.upper.clamp(0.0, 1.0).max(lower);
+        CdfBounds { lower, upper }
+    }
+}
+
+/// Tightest available bound: Markov intersected with RTT.
+///
+/// # Examples
+///
+/// ```
+/// use moments_sketch::MomentsSketch;
+/// use moments_sketch::bounds::combined_bound;
+/// let data: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+/// let sketch = MomentsSketch::from_data(10, &data);
+/// let b = combined_bound(&sketch, 0.5);
+/// // The true CDF at 0.5 is ~0.5 and must lie inside the bound.
+/// assert!(b.lower <= 0.5 && 0.5 <= b.upper);
+/// ```
+pub fn combined_bound(sketch: &MomentsSketch, t: f64) -> CdfBounds {
+    markov_bound(sketch, t).intersect(rtt_bound(sketch, t))
+}
+
+/// Certified worst-case quantile error for an estimate `q_est` of the
+/// `phi`-quantile: the largest `|F(q_est) - phi|` over all distributions
+/// matching the sketch's moments (used to reproduce Figure 23).
+pub fn quantile_error_bound(sketch: &MomentsSketch, q_est: f64, phi: f64) -> f64 {
+    let b = combined_bound(sketch, q_est).normalized();
+    (phi - b.lower).abs().max((b.upper - phi).abs())
+}
+
+/// A certified enclosure for a quantile: every dataset matching the
+/// sketch's moments has its `phi`-quantile inside `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileInterval {
+    /// Certified lower bound on the quantile value.
+    pub lo: f64,
+    /// Certified upper bound on the quantile value.
+    pub hi: f64,
+}
+
+impl QuantileInterval {
+    /// Interval width in value units.
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo).max(0.0)
+    }
+}
+
+/// Certified value interval for the `phi`-quantile, by bisecting the
+/// threshold axis against the combined Markov/RTT CDF bounds.
+///
+/// Any `t` with `upper(t) < phi` certifies `q_phi > t` (so `t` is a valid
+/// lower bound), and any `t` with `lower(t) >= phi` certifies
+/// `q_phi <= t`. This turns the paper's rank bounds into an *inverse*
+/// bound usable directly by applications that need guarantees rather
+/// than estimates.
+pub fn quantile_interval(sketch: &MomentsSketch, phi: f64, iters: usize) -> QuantileInterval {
+    let (mut lo_lo, mut lo_hi) = (sketch.min(), sketch.max());
+    // Largest t whose CDF upper bound stays below phi.
+    for _ in 0..iters {
+        let mid = 0.5 * (lo_lo + lo_hi);
+        if combined_bound(sketch, mid).upper < phi {
+            lo_lo = mid;
+        } else {
+            lo_hi = mid;
+        }
+    }
+    let (mut hi_lo, mut hi_hi) = (sketch.min(), sketch.max());
+    // Smallest t whose CDF lower bound reaches phi.
+    for _ in 0..iters {
+        let mid = 0.5 * (hi_lo + hi_hi);
+        if combined_bound(sketch, mid).lower >= phi {
+            hi_hi = mid;
+        } else {
+            hi_lo = mid;
+        }
+    }
+    QuantileInterval {
+        lo: lo_lo,
+        hi: hi_hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_intersect_and_width() {
+        let a = CdfBounds {
+            lower: 0.2,
+            upper: 0.9,
+        };
+        let b = CdfBounds {
+            lower: 0.4,
+            upper: 0.8,
+        };
+        let c = a.intersect(b);
+        assert_eq!(c.lower, 0.4);
+        assert_eq!(c.upper, 0.8);
+        assert!((c.width() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_interval_contains_truth_and_estimate() {
+        let data: Vec<f64> = (1..=20_000).map(|i| (i as f64).sqrt()).collect();
+        let sketch = MomentsSketch::from_data(10, &data);
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &phi in &[0.1, 0.5, 0.9, 0.99] {
+            let iv = quantile_interval(&sketch, phi, 60);
+            let truth = sorted[(phi * sorted.len() as f64) as usize];
+            assert!(
+                iv.lo <= truth && truth <= iv.hi,
+                "phi={phi}: [{}, {}] vs {truth}",
+                iv.lo,
+                iv.hi
+            );
+            let est = sketch.quantile(phi).unwrap();
+            assert!(
+                iv.lo <= est + 1e-9 && est <= iv.hi + 1e-9,
+                "phi={phi}: estimate {est} outside [{}, {}]",
+                iv.lo,
+                iv.hi
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_interval_narrows_with_more_moments() {
+        let data: Vec<f64> = (1..10_000)
+            .map(|i| -(1.0 - i as f64 / 10_000.0f64).ln())
+            .collect();
+        let wide = quantile_interval(&MomentsSketch::from_data(4, &data), 0.5, 50);
+        let tight = quantile_interval(&MomentsSketch::from_data(12, &data), 0.5, 50);
+        assert!(tight.width() <= wide.width() + 1e-9);
+    }
+
+    #[test]
+    fn error_bound_decreases_with_more_moments() {
+        let data: Vec<f64> = (1..=4000).map(|i| (i as f64).sqrt()).collect();
+        let s4 = MomentsSketch::from_data(4, &data);
+        let s10 = MomentsSketch::from_data(10, &data);
+        let q = 40.0; // around the 40th percentile of sqrt(1..4000)
+        let e4 = quantile_error_bound(&s4, q, 0.4);
+        let e10 = quantile_error_bound(&s10, q, 0.4);
+        assert!(e10 <= e4 + 1e-9, "e10 {e10} vs e4 {e4}");
+    }
+}

@@ -1,0 +1,245 @@
+//! The Racz–Tari–Telek (RTT) moment-based distribution bound
+//! (Section 5.1 of the paper; Racz, Tari & Telek, *A moments based
+//! distribution bounding method*, 2006).
+//!
+//! Given moments `μ_0..μ_{2n}` of a distribution, the sharp extremal
+//! values of `P(X < C)` / `P(X <= C)` over *all* matching distributions
+//! are attained by the *principal representation* with an atom at `C`: a
+//! discrete distribution supported on `C` plus `n` other points that
+//! matches all the moments (Markov–Krein theory). The bound is then
+//!
+//! ```text
+//! P(X < C)  >=  Σ_{x_i < C} p_i          (mass strictly below C)
+//! P(X <= C) <=  Σ_{x_i < C} p_i + p_C    (adding the atom at C)
+//! ```
+//!
+//! Construction: with the modified functional `L_w[x^j] = μ_{j+1} - C μ_j`
+//! (i.e. weight `w(x) = x - C`), the non-atom support points are the roots
+//! of the monic degree-`n` polynomial `q` orthogonal to all lower degrees
+//! under `L_w`; the weights follow from a Vandermonde solve against the
+//! raw moments. These polynomials are real-rooted, so the derivative-
+//! interlacing root finder from the numerics crate applies.
+//!
+//! The procedure does not mix standard and log moments, so — as in the
+//! paper — we run it once on each set and intersect the bounds.
+
+use super::CdfBounds;
+use crate::stats::{shifted_moments, ScaledDomain};
+use crate::MomentsSketch;
+use numerics::linalg::Matrix;
+use numerics::roots::real_roots_in;
+
+/// RTT bound on the CDF fraction at threshold `t`, combining the standard
+/// and log moment sets.
+pub fn rtt_bound(sketch: &MomentsSketch, t: f64) -> CdfBounds {
+    if sketch.is_empty() {
+        return CdfBounds::vacuous();
+    }
+    let (a, b) = (sketch.min(), sketch.max());
+    if t <= a {
+        return CdfBounds {
+            lower: 0.0,
+            upper: 0.0,
+        };
+    }
+    if t > b {
+        return CdfBounds {
+            lower: 1.0,
+            upper: 1.0,
+        };
+    }
+    let mut bound = domain_bound(&sketch.moments(), a, b, t);
+    if sketch.log_usable() && t > 0.0 {
+        bound = bound.intersect(domain_bound(&sketch.log_moments(), a.ln(), b.ln(), t.ln()));
+    }
+    bound.normalized()
+}
+
+/// RTT bound from one moment vector over `[a, b]`, computed in the scaled
+/// domain `[-1, 1]` for numerical stability.
+fn domain_bound(raw: &[f64], a: f64, b: f64, t: f64) -> CdfBounds {
+    let dom = ScaledDomain::from_range(a, b);
+    if dom.degenerate() {
+        return CdfBounds::vacuous();
+    }
+    let k_cap = crate::stats::max_stable_k(dom.offset()).min(raw.len() - 1);
+    let m = shifted_moments(&raw[..=k_cap], &dom);
+    let c = dom.scale(t);
+    // Try the largest usable representation first, shrinking on numerical
+    // failure (near-singular Hankel systems or negative weights).
+    let n_max = k_cap / 2;
+    for n in (1..=n_max).rev() {
+        if let Some(bound) = principal_bound(&m, c, n) {
+            return bound;
+        }
+    }
+    CdfBounds::vacuous()
+}
+
+/// Principal-representation bound with `n` non-atom support points, using
+/// moments `m_0..m_{2n}`. Returns `None` on numerical failure.
+fn principal_bound(m: &[f64], c: f64, n: usize) -> Option<CdfBounds> {
+    debug_assert!(m.len() > 2 * n);
+    // Modified moments under w(x) = x - c: L_w[x^j] = m_{j+1} - c m_j.
+    let lw = |j: usize| m[j + 1] - c * m[j];
+    // Solve for the monic orthogonal polynomial q = x^n + Σ a_i x^i with
+    // L_w[x^j q] = 0 for j = 0..n-1.
+    let coeffs = if n == 0 {
+        vec![1.0]
+    } else {
+        let mut h = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        for j in 0..n {
+            for i in 0..n {
+                h[(j, i)] = lw(i + j);
+            }
+            rhs[j] = -lw(n + j);
+        }
+        let a = h.solve(&rhs).ok()?;
+        let mut coeffs = a;
+        coeffs.push(1.0);
+        coeffs
+    };
+    // Support points: roots of q, which must be real and lie in (or very
+    // near) the scaled support.
+    let margin = 1e-9;
+    let roots = real_roots_in(&coeffs, -1.0 - margin, 1.0 + margin);
+    if roots.len() != n {
+        return None;
+    }
+    // Assemble support = {c} ∪ roots; if a root collides with c the
+    // representation degenerates — treat the pair as one point.
+    let mut support = vec![c];
+    for &r in &roots {
+        if (r - c).abs() > 1e-9 {
+            support.push(r);
+        }
+    }
+    let s = support.len();
+    // Weights from the Vandermonde system V p = m[0..s].
+    let mut v = Matrix::zeros(s, s);
+    for j in 0..s {
+        for (i, &x) in support.iter().enumerate() {
+            v[(j, i)] = x.powi(j as i32);
+        }
+    }
+    let p = v.solve(&m[..s]).ok()?;
+    // Validity: weights must be (numerically) non-negative.
+    if p.iter().any(|&w| w < -1e-7 || !w.is_finite()) {
+        return None;
+    }
+    let total: f64 = p.iter().map(|&w| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut below = 0.0;
+    let mut at = 0.0;
+    for (&x, &w) in support.iter().zip(&p) {
+        let w = w.max(0.0) / total;
+        if x < c - 1e-12 {
+            below += w;
+        } else if (x - c).abs() <= 1e-12 {
+            at += w;
+        }
+    }
+    Some(
+        CdfBounds {
+            lower: below,
+            upper: below + at,
+        }
+        .normalized(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::markov_bound;
+
+    fn sketch_of(data: &[f64], k: usize) -> MomentsSketch {
+        MomentsSketch::from_data(k, data)
+    }
+
+    #[test]
+    fn bounds_contain_true_cdf_uniform() {
+        let data: Vec<f64> = (0..20_000).map(|i| i as f64 / 19_999.0).collect();
+        let s = sketch_of(&data, 10);
+        let n = data.len() as f64;
+        for &t in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let truth = data.iter().filter(|&&x| x < t).count() as f64 / n;
+            let b = rtt_bound(&s, t);
+            assert!(
+                b.lower <= truth + 1e-6 && truth <= b.upper + 1e-6,
+                "t={t}: [{}, {}] vs {truth}",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_contain_true_cdf_exponential() {
+        let data: Vec<f64> = (1..30_000)
+            .map(|i| -(1.0 - i as f64 / 30_000.0f64).ln())
+            .collect();
+        let s = sketch_of(&data, 10);
+        let n = data.len() as f64;
+        for &t in &[0.2, 0.5, 1.0, 2.0, 4.0] {
+            let truth = data.iter().filter(|&&x| x < t).count() as f64 / n;
+            let b = rtt_bound(&s, t);
+            assert!(
+                b.lower <= truth + 1e-6 && truth <= b.upper + 1e-6,
+                "t={t}: [{}, {}] vs {truth}",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn rtt_tighter_than_markov() {
+        // The paper's cascade relies on RTT being sharper than Markov.
+        let data: Vec<f64> = (0..20_000).map(|i| (i as f64 / 19_999.0).powi(2)).collect();
+        let s = sketch_of(&data, 10);
+        let mut rtt_total = 0.0;
+        let mut markov_total = 0.0;
+        for &t in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            rtt_total += rtt_bound(&s, t).width();
+            markov_total += markov_bound(&s, t).width();
+        }
+        assert!(
+            rtt_total < markov_total,
+            "rtt {rtt_total} vs markov {markov_total}"
+        );
+    }
+
+    #[test]
+    fn bound_width_shrinks_with_more_moments() {
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64 / 9_999.0 * 3.0).sin().abs())
+            .collect();
+        let s4 = sketch_of(&data, 4);
+        let s12 = sketch_of(&data, 12);
+        let t = 0.5;
+        assert!(rtt_bound(&s12, t).width() <= rtt_bound(&s4, t).width() + 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_thresholds() {
+        let s = sketch_of(&[1.0, 2.0, 3.0], 6);
+        assert_eq!(rtt_bound(&s, 0.5).upper, 0.0);
+        assert_eq!(rtt_bound(&s, 3.5).lower, 1.0);
+    }
+
+    #[test]
+    fn two_point_data_is_pinned() {
+        // With data {0, 1} at equal mass, P(X < 0.5) is exactly 0.5; the
+        // bound should be tight around it.
+        let mut data = vec![0.0; 500];
+        data.extend(vec![1.0; 500]);
+        let s = sketch_of(&data, 8);
+        let b = rtt_bound(&s, 0.5);
+        assert!((b.lower - 0.5).abs() < 1e-6, "lower {}", b.lower);
+        assert!((b.upper - 0.5).abs() < 1e-6, "upper {}", b.upper);
+    }
+}

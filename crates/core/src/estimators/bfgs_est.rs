@@ -1,0 +1,159 @@
+//! The `bfgs` lesion estimator: first-order L-BFGS on the continuous
+//! maximum-entropy objective.
+//!
+//! Uses the same Chebyshev-approximation machinery as the optimized solver
+//! to evaluate values and gradients, but no Hessian — per Section 4.3 of
+//! the paper, the Hessian is nearly free once the gradient integrations
+//! are done, so the second-order method needs far fewer (comparably
+//! priced) iterations and wins overall. This estimator quantifies that
+//! gap.
+
+use super::{QuantileEstimator};
+use crate::estimators::naive_newton::forced_basis;
+use crate::solver::basis::PrimaryDomain;
+use crate::solver::maxent::MaxEntObjective;
+use crate::{Error, MomentsSketch, Result};
+use numerics::chebyshev;
+use numerics::lbfgs::{lbfgs_minimize, GradObjective, LbfgsOptions};
+use numerics::roots::{brent, BrentOptions};
+
+/// L-BFGS on the continuous max-ent objective.
+#[derive(Debug, Clone, Copy)]
+pub struct BfgsEstimator {
+    /// Standard moments to use.
+    pub k1: usize,
+    /// Log moments to use.
+    pub k2: usize,
+}
+
+impl Default for BfgsEstimator {
+    fn default() -> Self {
+        BfgsEstimator { k1: 10, k2: 0 }
+    }
+}
+
+struct FirstOrder {
+    inner: MaxEntObjective,
+}
+
+impl GradObjective for FirstOrder {
+    fn dim(&self) -> usize {
+        numerics::optimize::NewtonObjective::dim(&self.inner)
+    }
+    fn eval(&mut self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        self.inner.eval_value_grad(theta, grad)
+    }
+}
+
+impl QuantileEstimator for BfgsEstimator {
+    fn name(&self) -> &'static str {
+        "bfgs"
+    }
+
+    fn estimate(&self, sketch: &MomentsSketch, phis: &[f64]) -> Result<Vec<f64>> {
+        if sketch.is_empty() {
+            return Err(Error::EmptySketch);
+        }
+        if sketch.min() >= sketch.max() {
+            return Ok(vec![sketch.min(); phis.len()]);
+        }
+        let basis = forced_basis(sketch, self.k1, self.k2)?;
+        let n_nodes = if basis.k1 > 0 && basis.k2 > 0 { 128 } else { 64 };
+        let mut obj = FirstOrder {
+            inner: MaxEntObjective::new(&basis, n_nodes),
+        };
+        let mut theta0 = vec![0.0; basis.dim()];
+        theta0[0] = (0.5f64).ln();
+        let res = lbfgs_minimize(
+            &mut obj,
+            &theta0,
+            LbfgsOptions {
+                // L-BFGS struggles to polish the last digit on stiff
+                // log-basis problems; 1e-7 moment residuals are far below
+                // quantile-level significance.
+                grad_tol: 1e-7,
+                max_iter: 2000,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| Error::SolverFailed {
+            reason: format!("bfgs: {e}"),
+        })?;
+        // CDF inversion exactly as in the optimized solver.
+        let node_f = obj.inner.density_at_nodes(&res.theta);
+        let pdf = chebyshev::interpolate_values(&node_f);
+        let cdf = crate::solver::monotone_cdf_samples(&pdf, 1024);
+        let norm = *cdf.last().unwrap();
+        if !(norm.is_finite() && norm > 0.0) {
+            return Err(Error::SolverFailed {
+                reason: "bfgs produced non-normalizable density".into(),
+            });
+        }
+        phis.iter()
+            .map(|&phi| {
+                if !(phi > 0.0 && phi < 1.0) {
+                    return Err(Error::InvalidQuantile(phi));
+                }
+                let u = brent(
+                    |u| crate::solver::sample_cdf(&cdf, u) - phi * norm,
+                    -1.0,
+                    1.0,
+                    BrentOptions::default(),
+                )
+                .map_err(|e| Error::SolverFailed {
+                    reason: format!("bfgs CDF inversion: {e}"),
+                })?;
+                let x = match basis.primary {
+                    PrimaryDomain::Standard => basis.std_dom.unscale(u),
+                    PrimaryDomain::Log => basis.log_dom.as_ref().unwrap().unscale(u).exp(),
+                };
+                Ok(x.clamp(sketch.min(), sketch.max()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::test_support::*;
+    use crate::estimators::OptEstimator;
+    use crate::SolverConfig;
+
+    #[test]
+    fn agrees_with_newton_solution() {
+        let data = normal_grid(20_000);
+        let s = MomentsSketch::from_data(10, &data);
+        let ps = phis21();
+        let bfgs = BfgsEstimator { k1: 10, k2: 0 }.estimate(&s, &ps).unwrap();
+        let opt = OptEstimator {
+            config: SolverConfig {
+                k1: Some(10),
+                k2: Some(0),
+                ..Default::default()
+            },
+        }
+        .estimate(&s, &ps)
+        .unwrap();
+        for (a, b) in bfgs.iter().zip(&opt) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn log_configuration_on_heavy_tail() {
+        let data = lognormal_grid(20_000, 1.5);
+        let s = MomentsSketch::from_data(10, &data);
+        let ps = phis21();
+        let qs = BfgsEstimator { k1: 0, k2: 10 }.estimate(&s, &ps).unwrap();
+        let err = avg_error(&data, &qs, &ps);
+        assert!(err < 0.01, "err {err}");
+    }
+
+    #[test]
+    fn point_mass_short_circuits() {
+        let s = MomentsSketch::from_data(4, &[7.0, 7.0, 7.0]);
+        let qs = BfgsEstimator::default().estimate(&s, &[0.9]).unwrap();
+        assert_eq!(qs[0], 7.0);
+    }
+}

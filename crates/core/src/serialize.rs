@@ -1,0 +1,166 @@
+//! Compact binary encoding of a moments sketch.
+//!
+//! The wire format mirrors the in-memory layout: a 4-byte header
+//! (magic, version, order `k`) followed by `min`, `max`, the `k + 1`
+//! power sums, and the `k + 1` log power sums as little-endian `f64`s.
+//! A `k = 10` sketch serializes to 218 bytes.
+//!
+//! [`MomentsSketch`] also derives nothing from `serde` directly; use
+//! [`to_bytes`] / [`from_bytes`] for storage, or the mirror struct
+//! [`SketchRepr`] for serde-based pipelines.
+
+use crate::{Error, MomentsSketch, Result};
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+const MAGIC: u8 = 0x4D; // 'M'
+const VERSION: u8 = 1;
+
+/// Serialize a sketch to its compact binary representation.
+///
+/// # Examples
+///
+/// ```
+/// use moments_sketch::MomentsSketch;
+/// use moments_sketch::serialize::{to_bytes, from_bytes};
+/// let sketch = MomentsSketch::from_data(10, &[1.0, 2.0, 3.0]);
+/// let restored = from_bytes(&to_bytes(&sketch)).unwrap();
+/// assert_eq!(sketch, restored);
+/// ```
+pub fn to_bytes(sketch: &MomentsSketch) -> Vec<u8> {
+    let k = sketch.k();
+    let mut buf = Vec::with_capacity(4 + 16 + 16 * (k + 1));
+    buf.put_u8(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u16_le(k as u16);
+    buf.put_f64_le(sketch.min());
+    buf.put_f64_le(sketch.max());
+    for &v in sketch.power_sums() {
+        buf.put_f64_le(v);
+    }
+    for &v in sketch.log_sums() {
+        buf.put_f64_le(v);
+    }
+    buf
+}
+
+/// Deserialize a sketch from the binary representation.
+pub fn from_bytes(mut buf: &[u8]) -> Result<MomentsSketch> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corrupt("truncated header"));
+    }
+    if buf.get_u8() != MAGIC {
+        return Err(Error::Corrupt("bad magic byte"));
+    }
+    if buf.get_u8() != VERSION {
+        return Err(Error::Corrupt("unsupported version"));
+    }
+    let k = buf.get_u16_le() as usize;
+    if k == 0 {
+        return Err(Error::Corrupt("order must be at least 1"));
+    }
+    let need = 16 + 16 * (k + 1);
+    if buf.remaining() < need {
+        return Err(Error::Corrupt("truncated body"));
+    }
+    let min = buf.get_f64_le();
+    let max = buf.get_f64_le();
+    let mut power_sums = Vec::with_capacity(k + 1);
+    for _ in 0..=k {
+        power_sums.push(buf.get_f64_le());
+    }
+    let mut log_sums = Vec::with_capacity(k + 1);
+    for _ in 0..=k {
+        log_sums.push(buf.get_f64_le());
+    }
+    MomentsSketch::from_parts(min, max, power_sums, log_sums)
+}
+
+/// Serde-friendly mirror of a sketch's state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SketchRepr {
+    /// Minimum accumulated value.
+    pub min: f64,
+    /// Maximum accumulated value.
+    pub max: f64,
+    /// `[n, Σx, Σx², ...]`.
+    pub power_sums: Vec<f64>,
+    /// `[n⁺, Σ ln x, Σ ln² x, ...]`.
+    pub log_sums: Vec<f64>,
+}
+
+impl From<&MomentsSketch> for SketchRepr {
+    fn from(s: &MomentsSketch) -> Self {
+        SketchRepr {
+            min: s.min(),
+            max: s.max(),
+            power_sums: s.power_sums().to_vec(),
+            log_sums: s.log_sums().to_vec(),
+        }
+    }
+}
+
+impl TryFrom<SketchRepr> for MomentsSketch {
+    type Error = Error;
+    fn try_from(r: SketchRepr) -> Result<MomentsSketch> {
+        MomentsSketch::from_parts(r.min, r.max, r.power_sums, r.log_sums)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_state() {
+        let s = MomentsSketch::from_data(10, &[1.0, 2.5, 3.75, 10.0, 0.5]);
+        let bytes = to_bytes(&s);
+        assert_eq!(bytes.len(), 4 + 16 + 16 * 11);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_sketch() {
+        let s = MomentsSketch::new(4);
+        let back = from_bytes(&to_bytes(&s)).unwrap();
+        assert_eq!(s, back);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        let s = MomentsSketch::from_data(4, &[1.0, 2.0]);
+        let mut bytes = to_bytes(&s);
+        assert!(matches!(from_bytes(&[]), Err(Error::Corrupt(_))));
+        assert!(matches!(from_bytes(&bytes[..10]), Err(Error::Corrupt(_))));
+        bytes[0] = 0xFF;
+        assert!(matches!(from_bytes(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let s = MomentsSketch::from_data(2, &[1.0]);
+        let mut bytes = to_bytes(&s);
+        bytes[1] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn serde_repr_roundtrip() {
+        let s = MomentsSketch::from_data(6, &[0.1, 0.2, 0.9]);
+        let repr = SketchRepr::from(&s);
+        let back = MomentsSketch::try_from(repr).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn merged_after_roundtrip_still_estimates() {
+        let a = MomentsSketch::from_data(8, &(1..=500).map(f64::from).collect::<Vec<_>>());
+        let b = MomentsSketch::from_data(8, &(501..=1000).map(f64::from).collect::<Vec<_>>());
+        let mut a2 = from_bytes(&to_bytes(&a)).unwrap();
+        a2.merge(&from_bytes(&to_bytes(&b)).unwrap());
+        let q = a2.quantile(0.5).unwrap();
+        assert!((q - 500.0).abs() < 25.0, "median {q}");
+    }
+}

@@ -1,0 +1,427 @@
+//! The moments sketch data structure (Algorithm 1 of the paper).
+//!
+//! The sketch is an array of floating point values: `min`, `max`, the count
+//! `n`, the unscaled power sums `Σ x^i`, and the unscaled log power sums
+//! `Σ ln^i x` for `i ∈ {1, ..., k}` (Figure 2). Following the paper's
+//! implementation note, we accumulate the unscaled sums rather than the
+//! normalized moments so that merging is pure addition.
+//!
+//! Log-moments are only meaningful when every value is positive; following
+//! the paper we skip non-positive points when accumulating log sums and
+//! ignore log-moments entirely at estimation time if `min <= 0`.
+
+use crate::{Error, Result};
+
+/// Mergeable quantile summary tracking min, max, count, and the first `k`
+/// power sums and log power sums.
+///
+/// Size is `(3 + 2k) * 8` bytes of floating point state — 184 bytes at the
+/// paper's default `k = 10`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentsSketch {
+    min: f64,
+    max: f64,
+    /// `power_sums[i] = Σ x^i`; `power_sums\[0\] = n`.
+    power_sums: Vec<f64>,
+    /// `log_sums[i] = Σ (ln x)^i` over positive `x`; `log_sums\[0\]` counts
+    /// the positive points.
+    log_sums: Vec<f64>,
+}
+
+impl MomentsSketch {
+    /// Create an empty sketch of order `k >= 1` (the highest tracked
+    /// moment power).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "sketch order must be at least 1");
+        MomentsSketch {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            power_sums: vec![0.0; k + 1],
+            log_sums: vec![0.0; k + 1],
+        }
+    }
+
+    /// Build a sketch of order `k` over a slice of values.
+    pub fn from_data(k: usize, data: &[f64]) -> Self {
+        let mut s = MomentsSketch::new(k);
+        s.accumulate_all(data);
+        s
+    }
+
+    /// Rebuild a sketch from raw parts (used by deserialization and the
+    /// low-precision codec).
+    pub(crate) fn from_parts(
+        min: f64,
+        max: f64,
+        power_sums: Vec<f64>,
+        log_sums: Vec<f64>,
+    ) -> Result<Self> {
+        if power_sums.is_empty() || power_sums.len() != log_sums.len() {
+            return Err(Error::Corrupt("power/log sum length mismatch"));
+        }
+        Ok(MomentsSketch {
+            min,
+            max,
+            power_sums,
+            log_sums,
+        })
+    }
+
+    /// The sketch order `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.power_sums.len() - 1
+    }
+
+    /// Number of accumulated points.
+    #[inline]
+    pub fn count(&self) -> f64 {
+        self.power_sums[0]
+    }
+
+    /// True when no points have been accumulated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.power_sums[0] <= 0.0
+    }
+
+    /// Minimum accumulated value (`+inf` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum accumulated value (`-inf` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Unscaled power sums `[n, Σx, Σx², ...]`.
+    #[inline]
+    pub fn power_sums(&self) -> &[f64] {
+        &self.power_sums
+    }
+
+    /// Unscaled log power sums `[n_pos, Σ ln x, Σ ln² x, ...]`.
+    #[inline]
+    pub fn log_sums(&self) -> &[f64] {
+        &self.log_sums
+    }
+
+    /// True when log-moments are usable for estimation: all points are
+    /// strictly positive (paper Section 4.1).
+    #[inline]
+    pub fn log_usable(&self) -> bool {
+        !self.is_empty() && self.min > 0.0 && self.log_sums[0] == self.power_sums[0]
+    }
+
+    /// Normalized standard moments `μ_i = (1/n) Σ x^i`, with `μ_0 = 1`.
+    pub fn moments(&self) -> Vec<f64> {
+        let n = self.count();
+        self.power_sums.iter().map(|&s| s / n).collect()
+    }
+
+    /// Normalized log moments `ν_i = (1/n⁺) Σ ln^i x` over positive points.
+    pub fn log_moments(&self) -> Vec<f64> {
+        let n = self.log_sums[0];
+        if n <= 0.0 {
+            return vec![0.0; self.log_sums.len()];
+        }
+        self.log_sums.iter().map(|&s| s / n).collect()
+    }
+
+    /// Mean of the accumulated data.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.power_sums[1] / self.count()
+    }
+
+    /// Variance of the accumulated data (population variance).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        let n = self.count();
+        let mean = self.power_sums[1] / n;
+        (self.power_sums[2] / n - mean * mean).max(0.0)
+    }
+
+    /// Accumulate a single point (pointwise update of Algorithm 1).
+    #[inline]
+    pub fn accumulate(&mut self, x: f64) {
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let mut pw = 1.0;
+        for slot in self.power_sums.iter_mut() {
+            *slot += pw;
+            pw *= x;
+        }
+        if x > 0.0 {
+            let lx = x.ln();
+            let mut pw = 1.0;
+            for slot in self.log_sums.iter_mut() {
+                *slot += pw;
+                pw *= lx;
+            }
+        }
+    }
+
+    /// Accumulate a slice of points.
+    pub fn accumulate_all(&mut self, data: &[f64]) {
+        for &x in data {
+            self.accumulate(x);
+        }
+    }
+
+    /// Merge another sketch into this one (Algorithm 1).
+    ///
+    /// Merging is lossless: a sketch built by merging partitions equals
+    /// (up to float roundoff) one built by pointwise accumulation over
+    /// the union.
+    ///
+    /// Sketches of different orders merge at the *lower* order — the
+    /// higher moments have no counterpart and are discarded (this sketch
+    /// is truncated if it is the higher-order one). Same-order merging is
+    /// a handful of float additions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use moments_sketch::MomentsSketch;
+    /// let mut a = MomentsSketch::from_data(10, &[1.0, 2.0]);
+    /// a.merge(&MomentsSketch::from_data(10, &[3.0]));
+    /// assert_eq!(a.count(), 3.0);
+    /// assert_eq!(a.max(), 3.0);
+    /// ```
+    #[inline]
+    pub fn merge(&mut self, other: &MomentsSketch) {
+        if self.k() != other.k() {
+            self.merge_truncating(other);
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.power_sums.iter_mut().zip(&other.power_sums) {
+            *a += b;
+        }
+        for (a, b) in self.log_sums.iter_mut().zip(&other.log_sums) {
+            *a += b;
+        }
+    }
+
+    /// Cold path of [`Self::merge`] for mismatched orders.
+    #[cold]
+    fn merge_truncating(&mut self, other: &MomentsSketch) {
+        let k = self.k().min(other.k());
+        self.power_sums.truncate(k + 1);
+        self.log_sums.truncate(k + 1);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.power_sums.iter_mut().zip(&other.power_sums) {
+            *a += b;
+        }
+        for (a, b) in self.log_sums.iter_mut().zip(&other.log_sums) {
+            *a += b;
+        }
+    }
+
+    /// Remove a previously merged sketch (turnstile semantics, used by the
+    /// sliding-window workload of Section 7.2.2).
+    ///
+    /// Power sums subtract exactly, but `min`/`max` cannot shrink — they
+    /// remain conservative bounds on the window contents, which keeps all
+    /// estimates valid (quantiles are clamped to `[min, max]`). As with
+    /// [`Self::merge`], mismatched orders operate at the lower order.
+    #[inline]
+    pub fn sub(&mut self, other: &MomentsSketch) {
+        if self.k() > other.k() {
+            self.power_sums.truncate(other.k() + 1);
+            self.log_sums.truncate(other.k() + 1);
+        }
+        for (a, b) in self.power_sums.iter_mut().zip(&other.power_sums) {
+            *a -= b;
+        }
+        for (a, b) in self.log_sums.iter_mut().zip(&other.log_sums) {
+            *a -= b;
+        }
+        // Guard against tiny negative counts from float cancellation.
+        if self.power_sums[0] < 0.5 {
+            self.power_sums[0] = self.power_sums[0].max(0.0);
+        }
+        if self.log_sums[0] < 0.5 {
+            self.log_sums[0] = self.log_sums[0].max(0.0);
+        }
+    }
+
+    /// Merge-of-two convenience, returning a new sketch.
+    pub fn merged(&self, other: &MomentsSketch) -> MomentsSketch {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// In-memory size of the floating point state in bytes:
+    /// `(3 + 2k) * 8` (min, max, count, k moments, k log moments), the
+    /// quantity the paper reports as the sketch footprint.
+    pub fn size_bytes(&self) -> usize {
+        (3 + 2 * self.k()) * std::mem::size_of::<f64>()
+    }
+
+    /// Estimate quantiles by solving the maximum entropy problem
+    /// (Section 4.2). Convenience wrapper over [`crate::solver`].
+    pub fn solve(&self, config: &crate::solver::SolverConfig) -> Result<crate::MaxEntSolution> {
+        crate::solver::solve(self, config)
+    }
+
+    /// Estimate a single quantile with the default solver configuration.
+    pub fn quantile(&self, phi: f64) -> Result<f64> {
+        self.solve(&crate::solver::SolverConfig::default())?
+            .quantile(phi)
+    }
+
+    /// Estimate a quantile together with its certified enclosure: the
+    /// max-entropy point estimate plus the `[lo, hi]` interval every
+    /// moment-consistent dataset must respect (Markov ∩ RTT bounds,
+    /// inverted by bisection).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use moments_sketch::MomentsSketch;
+    /// let data: Vec<f64> = (1..=10_000).map(f64::from).collect();
+    /// let sketch = MomentsSketch::from_data(10, &data);
+    /// let (est, interval) = sketch.quantile_with_bounds(0.9).unwrap();
+    /// assert!(interval.lo <= est && est <= interval.hi);
+    /// assert!(interval.lo <= 9_000.0 && 9_000.0 <= interval.hi);
+    /// ```
+    pub fn quantile_with_bounds(
+        &self,
+        phi: f64,
+    ) -> Result<(f64, crate::bounds::QuantileInterval)> {
+        let est = crate::solver::solve_robust(self, &crate::solver::SolverConfig::default())?
+            .quantile(phi)?;
+        let interval = crate::bounds::quantile_interval(self, phi, 60);
+        // The estimate is consistent with the sketch's moments up to solver
+        // tolerance; clamp into the certified interval so callers can rely
+        // on `lo <= est <= hi`.
+        Ok((est.clamp(interval.lo, interval.hi), interval))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_properties() {
+        let s = MomentsSketch::new(5);
+        assert!(s.is_empty());
+        assert_eq!(s.k(), 5);
+        assert_eq!(s.count(), 0.0);
+        assert!(!s.log_usable());
+    }
+
+    #[test]
+    fn accumulate_tracks_basic_statistics() {
+        let mut s = MomentsSketch::new(4);
+        s.accumulate_all(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        let m = s.moments();
+        assert_eq!(m[0], 1.0);
+        assert_eq!(m[1], 2.5);
+        assert_eq!(m[2], 7.5); // (1+4+9+16)/4
+    }
+
+    #[test]
+    fn log_sums_skip_nonpositive() {
+        let mut s = MomentsSketch::new(3);
+        s.accumulate_all(&[-1.0, 0.0, std::f64::consts::E]);
+        assert_eq!(s.log_sums()[0], 1.0); // only e counted
+        assert!((s.log_sums()[1] - 1.0).abs() < 1e-12);
+        assert!(!s.log_usable()); // min <= 0
+    }
+
+    #[test]
+    fn log_usable_when_all_positive() {
+        let s = MomentsSketch::from_data(3, &[0.5, 1.0, 2.0]);
+        assert!(s.log_usable());
+        let lm = s.log_moments();
+        let expect = (0.5f64.ln() + 0.0 + 2.0f64.ln()) / 3.0;
+        assert!((lm[1] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_pointwise_accumulation() {
+        let data: Vec<f64> = (1..=100).map(|i| (i as f64).sqrt()).collect();
+        let whole = MomentsSketch::from_data(8, &data);
+        let mut merged = MomentsSketch::new(8);
+        for chunk in data.chunks(7) {
+            merged.merge(&MomentsSketch::from_data(8, chunk));
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        for (a, b) in merged.power_sums().iter().zip(whole.power_sums()) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+        for (a, b) in merged.log_sums().iter().zip(whole.log_sums()) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sub_inverts_merge() {
+        let a = MomentsSketch::from_data(6, &[1.0, 2.0, 3.0]);
+        let b = MomentsSketch::from_data(6, &[4.0, 5.0]);
+        let mut m = a.merged(&b);
+        m.sub(&b);
+        assert_eq!(m.count(), a.count());
+        for (x, y) in m.power_sums().iter().zip(a.power_sums()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mismatched_orders_merge_at_lower_order() {
+        let data_a = [1.0, 2.0, 3.0];
+        let data_b = [4.0, 5.0];
+        let mut a = MomentsSketch::from_data(10, &data_a);
+        let b = MomentsSketch::from_data(6, &data_b);
+        a.merge(&b);
+        assert_eq!(a.k(), 6);
+        assert_eq!(a.count(), 5.0);
+        // Equivalent to building at order 6 from the union.
+        let mut union = data_a.to_vec();
+        union.extend_from_slice(&data_b);
+        let direct = MomentsSketch::from_data(6, &union);
+        for (x, y) in a.power_sums().iter().zip(direct.power_sums()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // Lower-order self absorbing higher-order other also works.
+        let mut c = MomentsSketch::from_data(4, &data_a);
+        c.merge(&MomentsSketch::from_data(12, &data_b));
+        assert_eq!(c.k(), 4);
+        assert_eq!(c.count(), 5.0);
+    }
+
+    #[test]
+    fn size_matches_paper_footprint() {
+        // k = 10 -> 184 bytes, under the paper's 200-byte budget.
+        let s = MomentsSketch::new(10);
+        assert_eq!(s.size_bytes(), 184);
+        assert!(s.size_bytes() < 200);
+    }
+
+    #[test]
+    fn merged_handles_disjoint_ranges() {
+        let a = MomentsSketch::from_data(2, &[10.0, 20.0]);
+        let b = MomentsSketch::from_data(2, &[-5.0]);
+        let m = a.merged(&b);
+        assert_eq!(m.min(), -5.0);
+        assert_eq!(m.max(), 20.0);
+        assert!(!m.log_usable()); // b poisoned positivity
+    }
+}

@@ -1,0 +1,372 @@
+//! The cell store: one pre-aggregated summary per dimension-value tuple.
+//!
+//! A cube over `d` dimensions keeps a summary for every observed `d`-tuple
+//! of dimension values (up to `Π cardinality_i` cells — the paper's
+//! Microsoft deployment holds up to 10^6 per time interval). Roll-ups
+//! merge the summaries of every cell matching a filter; with cheap merges
+//! this is the whole query cost model of Section 3.3:
+//! `t_query = t_merge · n_merge + t_est`.
+
+use crate::dictionary::Dictionary;
+use crate::{Error, Result};
+use msketch_sketches::traits::{QuantileSummary, SummaryFactory};
+use std::collections::HashMap;
+
+/// An in-memory data cube of pre-aggregated summaries.
+pub struct DataCube<F: SummaryFactory> {
+    factory: F,
+    dims: Vec<Dictionary>,
+    dim_names: Vec<String>,
+    cells: HashMap<Vec<u32>, F::Summary>,
+    rows: u64,
+}
+
+impl<F: SummaryFactory> DataCube<F> {
+    /// Create a cube with the given dimension names.
+    pub fn new(factory: F, dim_names: &[&str]) -> Self {
+        DataCube {
+            factory,
+            dims: dim_names.iter().map(|_| Dictionary::new()).collect(),
+            dim_names: dim_names.iter().map(|s| s.to_string()).collect(),
+            cells: HashMap::new(),
+            rows: 0,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn dim_count(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension names.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dim_names
+    }
+
+    /// Dictionary for dimension `d`.
+    pub fn dictionary(&self, d: usize) -> Result<&Dictionary> {
+        self.dims.get(d).ok_or(Error::NoSuchDimension(d))
+    }
+
+    /// Number of materialized cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total ingested rows.
+    pub fn row_count(&self) -> u64 {
+        self.rows
+    }
+
+    /// Ingest one row: dimension values plus the metric.
+    pub fn insert(&mut self, dim_values: &[&str], metric: f64) -> Result<()> {
+        if dim_values.len() != self.dims.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dims.len(),
+                got: dim_values.len(),
+            });
+        }
+        let key: Vec<u32> = dim_values
+            .iter()
+            .zip(self.dims.iter_mut())
+            .map(|(v, dict)| dict.encode(v))
+            .collect();
+        self.cells
+            .entry(key)
+            .or_insert_with(|| self.factory.build())
+            .accumulate(metric);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Ingest a row with pre-encoded dimension ids (fast path for
+    /// synthetic workload generation). Ids must have been produced by
+    /// [`Self::encode_dims`].
+    pub fn insert_encoded(&mut self, key: &[u32], metric: f64) -> Result<()> {
+        if key.len() != self.dims.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dims.len(),
+                got: key.len(),
+            });
+        }
+        self.cells
+            .entry(key.to_vec())
+            .or_insert_with(|| self.factory.build())
+            .accumulate(metric);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Encode (and intern) dimension values without inserting a row.
+    pub fn encode_dims(&mut self, dim_values: &[&str]) -> Result<Vec<u32>> {
+        if dim_values.len() != self.dims.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dims.len(),
+                got: dim_values.len(),
+            });
+        }
+        Ok(dim_values
+            .iter()
+            .zip(self.dims.iter_mut())
+            .map(|(v, dict)| dict.encode(v))
+            .collect())
+    }
+
+    /// Iterate all `(key, summary)` cells.
+    pub fn cells(&self) -> impl Iterator<Item = (&Vec<u32>, &F::Summary)> {
+        self.cells.iter()
+    }
+
+    /// Does a cell key match a filter (`None` = wildcard per dimension)?
+    #[inline]
+    pub fn matches(key: &[u32], filter: &[Option<u32>]) -> bool {
+        key.iter()
+            .zip(filter)
+            .all(|(k, f)| f.is_none_or(|v| v == *k))
+    }
+
+    /// Merge every cell matching `filter` into one summary.
+    ///
+    /// This is the hot loop of every aggregation query: its cost is
+    /// `n_merge · t_merge`.
+    pub fn rollup(&self, filter: &[Option<u32>]) -> Result<F::Summary> {
+        debug_assert_eq!(filter.len(), self.dims.len());
+        let mut acc: Option<F::Summary> = None;
+        for (key, summary) in &self.cells {
+            if Self::matches(key, filter) {
+                match &mut acc {
+                    None => acc = Some(summary.clone()),
+                    Some(a) => a.merge_from(summary),
+                }
+            }
+        }
+        acc.ok_or(Error::EmptyResult)
+    }
+
+    /// Parallel roll-up: shard the matching cells over `threads` workers
+    /// (crossbeam scoped threads), then merge the partial summaries — the
+    /// strong-scaling experiment of Appendix F.
+    pub fn rollup_parallel(&self, filter: &[Option<u32>], threads: usize) -> Result<F::Summary>
+    where
+        F::Summary: Send + Sync,
+    {
+        let matching: Vec<&F::Summary> = self
+            .cells
+            .iter()
+            .filter(|(k, _)| Self::matches(k, filter))
+            .map(|(_, s)| s)
+            .collect();
+        if matching.is_empty() {
+            return Err(Error::EmptyResult);
+        }
+        let threads = threads.max(1).min(matching.len());
+        let chunk = matching.len().div_ceil(threads);
+        let partials: Vec<F::Summary> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = matching
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut acc = shard[0].clone();
+                        for s in &shard[1..] {
+                            acc.merge_from(s);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("merge worker panicked");
+        let mut acc = partials[0].clone();
+        for p in &partials[1..] {
+            acc.merge_from(p);
+        }
+        Ok(acc)
+    }
+
+    /// Group matching cells by the given dimensions, merging within each
+    /// group (the GROUP BY of Section 3.3's threshold queries).
+    pub fn group_by(
+        &self,
+        group_dims: &[usize],
+        filter: &[Option<u32>],
+    ) -> Result<HashMap<Vec<u32>, F::Summary>> {
+        for &d in group_dims {
+            if d >= self.dims.len() {
+                return Err(Error::NoSuchDimension(d));
+            }
+        }
+        let mut groups: HashMap<Vec<u32>, F::Summary> = HashMap::new();
+        for (key, summary) in &self.cells {
+            if !Self::matches(key, filter) {
+                continue;
+            }
+            let gkey: Vec<u32> = group_dims.iter().map(|&d| key[d]).collect();
+            match groups.entry(gkey) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge_from(summary)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(summary.clone());
+                }
+            }
+        }
+        Ok(groups)
+    }
+
+    /// A wildcard filter for this cube's arity.
+    pub fn no_filter(&self) -> Vec<Option<u32>> {
+        vec![None; self.dims.len()]
+    }
+
+    /// Materialize a roll-up cube over a subset of dimensions (a
+    /// pre-computed view, as engines like Druid/Kodiak maintain for hot
+    /// dimension combinations). Queries against the projected cube merge
+    /// far fewer cells.
+    pub fn project(&self, keep_dims: &[usize]) -> Result<DataCube<F>>
+    where
+        F: Clone,
+    {
+        for &d in keep_dims {
+            if d >= self.dims.len() {
+                return Err(Error::NoSuchDimension(d));
+            }
+        }
+        let mut out = DataCube {
+            factory: self.factory.clone(),
+            dims: keep_dims.iter().map(|&d| self.dims[d].clone()).collect(),
+            dim_names: keep_dims
+                .iter()
+                .map(|&d| self.dim_names[d].clone())
+                .collect(),
+            cells: HashMap::new(),
+            rows: self.rows,
+        };
+        for (key, summary) in &self.cells {
+            let new_key: Vec<u32> = keep_dims.iter().map(|&d| key[d]).collect();
+            match out.cells.entry(new_key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge_from(summary)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(summary.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msketch_sketches::traits::FnFactory;
+    use msketch_sketches::MSketchSummary;
+
+    fn small_cube() -> DataCube<FnFactory<MSketchSummary, fn() -> MSketchSummary>> {
+        let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
+            FnFactory(|| MSketchSummary::new(8));
+        let mut cube = DataCube::new(factory, &["country", "version"]);
+        for i in 0..4000 {
+            let country = if i % 2 == 0 { "US" } else { "CA" };
+            let version = match i % 3 {
+                0 => "v1",
+                1 => "v2",
+                _ => "v3",
+            };
+            // Metric depends on version so groups differ.
+            let metric = (i % 100) as f64 + if version == "v3" { 500.0 } else { 0.0 };
+            cube.insert(&[country, version], metric).unwrap();
+        }
+        cube
+    }
+
+    #[test]
+    fn cells_materialize_per_tuple() {
+        let cube = small_cube();
+        assert_eq!(cube.cell_count(), 6); // 2 countries x 3 versions
+        assert_eq!(cube.row_count(), 4000);
+    }
+
+    #[test]
+    fn rollup_all_matches_row_count() {
+        let cube = small_cube();
+        let all = cube.rollup(&cube.no_filter()).unwrap();
+        assert_eq!(all.count(), 4000);
+    }
+
+    #[test]
+    fn filtered_rollup() {
+        let cube = small_cube();
+        let v3 = cube.dictionary(1).unwrap().lookup("v3").unwrap();
+        let s = cube.rollup(&[None, Some(v3)]).unwrap();
+        // v3 rows are i % 3 == 2.
+        assert_eq!(s.count(), 4000 / 3_u64);
+        // v3 metrics are shifted by +500.
+        assert!(s.quantile(0.5) > 400.0);
+    }
+
+    #[test]
+    fn parallel_rollup_matches_sequential() {
+        let cube = small_cube();
+        let seq = cube.rollup(&cube.no_filter()).unwrap();
+        let par = cube.rollup_parallel(&cube.no_filter(), 4).unwrap();
+        assert_eq!(seq.count(), par.count());
+        let (a, b) = (seq.quantile(0.9), par.quantile(0.9));
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn group_by_splits_versions() {
+        let cube = small_cube();
+        let groups = cube.group_by(&[1], &cube.no_filter()).unwrap();
+        assert_eq!(groups.len(), 3);
+        for (key, summary) in &groups {
+            let name = cube.dictionary(1).unwrap().decode(key[0]).unwrap();
+            let median = summary.quantile(0.5);
+            if name == "v3" {
+                assert!(median > 400.0, "{name} median {median}");
+            } else {
+                assert!(median < 200.0, "{name} median {median}");
+            }
+        }
+    }
+
+    #[test]
+    fn projected_cube_answers_like_group_by() {
+        let cube = small_cube();
+        let view = cube.project(&[1]).unwrap();
+        assert_eq!(view.dim_count(), 1);
+        assert_eq!(view.cell_count(), 3);
+        assert_eq!(view.row_count(), cube.row_count());
+        // Projected roll-up equals the group-by answer on the base cube.
+        let groups = cube.group_by(&[1], &cube.no_filter()).unwrap();
+        for (key, summary) in groups {
+            let mut filter = view.no_filter();
+            filter[0] = Some(key[0]);
+            let rolled = view.rollup(&filter).unwrap();
+            assert_eq!(rolled.count(), summary.count());
+            let (a, b) = (rolled.quantile(0.9), summary.quantile(0.9));
+            assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+        }
+        assert!(matches!(
+            cube.project(&[9]),
+            Err(Error::NoSuchDimension(9))
+        ));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut cube = small_cube();
+        assert!(matches!(
+            cube.insert(&["US"], 1.0),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            cube.group_by(&[7], &cube.no_filter()),
+            Err(Error::NoSuchDimension(7))
+        ));
+        let unknown = cube.rollup(&[Some(999), None]);
+        assert!(matches!(unknown, Err(Error::EmptyResult)));
+    }
+}

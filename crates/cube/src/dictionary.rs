@@ -1,0 +1,90 @@
+//! Dictionary encoding for dimension values.
+//!
+//! Cube cells are keyed by small integer ids rather than strings; the
+//! dictionary maintains the bidirectional mapping per dimension, as in
+//! Druid's segment string dictionaries.
+
+use std::collections::HashMap;
+
+/// Bidirectional string ↔ id mapping for one dimension.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `name`, inserting it if new.
+    pub fn encode(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Id for `name` if present.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Name for `id` if present.
+    pub fn decode(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Iterate `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode("US");
+        let b = d.encode("CA");
+        assert_eq!(d.encode("US"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.cardinality(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.encode("v8.2");
+        assert_eq!(d.decode(id), Some("v8.2"));
+        assert_eq!(d.lookup("v8.2"), Some(id));
+        assert_eq!(d.lookup("nope"), None);
+        assert_eq!(d.decode(99), None);
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut d = Dictionary::new();
+        for name in ["a", "b", "c"] {
+            d.encode(name);
+        }
+        let names: Vec<&str> = d.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

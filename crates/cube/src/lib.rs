@@ -1,0 +1,60 @@
+//! A Druid-like in-memory aggregation engine (Section 7.1 of the paper).
+//!
+//! Druid-style engines pre-aggregate one mergeable summary per combination
+//! of dimension values and answer quantile queries by merging the relevant
+//! summaries — never rescanning raw data (Figure 1 of the paper). This
+//! crate reproduces that query path:
+//!
+//! * [`dictionary`] — string-to-id encoding per dimension;
+//! * [`cube`] — the cell store: ingest rows, pre-aggregate per cell,
+//!   roll-up with filters (sequentially or with parallel sharded merges);
+//! * [`query`] — single-quantile and group-by/HAVING threshold queries,
+//!   with the cascade fast path for moments-sketch cells;
+//! * [`window`] — time panes and sliding windows, including the turnstile
+//!   (`merge` new pane / `sub` old pane) update the moments sketch
+//!   supports (Section 7.2.2).
+
+#![warn(missing_docs)]
+
+pub mod cube;
+pub mod dictionary;
+pub mod query;
+pub mod window;
+
+pub use cube::DataCube;
+pub use dictionary::Dictionary;
+pub use query::{GroupThresholdQuery, QueryEngine};
+pub use window::{sliding_windows_remerge, sliding_windows_turnstile, TurnstileWindow};
+
+/// Errors from cube construction and querying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Row arity does not match the schema.
+    DimensionMismatch {
+        /// Dimensions the cube was created with.
+        expected: usize,
+        /// Dimensions supplied.
+        got: usize,
+    },
+    /// Referenced an unknown dimension index.
+    NoSuchDimension(usize),
+    /// A query matched no cells.
+    EmptyResult,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} dimensions, got {got}")
+            }
+            Error::NoSuchDimension(d) => write!(f, "no such dimension: {d}"),
+            Error::EmptyResult => write!(f, "query matched no cells"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,169 @@
+//! Query layer: single-quantile roll-up queries and group-by threshold
+//! queries with the cascade fast path (Sections 3.3 and 5.2).
+
+use crate::cube::DataCube;
+use crate::Result;
+use moments_sketch::{CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator};
+use msketch_sketches::traits::{QuantileSummary, SummaryFactory};
+use msketch_sketches::MSketchSummary;
+use std::collections::HashMap;
+
+/// Convenience wrapper answering the paper's two query classes against a
+/// cube of arbitrary summaries.
+pub struct QueryEngine;
+
+impl QueryEngine {
+    /// `SELECT percentile(metric, φ) WHERE <filter>` — merge matching
+    /// cells, then estimate (Equation 2's cost model).
+    pub fn quantile<F: SummaryFactory>(
+        cube: &DataCube<F>,
+        filter: &[Option<u32>],
+        phi: f64,
+    ) -> Result<f64> {
+        Ok(cube.rollup(filter)?.quantile(phi))
+    }
+
+    /// Group-by quantiles: one estimate per group (Equation 3's cost
+    /// model with `t_est · n_groups`).
+    pub fn group_quantiles<F: SummaryFactory>(
+        cube: &DataCube<F>,
+        group_dims: &[usize],
+        filter: &[Option<u32>],
+        phi: f64,
+    ) -> Result<Vec<(Vec<u32>, f64)>> {
+        let groups = cube.group_by(group_dims, filter)?;
+        Ok(groups
+            .into_iter()
+            .map(|(k, s)| {
+                let q = s.quantile(phi);
+                (k, q)
+            })
+            .collect())
+    }
+}
+
+/// `GROUP BY ... HAVING percentile(metric, φ) > t` over moments-sketch
+/// cells, resolved with the threshold cascade (Algorithm 2).
+pub struct GroupThresholdQuery {
+    /// Quantile fraction of the HAVING predicate.
+    pub phi: f64,
+    /// Threshold value.
+    pub t: f64,
+    /// Cascade configuration (stage ablation for Figures 12–13).
+    pub cascade: CascadeConfig,
+}
+
+impl GroupThresholdQuery {
+    /// New query with the default cascade.
+    pub fn new(phi: f64, t: f64) -> Self {
+        GroupThresholdQuery {
+            phi,
+            t,
+            cascade: CascadeConfig::default(),
+        }
+    }
+
+    /// Run against pre-merged groups, returning the keys whose estimated
+    /// `φ`-quantile exceeds `t` plus the cascade statistics.
+    pub fn run(
+        &self,
+        groups: &HashMap<Vec<u32>, MSketchSummary>,
+    ) -> (Vec<Vec<u32>>, CascadeStats) {
+        let mut evaluator = ThresholdEvaluator::new(self.cascade);
+        let mut hits = Vec::new();
+        for (key, summary) in groups {
+            if evaluator.threshold(&summary.sketch, self.t, self.phi) {
+                hits.push(key.clone());
+            }
+        }
+        (hits, evaluator.stats())
+    }
+
+    /// Run directly against raw sketches.
+    pub fn run_sketches<'a, I>(&self, groups: I) -> (Vec<usize>, CascadeStats)
+    where
+        I: IntoIterator<Item = &'a MomentsSketch>,
+    {
+        let mut evaluator = ThresholdEvaluator::new(self.cascade);
+        let mut hits = Vec::new();
+        for (i, sketch) in groups.into_iter().enumerate() {
+            if evaluator.threshold(sketch, self.t, self.phi) {
+                hits.push(i);
+            }
+        }
+        (hits, evaluator.stats())
+    }
+}
+
+/// Build a moments-sketch cube factory with order `k` and a solver
+/// configuration (helper for harnesses and examples).
+pub fn msketch_factory(
+    k: usize,
+    config: SolverConfig,
+) -> impl SummaryFactory<Summary = MSketchSummary> {
+    msketch_sketches::traits::FnFactory(move || MSketchSummary::with_config(k, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msketch_sketches::traits::FnFactory;
+
+    fn cube_with_hot_group() -> DataCube<FnFactory<MSketchSummary, fn() -> MSketchSummary>> {
+        let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
+            FnFactory(|| MSketchSummary::new(10));
+        let mut cube = DataCube::new(factory, &["app", "hw"]);
+        for i in 0..9000u64 {
+            let app = match i % 3 {
+                0 => "a1",
+                1 => "a2",
+                _ => "a3",
+            };
+            let hw = if i % 2 == 0 { "h1" } else { "h2" };
+            // App a3 has a slow tail.
+            let metric = (i % 97) as f64 + if app == "a3" { 300.0 } else { 0.0 };
+            cube.insert(&[app, hw], metric).unwrap();
+        }
+        cube
+    }
+
+    #[test]
+    fn single_quantile_query() {
+        let cube = cube_with_hot_group();
+        let q = QueryEngine::quantile(&cube, &cube.no_filter(), 0.5).unwrap();
+        assert!(q > 0.0);
+    }
+
+    #[test]
+    fn group_quantiles_separate_populations() {
+        let cube = cube_with_hot_group();
+        let rows = QueryEngine::group_quantiles(&cube, &[0], &cube.no_filter(), 0.9).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn having_threshold_finds_hot_group() {
+        let cube = cube_with_hot_group();
+        let groups = cube.group_by(&[0], &cube.no_filter()).unwrap();
+        let a3 = cube.dictionary(0).unwrap().lookup("a3").unwrap();
+        let query = GroupThresholdQuery::new(0.9, 250.0);
+        let (hits, stats) = query.run(&groups);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], vec![a3]);
+        assert_eq!(stats.total, 3);
+    }
+
+    #[test]
+    fn cascade_agrees_with_baseline_on_groups() {
+        let cube = cube_with_hot_group();
+        let groups = cube.group_by(&[0, 1], &cube.no_filter()).unwrap();
+        let mut full = GroupThresholdQuery::new(0.7, 90.0);
+        let (mut hits_full, _) = full.run(&groups);
+        full.cascade = CascadeConfig::baseline();
+        let (mut hits_base, stats) = full.run(&groups);
+        hits_full.sort();
+        hits_base.sort();
+        assert_eq!(hits_full, hits_base);
+        assert_eq!(stats.maxent_evals, stats.total);
+    }
+}

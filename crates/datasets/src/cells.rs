@@ -1,0 +1,87 @@
+//! Partitioning data into pre-aggregation cells.
+//!
+//! The paper's microbenchmarks pre-aggregate datasets into cells of 200
+//! values (Section 6.2.1) — and 2000/10000 in Appendix D.3 — building one
+//! summary per cell and timing the merge of all of them. Production cubes
+//! have wildly variable cell sizes instead (Appendix D.4), which
+//! [`variable_cells`] models with a log-normal size distribution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Split `data` into consecutive cells of `cell_size` values (the last
+/// cell may be short).
+pub fn fixed_cells(data: &[f64], cell_size: usize) -> Vec<&[f64]> {
+    assert!(cell_size > 0);
+    data.chunks(cell_size).collect()
+}
+
+/// Split `data` into cells whose sizes follow a clamped log-normal —
+/// matching the production workload's shape (min 5, heavy upper tail).
+pub fn variable_cells(data: &[f64], mean_size: f64, seed: u64) -> Vec<&[f64]> {
+    assert!(mean_size >= 5.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCE11);
+    let sigma: f64 = 1.3;
+    // E[lognormal] = exp(mu + sigma^2/2); solve mu for the target mean.
+    let mu = mean_size.ln() - sigma * sigma / 2.0;
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let z: f64 = crate::dist::normal(&mut rng);
+        let size = ((mu + sigma * z).exp().round() as usize).max(5);
+        let end = (offset + size).min(data.len());
+        out.push(&data[offset..end]);
+        offset = end;
+    }
+    out
+}
+
+/// Deterministically spread `data` round-robin into `n_groups` groups —
+/// used to synthesize group-by populations with identical distributions.
+pub fn round_robin_groups(data: &[f64], n_groups: usize) -> Vec<Vec<f64>> {
+    assert!(n_groups > 0);
+    let mut groups = vec![Vec::with_capacity(data.len() / n_groups + 1); n_groups];
+    for (i, &x) in data.iter().enumerate() {
+        groups[i % n_groups].push(x);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_cells_cover_data() {
+        let data: Vec<f64> = (0..1005).map(f64::from).collect();
+        let cells = fixed_cells(&data, 200);
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[5].len(), 5);
+        let total: usize = cells.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 1005);
+    }
+
+    #[test]
+    fn variable_cells_have_min_five_and_heavy_tail() {
+        let data: Vec<f64> = (0..200_000).map(f64::from).collect();
+        let cells = variable_cells(&data, 200.0, 9);
+        let total: usize = cells.iter().map(|c| c.len()).sum();
+        assert_eq!(total, data.len());
+        // All but possibly the final remainder cell respect the minimum.
+        for c in &cells[..cells.len() - 1] {
+            assert!(c.len() >= 5);
+        }
+        let max = cells.iter().map(|c| c.len()).max().unwrap();
+        let mean = total as f64 / cells.len() as f64;
+        assert!(max as f64 > 5.0 * mean, "tail not heavy: max {max} mean {mean}");
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let groups = round_robin_groups(&data, 7);
+        assert_eq!(groups.len(), 7);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Distribution samplers built directly on `rand`'s uniform source.
+//!
+//! The sanctioned dependency list includes `rand` but not `rand_distr`,
+//! so the classical samplers are implemented here: Marsaglia polar
+//! normals, Marsaglia–Tsang gamma, inversion exponentials, and a
+//! rejection sampler for bounded zipf variables.
+
+use rand::Rng;
+
+/// Standard normal via the Marsaglia polar method.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal with the given mean and standard deviation.
+#[inline]
+pub fn normal_with<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+/// Log-normal: `exp(mu + sigma * Z)`.
+#[inline]
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Exponential with rate `lambda`, by inversion.
+#[inline]
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / lambda
+}
+
+/// Gamma(shape, scale) via Marsaglia & Tsang (2000), with the standard
+/// `U^{1/shape}` boost for `shape < 1`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    debug_assert!(shape > 0.0 && scale > 0.0);
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>();
+        return gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>();
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Exact bounded-zipf sampler on `{1, ..., max}` with exponent `a > 1`,
+/// using a precomputed CDF table and inversion by binary search.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the CDF table for `P(X = k) ∝ k^{-a}`.
+    pub fn new(a: f64, max: u64) -> Self {
+        assert!(a > 0.0 && max >= 1);
+        let mut cdf = Vec::with_capacity(max as usize);
+        let mut acc = 0.0;
+        for k in 1..=max {
+            acc += (k as f64).powf(-a);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen::<f64>();
+        (self.cdf.partition_point(|&c| c < u) + 1) as u64
+    }
+}
+
+/// One-shot bounded zipf draw (builds no table; only for tests/tiny use).
+pub fn zipf<R: Rng + ?Sized>(rng: &mut R, a: f64, max: u64) -> u64 {
+    ZipfTable::new(a, max).sample(rng)
+}
+
+/// Pareto with scale `x_m` and shape `alpha`, by inversion.
+#[inline]
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_m: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    x_m / (1.0 - u).powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moments_sketch::stats::describe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample<F: FnMut(&mut StdRng) -> f64>(n: usize, mut f: F) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(12345);
+        (0..n).map(|_| f(&mut rng)).collect()
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = describe(&sample(200_000, normal));
+        assert!(d.mean.abs() < 0.01, "mean {}", d.mean);
+        assert!((d.stddev - 1.0).abs() < 0.01, "std {}", d.stddev);
+        assert!(d.skew.abs() < 0.05, "skew {}", d.skew);
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let d = describe(&sample(200_000, |r| exponential(r, 1.0)));
+        assert!((d.mean - 1.0).abs() < 0.02);
+        assert!((d.stddev - 1.0).abs() < 0.03);
+        assert!((d.skew - 2.0).abs() < 0.2, "skew {}", d.skew);
+        assert!(d.min >= 0.0);
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let (shape, scale) = (3.0, 2.0);
+        let d = describe(&sample(200_000, |r| gamma(r, shape, scale)));
+        assert!((d.mean - shape * scale).abs() < 0.1, "mean {}", d.mean);
+        assert!(
+            (d.stddev - (shape.sqrt() * scale)).abs() < 0.1,
+            "std {}",
+            d.stddev
+        );
+        assert!((d.skew - 2.0 / shape.sqrt()).abs() < 0.15, "skew {}", d.skew);
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let (shape, scale) = (0.5, 1.0);
+        let d = describe(&sample(200_000, |r| gamma(r, shape, scale)));
+        assert!((d.mean - 0.5).abs() < 0.02, "mean {}", d.mean);
+        assert!((d.stddev - (0.5f64).sqrt()).abs() < 0.05, "std {}", d.stddev);
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut v = sample(100_001, |r| lognormal(r, 1.0, 0.8));
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn zipf_bounds_and_tail() {
+        let table = ZipfTable::new(2.0, 1000);
+        let vals: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(8);
+            (0..100_000).map(|_| table.sample(&mut rng)).collect()
+        };
+        assert!(vals.iter().all(|&v| (1..=1000).contains(&v)));
+        let ones = vals.iter().filter(|&&v| v == 1).count() as f64 / vals.len() as f64;
+        // P(X=1) for zipf(2) on 1..1000 is 1/zeta_1000(2) ≈ 0.61.
+        assert!((ones - 0.61).abs() < 0.05, "P(1) = {ones}");
+    }
+
+    #[test]
+    fn pareto_minimum() {
+        let d = describe(&sample(50_000, |r| pareto(r, 2.0, 3.0)));
+        assert!(d.min >= 2.0);
+        // Mean of Pareto(2, 3) = 3.
+        assert!((d.mean - 3.0).abs() < 0.1, "mean {}", d.mean);
+    }
+}

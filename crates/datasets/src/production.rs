@@ -1,0 +1,113 @@
+//! Synthetic production workload modeled on the Microsoft telemetry trace
+//! of Appendix D.4.
+//!
+//! The real trace has 165M rows of an integer-valued performance metric,
+//! grouped by four dimension columns into ~400k cells with sizes from 5 to
+//! 722k (mean ≈ 2380) — i.e. log-normally distributed cell sizes with a
+//! very heavy tail. Values span several orders of magnitude (the paper's
+//! Figure 21 CDF runs from 10^0 past 10^5). We synthesize both properties.
+
+use crate::dist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A production-like workload: integer metric values pre-grouped into
+/// variable-size cells.
+#[derive(Debug, Clone)]
+pub struct ProductionWorkload {
+    /// Per-cell values (integers stored as `f64`, as the sketch consumes
+    /// them).
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl ProductionWorkload {
+    /// Generate a workload with roughly `total_rows` rows spread over
+    /// log-normal cell sizes with the given mean.
+    pub fn generate(total_rows: usize, mean_cell: f64, seed: u64) -> Self {
+        assert!(mean_cell >= 5.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB5E);
+        let sigma: f64 = 1.6; // heavy-tailed cell sizes (min 5, max ~ 300x mean)
+        let mu = mean_cell.ln() - sigma * sigma / 2.0;
+        let mut cells = Vec::new();
+        let mut produced = 0usize;
+        while produced < total_rows {
+            let z = dist::normal(&mut rng);
+            let size = ((mu + sigma * z).exp().round() as usize)
+                .clamp(5, total_rows - produced + 5);
+            let cell: Vec<f64> = (0..size).map(|_| Self::sample_value(&mut rng)).collect();
+            produced += cell.len();
+            cells.push(cell);
+        }
+        ProductionWorkload { cells }
+    }
+
+    /// Integer-valued, heavy-tailed telemetry metric: a log-normal
+    /// latency-like distribution rounded to integers, with a floor of 1.
+    fn sample_value(rng: &mut StdRng) -> f64 {
+        let v = dist::lognormal(rng, 3.4, 1.9);
+        v.round().clamp(1.0, 2e6)
+    }
+
+    /// Total number of rows.
+    pub fn total_rows(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// All values flattened (ground truth for accuracy evaluation).
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.total_rows());
+        for c in &self.cells {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    /// Cell size statistics `(min, max, mean)`.
+    pub fn cell_stats(&self) -> (usize, usize, f64) {
+        let min = self.cells.iter().map(Vec::len).min().unwrap_or(0);
+        let max = self.cells.iter().map(Vec::len).max().unwrap_or(0);
+        let mean = self.total_rows() as f64 / self.cells.len().max(1) as f64;
+        (min, max, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape_matches_appendix() {
+        let w = ProductionWorkload::generate(500_000, 500.0, 11);
+        let (min, max, mean) = w.cell_stats();
+        assert!(min >= 5, "min {min}");
+        assert!(max as f64 > 10.0 * mean, "max {max} mean {mean}");
+        assert!((mean - 500.0).abs() < 250.0, "mean {mean}");
+        assert!(w.total_rows() >= 500_000);
+    }
+
+    #[test]
+    fn values_are_positive_integers() {
+        let w = ProductionWorkload::generate(50_000, 100.0, 3);
+        for cell in &w.cells {
+            for &v in cell {
+                assert!(v >= 1.0);
+                assert_eq!(v.fract(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn values_span_orders_of_magnitude() {
+        let flat = ProductionWorkload::generate(200_000, 200.0, 5).flatten();
+        let d = moments_sketch::stats::describe(&flat);
+        assert!(d.min <= 2.0);
+        assert!(d.max >= 1e4, "max {}", d.max);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ProductionWorkload::generate(10_000, 50.0, 77);
+        let b = ProductionWorkload::generate(10_000, 50.0, 77);
+        assert_eq!(a.cells, b.cells);
+    }
+}

@@ -1,0 +1,112 @@
+//! Sliding-window alerting (Section 7.2.2 of the paper).
+//!
+//! Given time panes pre-aggregated into moments sketches, find every
+//! length-`w` window whose `φ`-quantile exceeds a threshold — e.g. 4-hour
+//! windows of 10-minute panes whose p99 spikes. Windows advance with
+//! turnstile updates (subtract the departing pane, add the arriving one)
+//! and each window's predicate is resolved by the cascade, which the paper
+//! measures at 13× faster than re-merging a comparison summary.
+
+use moments_sketch::{CascadeConfig, CascadeStats, MomentsSketch, ThresholdEvaluator};
+use msketch_cube::window::sliding_windows_turnstile;
+
+/// A window whose quantile exceeded the alert threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowAlert {
+    /// Index of the window's first pane.
+    pub start_pane: usize,
+}
+
+/// Scan all length-`window` windows, returning those whose estimated
+/// `phi`-quantile exceeds `threshold`, plus cascade statistics.
+pub fn scan_windows(
+    panes: &[MomentsSketch],
+    window: usize,
+    threshold: f64,
+    phi: f64,
+    cascade: CascadeConfig,
+) -> (Vec<WindowAlert>, CascadeStats) {
+    let mut evaluator = ThresholdEvaluator::new(cascade);
+    let mut alerts = Vec::new();
+    sliding_windows_turnstile(panes, window, |start, agg| {
+        if evaluator.threshold(agg, threshold, phi) {
+            alerts.push(WindowAlert { start_pane: start });
+        }
+    });
+    (alerts, evaluator.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Panes of benign data with injected spikes of `spike_count` extra
+    /// points, mirroring the paper's augmented milan workload.
+    fn spiked_panes(
+        n_panes: usize,
+        spike_at: &[usize],
+        spike_value: f64,
+        spike_count: usize,
+    ) -> Vec<MomentsSketch> {
+        (0..n_panes)
+            .map(|p| {
+                let mut data: Vec<f64> =
+                    (0..500).map(|i| ((i * 17 + p) % 400) as f64 + 1.0).collect();
+                if spike_at.contains(&p) {
+                    data.extend(std::iter::repeat_n(spike_value, spike_count));
+                }
+                MomentsSketch::from_data(10, &data)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_spiked_windows_only() {
+        let spike = 5_000.0;
+        let panes = spiked_panes(60, &[30], spike, 50);
+        let (alerts, stats) = scan_windows(
+            &panes,
+            6,
+            2_000.0, // threshold well above benign max (400)
+            0.99,
+            CascadeConfig::default(),
+        );
+        // Windows containing pane 30: starts 25..=30.
+        assert!(!alerts.is_empty());
+        for a in &alerts {
+            assert!(
+                (25..=30).contains(&a.start_pane),
+                "false alert at {}",
+                a.start_pane
+            );
+        }
+        assert_eq!(stats.total, 55);
+    }
+
+    #[test]
+    fn simple_stage_prunes_benign_windows() {
+        let panes = spiked_panes(40, &[], 0.0, 0);
+        let (alerts, stats) = scan_windows(&panes, 4, 2_000.0, 0.99, CascadeConfig::default());
+        assert!(alerts.is_empty());
+        // Benign windows never exceed max = 400 < 2000: all resolved by
+        // the simple min/max stage.
+        assert_eq!(stats.simple_hits, stats.total);
+    }
+
+    #[test]
+    fn agrees_with_baseline_on_clear_predicates() {
+        // Spikes are half a pane's mass, so every window's q0.95 is far
+        // from the threshold on both sides and the cascade and the
+        // estimate-everything baseline must agree exactly. (On *marginal*
+        // predicates over sharply discrete spikes, the certified bounds
+        // can legitimately overrule a smoothed max-ent estimate — see the
+        // module docs of `moments_sketch::cascade`.)
+        let panes = spiked_panes(50, &[10, 35], 3_000.0, 250);
+        let (fast, _) = scan_windows(&panes, 5, 1_500.0, 0.95, CascadeConfig::default());
+        let (slow, slow_stats) =
+            scan_windows(&panes, 5, 1_500.0, 0.95, CascadeConfig::baseline());
+        assert_eq!(fast, slow);
+        assert_eq!(slow_stats.maxent_evals, slow_stats.total);
+        assert!(!fast.is_empty());
+    }
+}

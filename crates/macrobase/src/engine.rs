@@ -1,0 +1,179 @@
+//! Outlier-rate subpopulation search (Section 7.2.1 of the paper).
+
+use moments_sketch::{CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator};
+
+/// Query configuration mirroring the paper's MacroBase deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct MacroBaseConfig {
+    /// Global percentile defining outliers (paper: 0.99 → `t99`).
+    pub global_phi: f64,
+    /// Minimum outlier-rate ratio vs the overall rate (paper: 30).
+    pub rate_ratio: f64,
+    /// Cascade stages to use.
+    pub cascade: CascadeConfig,
+    /// Solver used for the global threshold estimate.
+    pub solver: SolverConfig,
+}
+
+impl Default for MacroBaseConfig {
+    fn default() -> Self {
+        MacroBaseConfig {
+            global_phi: 0.99,
+            rate_ratio: 30.0,
+            cascade: CascadeConfig::default(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+impl MacroBaseConfig {
+    /// The per-subpopulation quantile that must exceed the global
+    /// threshold: `1 - ratio · (1 - global_phi)`.
+    pub fn subpopulation_phi(&self) -> f64 {
+        (1.0 - self.rate_ratio * (1.0 - self.global_phi)).clamp(0.0, 1.0)
+    }
+}
+
+/// One flagged subpopulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubpopulationReport {
+    /// Caller-provided label (e.g. "app=v8,hw=x1").
+    pub label: String,
+    /// Points in the subpopulation.
+    pub count: f64,
+}
+
+/// The search engine; holds cascade state across queries.
+pub struct MacroBaseEngine {
+    config: MacroBaseConfig,
+    evaluator: ThresholdEvaluator,
+}
+
+impl MacroBaseEngine {
+    /// Create an engine.
+    pub fn new(config: MacroBaseConfig) -> Self {
+        MacroBaseEngine {
+            evaluator: ThresholdEvaluator::new(config.cascade),
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MacroBaseConfig {
+        &self.config
+    }
+
+    /// Compute the global outlier threshold (`t99`) from the merged
+    /// all-data sketch.
+    pub fn global_threshold(&self, all: &MomentsSketch) -> moments_sketch::Result<f64> {
+        all.solve(&self.config.solver)?
+            .quantile(self.config.global_phi)
+    }
+
+    /// Scan labeled subpopulations, returning those whose
+    /// `subpopulation_phi()`-quantile exceeds `threshold`.
+    pub fn search<'a, I>(&mut self, groups: I, threshold: f64) -> Vec<SubpopulationReport>
+    where
+        I: IntoIterator<Item = (&'a str, &'a MomentsSketch)>,
+    {
+        let phi = self.config.subpopulation_phi();
+        let mut out = Vec::new();
+        for (label, sketch) in groups {
+            if self.evaluator.threshold(sketch, threshold, phi) {
+                out.push(SubpopulationReport {
+                    label: label.to_string(),
+                    count: sketch.count(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Cascade statistics accumulated so far.
+    pub fn stats(&self) -> CascadeStats {
+        self.evaluator.stats()
+    }
+
+    /// Reset cascade statistics.
+    pub fn reset_stats(&mut self) {
+        self.evaluator.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build subpopulations where one group has a heavy upper tail.
+    ///
+    /// 50 groups of 2000 points: a 30× outlier-rate ratio needs the
+    /// anomalous group to hold ≥ 30% of its own mass above the global
+    /// 99th percentile while being a small share of the total, so the
+    /// spike (40% of group 7) must stay under 1% of all 100k points.
+    fn groups() -> (Vec<(String, MomentsSketch)>, MomentsSketch) {
+        let mut all = MomentsSketch::new(10);
+        let mut out = Vec::new();
+        for g in 0..50 {
+            let data: Vec<f64> = (0..2000)
+                .map(|i| {
+                    let base = ((i * 13 + g * 7) % 100) as f64 + 1.0;
+                    // Group 7 is anomalous: 40% of its points are huge.
+                    if g == 7 && i % 5 < 2 {
+                        base + 1000.0
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            let s = MomentsSketch::from_data(10, &data);
+            all.merge(&s);
+            out.push((format!("group-{g}"), s));
+        }
+        (out, all)
+    }
+
+    #[test]
+    fn phi_mapping_matches_paper() {
+        let cfg = MacroBaseConfig::default();
+        assert!((cfg.subpopulation_phi() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_the_anomalous_group() {
+        let (groups, all) = groups();
+        let mut engine = MacroBaseEngine::new(MacroBaseConfig::default());
+        let t = engine.global_threshold(&all).unwrap();
+        let hits = engine.search(groups.iter().map(|(l, s)| (l.as_str(), s)), t);
+        assert_eq!(hits.len(), 1, "hits: {:?}", hits);
+        assert_eq!(hits[0].label, "group-7");
+    }
+
+    #[test]
+    fn cascade_does_most_of_the_work() {
+        let (groups, all) = groups();
+        let mut engine = MacroBaseEngine::new(MacroBaseConfig::default());
+        let t = engine.global_threshold(&all).unwrap();
+        let _ = engine.search(groups.iter().map(|(l, s)| (l.as_str(), s)), t);
+        let stats = engine.stats();
+        assert_eq!(stats.total, 50);
+        assert!(
+            stats.maxent_evals <= stats.total / 2,
+            "cascade should prune most groups: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_cascade_agrees() {
+        let (groups, all) = groups();
+        let mut fast = MacroBaseEngine::new(MacroBaseConfig::default());
+        let mut slow = MacroBaseEngine::new(MacroBaseConfig {
+            cascade: CascadeConfig::baseline(),
+            ..Default::default()
+        });
+        let t = fast.global_threshold(&all).unwrap();
+        let a = fast.search(groups.iter().map(|(l, s)| (l.as_str(), s)), t);
+        let b = slow.search(groups.iter().map(|(l, s)| (l.as_str(), s)), t);
+        assert_eq!(a, b);
+        assert_eq!(slow.stats().maxent_evals, 50);
+    }
+}

@@ -1,0 +1,166 @@
+//! Symmetric eigen-decomposition by the cyclic Jacobi method, plus
+//! condition-number estimation.
+//!
+//! The paper's solver chooses how many standard/log moments to use
+//! (`k1`, `k2`) by thresholding the condition number of the Newton Hessian
+//! (Section 4.3.1, `κ_max = 10^4` in the evaluation). The Hessians involved
+//! are tiny symmetric matrices, for which cyclic Jacobi is simple, robust,
+//! and accurate.
+
+use crate::linalg::Matrix;
+
+/// Result of a symmetric eigen-decomposition.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Eigen-decomposition of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// Only the lower triangle of `a` is read. Converges quadratically; for the
+/// `<= 32 x 32` matrices used here a handful of sweeps suffices.
+pub fn sym_eigen(a: &Matrix) -> SymEigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in 0..i {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + m.max_abs()) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation J(p, q, theta) on both sides: m = J^T m J.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| diag[a].partial_cmp(&diag[b]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (col, &i) in idx.iter().enumerate() {
+        for row in 0..n {
+            vectors[(row, col)] = v[(row, i)];
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+/// Spectral (2-norm) condition number of a symmetric matrix:
+/// `max |λ| / min |λ|`. Returns `f64::INFINITY` for singular matrices.
+pub fn condition_number_sym(a: &Matrix) -> f64 {
+    let eig = sym_eigen(a);
+    let max = eig.values.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let min = eig
+        .values
+        .iter()
+        .fold(f64::INFINITY, |m, &x| m.min(x.abs()));
+    if min == 0.0 || !min.is_finite() {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_diagonal() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvectors_reconstruct() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
+        let e = sym_eigen(&a);
+        // A v_i = λ_i v_i for each column.
+        for col in 0..3 {
+            let vi: Vec<f64> = (0..3).map(|r| e.vectors[(r, col)]).collect();
+            let av = a.matvec(&vi);
+            for r in 0..3 {
+                assert!(
+                    (av[r] - e.values[col] * vi[r]).abs() < 1e-9,
+                    "col {col} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn condition_number_basic() {
+        let a = Matrix::from_rows(&[&[100.0, 0.0], &[0.0, 1.0]]);
+        assert!((condition_number_sym(&a) - 100.0).abs() < 1e-9);
+        let singular = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(condition_number_sym(&singular) > 1e12);
+    }
+
+    #[test]
+    fn hilbert_matrix_is_ill_conditioned() {
+        // Classic ill-conditioning example mirroring the monomial-basis
+        // Hessian problem the paper describes.
+        let n = 6;
+        let mut h = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                h[(i, j)] = 1.0 / ((i + j + 1) as f64);
+            }
+        }
+        let kappa = condition_number_sym(&h);
+        assert!(kappa > 1e6, "kappa = {kappa}");
+    }
+}

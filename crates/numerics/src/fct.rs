@@ -1,0 +1,180 @@
+//! Fast cosine transform (DCT-I), the core primitive behind Chebyshev
+//! interpolation.
+//!
+//! The paper's optimized solver (Section 4.3.1) approximates the maximum
+//! entropy density `f(x; θ)` by a Chebyshev series; the coefficients are
+//! produced by a cosine transform of the function values at the
+//! Chebyshev–Lobatto nodes. The paper notes the cosine transform is the
+//! major bottleneck of the optimized solver, so we provide both a direct
+//! `O(n^2)` implementation and an FFT-based `O(n log n)` one and verify
+//! they agree.
+//!
+//! Convention: for input `v[0..=n]`, the DCT-I used here is
+//!
+//! ```text
+//! X_k = v_0/2 + (-1)^k v_n/2 + sum_{j=1}^{n-1} v_j cos(pi j k / n)
+//! ```
+//!
+//! which is precisely the sum needed for Chebyshev interpolation at the
+//! Lobatto points `x_j = cos(pi j / n)`.
+
+use std::f64::consts::PI;
+
+/// Direct `O(n^2)` DCT-I. `v.len()` must be at least 2.
+pub fn dct1_direct(v: &[f64]) -> Vec<f64> {
+    let n = v.len() - 1;
+    assert!(n >= 1, "DCT-I requires at least two points");
+    let mut out = vec![0.0; n + 1];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0.5 * (v[0] + if k % 2 == 0 { v[n] } else { -v[n] });
+        for (j, &vj) in v.iter().enumerate().take(n).skip(1) {
+            acc += vj * (PI * (j * k) as f64 / n as f64).cos();
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// In-place iterative radix-2 complex FFT (decimation in time).
+/// `re`/`im` lengths must be equal powers of two.
+fn fft_radix2(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_r, mut cur_i) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cur_r - im[i + k + len / 2] * cur_i,
+                    re[i + k + len / 2] * cur_i + im[i + k + len / 2] * cur_r,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let next_r = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = next_r;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+            *r *= scale;
+            *i *= scale;
+        }
+    }
+}
+
+/// FFT-based DCT-I for `v.len() = n + 1` with `n` a power of two.
+///
+/// Embeds the even extension of `v` (length `2n`) into a complex FFT; the
+/// real part of the first `n + 1` outputs equals `2 X_k` under our
+/// half-endpoint convention.
+pub fn dct1_fft(v: &[f64]) -> Vec<f64> {
+    let n = v.len() - 1;
+    assert!(n >= 1 && n.is_power_of_two(), "n must be a power of two");
+    let m = 2 * n;
+    let mut re = vec![0.0; m];
+    let mut im = vec![0.0; m];
+    re[..=n].copy_from_slice(v);
+    for j in 1..n {
+        re[m - j] = v[j];
+    }
+    fft_radix2(&mut re, &mut im, false);
+    // Full even extension yields X'_k = v_0 + (-1)^k v_n + 2 sum_{1..n-1} ...
+    // = 2 X_k in our convention.
+    re.iter().take(n + 1).map(|&r| 0.5 * r).collect()
+}
+
+/// DCT-I dispatcher: uses the FFT path when the size allows, the direct
+/// path otherwise.
+pub fn dct1(v: &[f64]) -> Vec<f64> {
+    let n = v.len() - 1;
+    if n >= 8 && n.is_power_of_two() {
+        dct1_fft(v)
+    } else {
+        dct1_direct(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let mut re = vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.5, 2.5, -3.0];
+        let mut im = vec![0.0; 8];
+        let orig = re.clone();
+        fft_radix2(&mut re, &mut im, false);
+        fft_radix2(&mut re, &mut im, true);
+        assert_close(&re, &orig, 1e-12);
+        for v in im {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dct_fft_matches_direct() {
+        for n in [8usize, 16, 32, 64] {
+            let v: Vec<f64> = (0..=n).map(|j| ((j * j) as f64).sin() + 0.3).collect();
+            let d = dct1_direct(&v);
+            let f = dct1_fft(&v);
+            assert_close(&d, &f, 1e-10);
+        }
+    }
+
+    #[test]
+    fn dct_constant_input() {
+        // Constant input: X_0 = n (after half-endpoint weighting), others 0.
+        let n = 16;
+        let v = vec![1.0; n + 1];
+        let d = dct1(&v);
+        assert!((d[0] - n as f64).abs() < 1e-12);
+        for &x in &d[1..] {
+            assert!(x.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dct_small_sizes_direct() {
+        let v = vec![1.0, 2.0, 3.0];
+        let d = dct1(&v);
+        // n = 2: X_0 = 0.5 + 1.5 + 2 = 4, X_1 = 0.5 - 1.5 + 2 cos(pi/2) = -1,
+        // X_2 = 0.5 + 1.5 + 2 cos(pi) = 0.
+        assert!((d[0] - 4.0).abs() < 1e-12);
+        assert!((d[1] + 1.0).abs() < 1e-12);
+        assert!(d[2].abs() < 1e-12);
+    }
+}

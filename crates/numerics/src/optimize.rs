@@ -1,0 +1,279 @@
+//! Damped Newton's method with backtracking line search.
+//!
+//! This is the workhorse of the maximum-entropy solve (Section 4.2 of the
+//! paper, Appendix A.1 of the technical report): the potential `L(θ)` is
+//! smooth and convex, so Newton steps with an Armijo backtracking line
+//! search converge quadratically near the optimum. When the Hessian is not
+//! numerically positive definite we add Tikhonov damping before solving.
+
+use crate::linalg::{Cholesky, Matrix};
+use crate::{Error, Result};
+
+/// An objective with value, gradient, and Hessian.
+///
+/// `eval` fills `grad` and `hess` and returns the value. The same buffers
+/// are reused across iterations to avoid per-step allocation.
+pub trait NewtonObjective {
+    /// Problem dimension.
+    fn dim(&self) -> usize;
+    /// Evaluate value, gradient, and Hessian at `theta`.
+    fn eval(&mut self, theta: &[f64], grad: &mut [f64], hess: &mut Matrix) -> f64;
+}
+
+/// Configuration for [`newton_minimize`].
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOptions {
+    /// Stop when the gradient infinity-norm drops below this.
+    pub grad_tol: f64,
+    /// Maximum Newton iterations.
+    pub max_iter: usize,
+    /// Armijo sufficient-decrease constant.
+    pub armijo_c: f64,
+    /// Line-search shrink factor.
+    pub backtrack: f64,
+    /// Max line-search steps per iteration.
+    pub max_line_search: usize,
+    /// Looser tolerance accepted when the iteration budget runs out: a
+    /// nearly-converged solve (gradient below this) is returned as success
+    /// rather than an error.
+    pub accept_tol: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            grad_tol: 1e-9,
+            max_iter: 200,
+            armijo_c: 1e-4,
+            backtrack: 0.5,
+            max_line_search: 60,
+            accept_tol: 1e-6,
+        }
+    }
+}
+
+/// Result of a Newton minimization.
+#[derive(Debug, Clone)]
+pub struct NewtonResult {
+    /// Minimizer.
+    pub theta: Vec<f64>,
+    /// Objective value at the minimizer.
+    pub value: f64,
+    /// Gradient infinity-norm at the minimizer.
+    pub grad_norm: f64,
+    /// Newton iterations used.
+    pub iterations: usize,
+    /// Total objective evaluations (including line search).
+    pub evals: usize,
+}
+
+/// Minimize a smooth convex objective by damped Newton.
+pub fn newton_minimize<O: NewtonObjective>(
+    obj: &mut O,
+    theta0: &[f64],
+    opt: NewtonOptions,
+) -> Result<NewtonResult> {
+    let n = obj.dim();
+    assert_eq!(theta0.len(), n);
+    let mut theta = theta0.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut hess = Matrix::zeros(n, n);
+    let mut evals = 0usize;
+    let mut value = obj.eval(&theta, &mut grad, &mut hess);
+    evals += 1;
+    if !value.is_finite() {
+        return Err(Error::InvalidArgument("objective not finite at start"));
+    }
+    for iter in 0..opt.max_iter {
+        let gnorm = crate::norm_inf(&grad);
+        if gnorm <= opt.grad_tol {
+            return Ok(NewtonResult {
+                theta,
+                value,
+                grad_norm: gnorm,
+                iterations: iter,
+                evals,
+            });
+        }
+        // Newton direction: solve H d = -g, damping if needed.
+        let step = solve_direction(&hess, &grad)?;
+        // Line search along the (descent) direction.
+        let slope = crate::dot(&grad, &step);
+        let slope = if slope < 0.0 {
+            slope
+        } else {
+            // Damped solve failed to produce descent; fall back to -g.
+            -crate::dot(&grad, &grad)
+        };
+        let dir: Vec<f64> = if crate::dot(&grad, &step) < 0.0 {
+            step
+        } else {
+            grad.iter().map(|g| -g).collect()
+        };
+        let mut t = 1.0;
+        let mut accepted = false;
+        let mut new_theta = vec![0.0; n];
+        for _ in 0..opt.max_line_search {
+            for ((nt, &th), &d) in new_theta.iter_mut().zip(&theta).zip(&dir) {
+                *nt = th + t * d;
+            }
+            let new_value = obj.eval(&new_theta, &mut grad, &mut hess);
+            evals += 1;
+            if new_value.is_finite() && new_value <= value + opt.armijo_c * t * slope {
+                theta.copy_from_slice(&new_theta);
+                value = new_value;
+                accepted = true;
+                break;
+            }
+            t *= opt.backtrack;
+        }
+        if !accepted {
+            // Re-evaluate at the current point so grad/hess are consistent,
+            // then give up: the step has underflowed.
+            value = obj.eval(&theta, &mut grad, &mut hess);
+            evals += 1;
+            let gnorm = crate::norm_inf(&grad);
+            if gnorm <= opt.grad_tol.max(opt.accept_tol) {
+                return Ok(NewtonResult {
+                    theta,
+                    value,
+                    grad_norm: gnorm,
+                    iterations: iter + 1,
+                    evals,
+                });
+            }
+            return Err(Error::NoConvergence {
+                iterations: iter + 1,
+                residual: gnorm,
+            });
+        }
+    }
+    let gnorm = crate::norm_inf(&grad);
+    if gnorm <= opt.accept_tol {
+        return Ok(NewtonResult {
+            theta,
+            value,
+            grad_norm: gnorm,
+            iterations: opt.max_iter,
+            evals,
+        });
+    }
+    Err(Error::NoConvergence {
+        iterations: opt.max_iter,
+        residual: gnorm,
+    })
+}
+
+/// Solve `H d = -g` with escalating Tikhonov damping until the (shifted)
+/// Hessian is positive definite.
+fn solve_direction(hess: &Matrix, grad: &[f64]) -> Result<Vec<f64>> {
+    let n = grad.len();
+    let neg_g: Vec<f64> = grad.iter().map(|g| -g).collect();
+    let scale = hess.max_abs().max(1e-300);
+    let mut damping = 0.0f64;
+    for attempt in 0..12 {
+        let mut h = hess.clone();
+        if damping > 0.0 {
+            for i in 0..n {
+                h[(i, i)] += damping;
+            }
+        }
+        if let Ok(ch) = Cholesky::factor(&h) {
+            let d = ch.solve(&neg_g);
+            if d.iter().all(|x| x.is_finite()) {
+                return Ok(d);
+            }
+        }
+        damping = if attempt == 0 {
+            scale * 1e-10
+        } else {
+            damping * 100.0
+        };
+    }
+    Err(Error::NotPositiveDefinite { pivot: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic objective 0.5 x'Ax - b'x with known minimizer.
+    struct Quadratic {
+        a: Matrix,
+        b: Vec<f64>,
+    }
+
+    impl NewtonObjective for Quadratic {
+        fn dim(&self) -> usize {
+            self.b.len()
+        }
+        fn eval(&mut self, theta: &[f64], grad: &mut [f64], hess: &mut Matrix) -> f64 {
+            let ax = self.a.matvec(theta);
+            for i in 0..theta.len() {
+                grad[i] = ax[i] - self.b[i];
+            }
+            *hess = self.a.clone();
+            0.5 * crate::dot(theta, &ax) - crate::dot(&self.b, theta)
+        }
+    }
+
+    #[test]
+    fn newton_solves_quadratic_in_one_step() {
+        let mut obj = Quadratic {
+            a: Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]),
+            b: vec![1.0, -1.0],
+        };
+        let res = newton_minimize(&mut obj, &[0.0, 0.0], NewtonOptions::default()).unwrap();
+        // Solution of A x = b.
+        let expect = obj.a.solve(&obj.b).unwrap();
+        assert!(res.iterations <= 2);
+        assert!((res.theta[0] - expect[0]).abs() < 1e-9);
+        assert!((res.theta[1] - expect[1]).abs() < 1e-9);
+    }
+
+    /// Smooth convex non-quadratic: log-sum-exp style.
+    struct LogSumExp;
+
+    impl NewtonObjective for LogSumExp {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval(&mut self, t: &[f64], grad: &mut [f64], hess: &mut Matrix) -> f64 {
+            // f = exp(x + y) + exp(x - y) + exp(-x) ; strictly convex.
+            let e1 = (t[0] + t[1]).exp();
+            let e2 = (t[0] - t[1]).exp();
+            let e3 = (-t[0]).exp();
+            grad[0] = e1 + e2 - e3;
+            grad[1] = e1 - e2;
+            hess[(0, 0)] = e1 + e2 + e3;
+            hess[(0, 1)] = e1 - e2;
+            hess[(1, 0)] = e1 - e2;
+            hess[(1, 1)] = e1 + e2;
+            e1 + e2 + e3
+        }
+    }
+
+    #[test]
+    fn newton_converges_on_smooth_convex() {
+        let res = newton_minimize(&mut LogSumExp, &[2.0, -3.0], NewtonOptions::default()).unwrap();
+        assert!(res.grad_norm < 1e-8);
+        // Minimizer: grad = 0 -> y = 0, 2 e^x = e^{-x} -> x = -ln(2)/3... check
+        // by verifying gradient residual instead of closed form.
+        assert!(res.value > 0.0);
+    }
+
+    #[test]
+    fn newton_rejects_nan_start() {
+        struct Bad;
+        impl NewtonObjective for Bad {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn eval(&mut self, _t: &[f64], g: &mut [f64], _h: &mut Matrix) -> f64 {
+                g[0] = f64::NAN;
+                f64::NAN
+            }
+        }
+        assert!(newton_minimize(&mut Bad, &[0.0], NewtonOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Mergeable quantile summaries — the baselines of the moments-sketch
+//! evaluation (Section 6.1 of the paper), implemented from scratch.
+//!
+//! | type | paper label | source |
+//! |------|-------------|--------|
+//! | [`GkSummary`] | `GK` | Greenwald–Khanna, 'GKArray' variant of Luo et al. |
+//! | [`TDigest`] | `T-Digest` | Dunning & Ertl's merging t-digest |
+//! | [`EwHist`] | `EW-Hist` | equi-width histogram on power-of-two ranges |
+//! | [`SHist`] | `S-Hist` | Ben-Haim & Tom-Tov streaming histogram (Druid) |
+//! | [`RandomW`] | `RandomW` | randomized mergeable buffer sketch |
+//! | [`ReservoirSample`] | `Sampling` | Vitter reservoir with weighted merge |
+//! | [`Merge12`] | `Merge12` | low-discrepancy mergeable sketch (Agarwal et al.) |
+//! | [`MSketchSummary`] | `M-Sketch` | adapter over [`moments_sketch`] |
+//!
+//! All types implement [`QuantileSummary`], the shared
+//! accumulate/merge/query interface the benchmark harness drives.
+
+#![warn(missing_docs)]
+
+pub mod ewhist;
+pub mod exact;
+pub mod gk;
+pub mod merge12;
+pub mod msketch;
+pub mod randomw;
+pub mod rng;
+pub mod sampling;
+pub mod shist;
+pub mod tdigest;
+pub mod traits;
+
+pub use ewhist::EwHist;
+pub use exact::{avg_quantile_error, quantile_error, ExactQuantiles};
+pub use gk::GkSummary;
+pub use merge12::Merge12;
+pub use msketch::MSketchSummary;
+pub use randomw::RandomW;
+pub use sampling::ReservoirSample;
+pub use shist::SHist;
+pub use tdigest::TDigest;
+pub use traits::QuantileSummary;

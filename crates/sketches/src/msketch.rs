@@ -1,0 +1,115 @@
+//! Adapter exposing the moments sketch through the shared
+//! [`QuantileSummary`] interface, so the benchmark harness can drive it
+//! interchangeably with the baselines.
+
+use crate::traits::QuantileSummary;
+use moments_sketch::{MomentsSketch, SolverConfig};
+
+/// Moments sketch behind the common summary interface (`M-Sketch` in the
+/// paper's figures).
+#[derive(Debug, Clone)]
+pub struct MSketchSummary {
+    /// Underlying sketch.
+    pub sketch: MomentsSketch,
+    /// Estimation settings used at query time.
+    pub config: SolverConfig,
+}
+
+impl MSketchSummary {
+    /// Create an order-`k` moments sketch summary.
+    pub fn new(k: usize) -> Self {
+        MSketchSummary {
+            sketch: MomentsSketch::new(k),
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Create with a custom solver configuration.
+    pub fn with_config(k: usize, config: SolverConfig) -> Self {
+        MSketchSummary {
+            sketch: MomentsSketch::new(k),
+            config,
+        }
+    }
+}
+
+impl QuantileSummary for MSketchSummary {
+    fn name(&self) -> &'static str {
+        "M-Sketch"
+    }
+
+    fn accumulate(&mut self, x: f64) {
+        self.sketch.accumulate(x);
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.sketch.merge(&other.sketch);
+    }
+
+    fn quantile(&self, phi: f64) -> f64 {
+        match moments_sketch::solve_robust(&self.sketch, &self.config) {
+            Ok(sol) => sol.quantile(phi).unwrap_or(f64::NAN),
+            Err(_) => f64::NAN,
+        }
+    }
+
+    fn quantiles(&self, phis: &[f64]) -> Vec<f64> {
+        // One max-entropy solve amortized over all requested quantiles,
+        // with moment back-off on hard (near-discrete) populations.
+        match moments_sketch::solve_robust(&self.sketch, &self.config) {
+            Ok(sol) => phis
+                .iter()
+                .map(|&p| sol.quantile(p).unwrap_or(f64::NAN))
+                .collect(),
+            Err(_) => vec![f64::NAN; phis.len()],
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.sketch.count() as u64
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.sketch.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{avg_quantile_error, eval_phis};
+
+    #[test]
+    fn matches_direct_solver_usage() {
+        let data: Vec<f64> = (1..=20_000).map(|i| (i as f64).sqrt()).collect();
+        let mut s = MSketchSummary::new(10);
+        s.accumulate_all(&data);
+        let phis = eval_phis();
+        let qs = s.quantiles(&phis);
+        let err = avg_quantile_error(&data, &qs, &phis);
+        assert!(err < 0.01, "err {err}");
+    }
+
+    #[test]
+    fn merge_through_adapter() {
+        let mut a = MSketchSummary::new(8);
+        let mut b = MSketchSummary::new(8);
+        a.accumulate_all(&(1..=500).map(f64::from).collect::<Vec<_>>());
+        b.accumulate_all(&(501..=1000).map(f64::from).collect::<Vec<_>>());
+        a.merge_from(&b);
+        assert_eq!(a.count(), 1000);
+        let q = a.quantile(0.5);
+        assert!((q - 500.0).abs() < 30.0, "median {q}");
+    }
+
+    #[test]
+    fn size_matches_paper() {
+        assert_eq!(MSketchSummary::new(10).size_bytes(), 184);
+    }
+
+    #[test]
+    fn degenerate_input_yields_nan_not_panic() {
+        let s = MSketchSummary::new(10);
+        assert!(s.quantile(0.5).is_nan());
+    }
+}

@@ -1,0 +1,92 @@
+//! Tiny deterministic PRNG for the randomized summaries.
+//!
+//! The randomized sketches (RandomW, Merge12, reservoir sampling) need a
+//! fast, seedable generator whose state is part of the summary so results
+//! are reproducible. xorshift64* is more than adequate and keeps this
+//! crate dependency-free.
+
+/// xorshift64* generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeded generator (seed 0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift; bias is negligible for our n << 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A fair coin flip.
+    #[inline]
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut r = Rng::new(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = Rng::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn zero_seed_remapped() {
+        let mut r = Rng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

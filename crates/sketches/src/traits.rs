@@ -1,0 +1,90 @@
+//! The shared interface all mergeable quantile summaries implement.
+
+/// A mergeable quantile summary (Agarwal et al.'s mergeability model,
+//  Section 3.2 of the paper).
+pub trait QuantileSummary: Clone {
+    /// Display name matching the paper's figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Insert one value.
+    fn accumulate(&mut self, x: f64);
+
+    /// Insert a slice of values.
+    fn accumulate_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.accumulate(x);
+        }
+    }
+
+    /// Merge another summary of the same type into this one.
+    fn merge_from(&mut self, other: &Self);
+
+    /// Estimate the `phi`-quantile (`phi ∈ (0, 1)`).
+    fn quantile(&self, phi: f64) -> f64;
+
+    /// Estimate several quantiles. Implementations override this when a
+    /// single query setup can be shared (the moments sketch solves its
+    /// optimization once here).
+    fn quantiles(&self, phis: &[f64]) -> Vec<f64> {
+        phis.iter().map(|&p| self.quantile(p)).collect()
+    }
+
+    /// Number of points summarized.
+    fn count(&self) -> u64;
+
+    /// Approximate serialized size in bytes (the quantity Table 2 and the
+    /// size sweeps of Figures 4, 5, and 7 report).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Builds fresh summaries of one configuration; used by the harness to
+/// pre-aggregate one summary per data-cube cell.
+pub trait SummaryFactory {
+    /// The summary type built.
+    type Summary: QuantileSummary;
+    /// A fresh, empty summary.
+    fn build(&self) -> Self::Summary;
+
+    /// Build one summary per cell of `cell_size` consecutive elements.
+    fn build_cells(&self, data: &[f64], cell_size: usize) -> Vec<Self::Summary> {
+        data.chunks(cell_size)
+            .map(|chunk| {
+                let mut s = self.build();
+                s.accumulate_all(chunk);
+                s
+            })
+            .collect()
+    }
+}
+
+/// Blanket factory from a closure.
+pub struct FnFactory<S, F: Fn() -> S>(pub F);
+
+impl<S: QuantileSummary, F: Fn() -> S> SummaryFactory for FnFactory<S, F> {
+    type Summary = S;
+    fn build(&self) -> S {
+        (self.0)()
+    }
+}
+
+impl<S, F: Fn() -> S + Clone> Clone for FnFactory<S, F> {
+    fn clone(&self) -> Self {
+        FnFactory(self.0.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReservoirSample;
+
+    #[test]
+    fn factory_builds_cells() {
+        let factory = FnFactory(|| ReservoirSample::new(16, 7));
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let cells = factory.build_cells(&data, 30);
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].count(), 30);
+        assert_eq!(cells[3].count(), 10);
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's motivating scenario: a Druid-like cube over mobile
+//! telemetry, pre-aggregated by (country, app version, OS), answering
+//! roll-up percentile queries and a GROUP BY ... HAVING threshold query.
+//!
+//! Run: `cargo run --release --example app_telemetry`
+
+use msketch::cube::{DataCube, GroupThresholdQuery, QueryEngine};
+use msketch::datasets::dist;
+use msketch::sketches::{traits::FnFactory, MSketchSummary, QuantileSummary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let countries = ["USA", "CAN", "MEX", "BRA", "DEU", "JPN"];
+    let versions = ["v7.0", "v7.1", "v8.0", "v8.1", "v8.2"];
+    let oses = ["ios-6.1", "ios-6.2", "ios-6.3", "android-12"];
+
+    let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
+        FnFactory(|| MSketchSummary::new(10));
+    let mut cube = DataCube::new(factory, &["country", "app_version", "os"]);
+
+    // Ingest telemetry: request latency in ms, log-normal-ish, with a
+    // regression in v8.2 on android.
+    let mut rng = StdRng::seed_from_u64(2024);
+    for _ in 0..400_000 {
+        let country = countries[rng.gen_range(0..countries.len())];
+        let version = versions[rng.gen_range(0..versions.len())];
+        let os = oses[rng.gen_range(0..oses.len())];
+        let mut latency = dist::lognormal(&mut rng, 3.0, 0.7);
+        if version == "v8.2" && os == "android-12" {
+            latency *= 6.0; // the regression we want to find
+        }
+        cube.insert(&[country, version, os], latency).unwrap();
+    }
+    println!(
+        "cube: {} rows in {} cells ({} dims)",
+        cube.row_count(),
+        cube.cell_count(),
+        cube.dim_count()
+    );
+
+    // Roll-up: global p99 (merges every cell).
+    let p99 = QueryEngine::quantile(&cube, &cube.no_filter(), 0.99).unwrap();
+    println!("global p99 latency = {p99:.1} ms");
+
+    // Filtered roll-up: p99 for USA on v8.2 (the paper's example query).
+    let mut filter = cube.no_filter();
+    filter[0] = cube.dictionary(0).unwrap().lookup("USA");
+    filter[1] = cube.dictionary(1).unwrap().lookup("v8.2");
+    let usa_v82 = QueryEngine::quantile(&cube, &filter, 0.99).unwrap();
+    println!("USA / v8.2 p99 latency = {usa_v82:.1} ms");
+
+    // Threshold query: GROUP BY (version, os) HAVING p99 > 100ms.
+    let groups = cube.group_by(&[1, 2], &cube.no_filter()).unwrap();
+    let query = GroupThresholdQuery::new(0.99, 150.0);
+    let (hits, stats) = query.run(&groups);
+    println!(
+        "\nGROUP BY (version, os) HAVING p99 > 150ms — {} of {} groups:",
+        hits.len(),
+        groups.len()
+    );
+    for key in &hits {
+        let version = cube.dictionary(1).unwrap().decode(key[0]).unwrap();
+        let os = cube.dictionary(2).unwrap().decode(key[1]).unwrap();
+        let q = groups[key].quantile(0.99);
+        println!("  {version:>6} on {os:<12} p99 = {q:.0} ms");
+    }
+    println!(
+        "cascade resolved {}/{} groups without a max-entropy solve",
+        stats.simple_hits + stats.markov_hits + stats.rtt_hits,
+        stats.total
+    );
+}

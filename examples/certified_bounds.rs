@@ -1,0 +1,48 @@
+//! Certified quantile enclosures: what the sketch can *guarantee*, not
+//! just estimate (Section 5.1 bounds, inverted).
+//!
+//! SLO reporting is the motivating use: "p99 is at most X" must hold for
+//! every dataset consistent with the sketch, not merely for the
+//! max-entropy estimate.
+//!
+//! Run: `cargo run --release --example certified_bounds`
+
+use msketch::core::MomentsSketch;
+use msketch::datasets::dist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut latencies: Vec<f64> = (0..200_000)
+        .map(|_| dist::gamma(&mut rng, 2.0, 12.0) + 1.0)
+        .collect();
+
+    for k in [4usize, 8, 12] {
+        let sketch = MomentsSketch::from_data(k, &latencies);
+        println!("--- sketch order k = {k} ({} bytes) ---", sketch.size_bytes());
+        for phi in [0.5, 0.9, 0.99] {
+            let (est, interval) = sketch.quantile_with_bounds(phi).expect("solve");
+            println!(
+                "p{:<4}: estimate {est:>7.2} ms, certified within [{:>7.2}, {:>7.2}] (width {:.1})",
+                phi * 100.0,
+                interval.lo,
+                interval.hi,
+                interval.width()
+            );
+        }
+    }
+
+    // Ground truth for comparison.
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = latencies.len();
+    println!("--- exact ---");
+    for phi in [0.5, 0.9, 0.99] {
+        println!(
+            "p{:<4}: {:.2} ms",
+            phi * 100.0,
+            latencies[(phi * n as f64) as usize]
+        );
+    }
+    println!("\nHigher orders tighten the certified interval; the estimate sits\ninside it at every order.");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build moments sketches, merge them, and estimate quantiles.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use msketch::core::{solve_robust, MomentsSketch, SolverConfig};
+
+fn main() {
+    // Simulate per-server latency measurements (ms) collected on three
+    // machines. Each machine maintains its own 184-byte sketch...
+    let mut server_a = MomentsSketch::new(10);
+    let mut server_b = MomentsSketch::new(10);
+    let mut server_c = MomentsSketch::new(10);
+    for i in 0..50_000 {
+        let base = 5.0 + (i % 1000) as f64 / 100.0; // 5–15 ms body
+        server_a.accumulate(base);
+        server_b.accumulate(base * 1.2);
+        // Server C has a slow tail.
+        server_c.accumulate(if i % 100 == 0 { base * 40.0 } else { base });
+    }
+    println!(
+        "per-server sketches: {} bytes each, {} points total",
+        server_a.size_bytes(),
+        server_a.count() + server_b.count() + server_c.count()
+    );
+
+    // ...and the fleet-wide view is a three-way merge: a few float adds.
+    let mut fleet = server_a.clone();
+    fleet.merge(&server_b);
+    fleet.merge(&server_c);
+
+    // Quantile estimation solves the maximum-entropy problem once, then
+    // answers any number of quantiles.
+    let solution = solve_robust(&fleet, &SolverConfig::default()).expect("solve");
+    println!(
+        "solver: k1={} standard moments, k2={} log moments, {} Newton iterations",
+        solution.k1(),
+        solution.k2(),
+        solution.iterations()
+    );
+    for phi in [0.5, 0.9, 0.99, 0.999] {
+        let q = solution.quantile(phi).expect("quantile");
+        println!("p{:<5} = {q:>8.2} ms", phi * 100.0);
+    }
+
+    // The estimated CDF is also directly queryable.
+    println!(
+        "fraction of requests under 20ms ≈ {:.1}%",
+        100.0 * solution.cdf(20.0)
+    );
+}

@@ -1,0 +1,25 @@
+//! # msketch — moments-sketch workspace facade
+//!
+//! One-stop crate re-exporting the whole reproduction of *Moment-Based
+//! Quantile Sketches for Efficient High Cardinality Aggregation Queries*
+//! (Gan et al., VLDB 2018):
+//!
+//! * [`core`] — the moments sketch, maximum-entropy solver, bounds,
+//!   cascades, and lesion-study estimators;
+//! * [`sketches`] — the baseline mergeable quantile summaries;
+//! * [`datasets`] — calibrated synthetic evaluation datasets;
+//! * [`cube`] — the Druid-like pre-aggregation engine;
+//! * [`macrobase`] — the MacroBase-like threshold-search engine;
+//! * [`numerics`] — the numerical substrate.
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-figure reproduction harnesses.
+
+pub use moments_sketch as core;
+pub use msketch_cube as cube;
+pub use msketch_datasets as datasets;
+pub use msketch_macrobase as macrobase;
+pub use msketch_sketches as sketches;
+pub use numerics;
+
+pub use moments_sketch::{MomentsSketch, SolverConfig};

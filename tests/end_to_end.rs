@@ -1,0 +1,165 @@
+//! End-to-end integration tests spanning crates: dataset generation →
+//! per-cell pre-aggregation → merging → maximum-entropy estimation,
+//! checked against exact quantiles (a miniature of the paper's Figure 7
+//! protocol).
+
+use msketch::core::{solve_robust, MomentsSketch, SolverConfig};
+use msketch::datasets::{fixed_cells, Dataset};
+use msketch::sketches::{avg_quantile_error, exact::eval_phis};
+
+/// Accuracy targets per dataset at k = 10 (loose versions of the paper's
+/// Figure 7 results; our datasets are synthetic look-alikes).
+fn accuracy_target(d: Dataset) -> f64 {
+    match d {
+        Dataset::Milan => 0.01,
+        Dataset::Hepmass => 0.01,
+        Dataset::Occupancy => 0.03, // bimodal: hardest for max-ent
+        Dataset::Retail => 0.02,    // near-discrete integers
+        Dataset::Power => 0.01,
+        Dataset::Exponential => 0.005,
+    }
+}
+
+#[test]
+fn merged_cells_estimate_accurately_on_all_datasets() {
+    let phis = eval_phis();
+    for dataset in Dataset::all() {
+        let n = dataset.default_size().min(100_000);
+        let data = dataset.generate(n, 1234);
+        // Pre-aggregate into cells of 200 and merge, as a cube would.
+        let mut merged = MomentsSketch::new(10);
+        for cell in fixed_cells(&data, 200) {
+            merged.merge(&MomentsSketch::from_data(10, cell));
+        }
+        let sol = solve_robust(&merged, &SolverConfig::default())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", dataset.name()));
+        let mut est = sol.quantiles(&phis).unwrap();
+        if data.iter().take(50).all(|x| x.fract() == 0.0) {
+            est.iter_mut().for_each(|q| *q = q.round());
+        }
+        let err = avg_quantile_error(&data, &est, &phis);
+        assert!(
+            err <= accuracy_target(dataset),
+            "{}: eps_avg {err} > {}",
+            dataset.name(),
+            accuracy_target(dataset)
+        );
+    }
+}
+
+#[test]
+fn merging_order_does_not_change_estimates() {
+    let data = Dataset::Power.generate(50_000, 77);
+    let cells: Vec<MomentsSketch> = fixed_cells(&data, 500)
+        .iter()
+        .map(|c| MomentsSketch::from_data(10, c))
+        .collect();
+    // Forward order.
+    let mut fwd = MomentsSketch::new(10);
+    for c in &cells {
+        fwd.merge(c);
+    }
+    // Reverse order.
+    let mut rev = MomentsSketch::new(10);
+    for c in cells.iter().rev() {
+        rev.merge(c);
+    }
+    // Tree order.
+    let mut level: Vec<MomentsSketch> = cells.clone();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                let mut m = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                m
+            })
+            .collect();
+    }
+    let tree = level.pop().unwrap();
+    let cfg = SolverConfig::default();
+    let q_fwd = fwd.solve(&cfg).unwrap().quantile(0.95).unwrap();
+    let q_rev = rev.solve(&cfg).unwrap().quantile(0.95).unwrap();
+    let q_tree = tree.solve(&cfg).unwrap().quantile(0.95).unwrap();
+    assert!((q_fwd - q_rev).abs() < 1e-6 * q_fwd.abs());
+    assert!((q_fwd - q_tree).abs() < 1e-6 * q_fwd.abs());
+}
+
+#[test]
+fn bounds_certify_estimates_across_datasets() {
+    use msketch::core::bounds::combined_bound;
+    for dataset in [Dataset::Exponential, Dataset::Power, Dataset::Hepmass] {
+        let data = dataset.generate(40_000, 3);
+        let sketch = MomentsSketch::from_data(10, &data);
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len() as f64;
+        for &phi in &[0.1, 0.5, 0.9] {
+            let t = sorted[(phi * n) as usize];
+            let truth = sorted.partition_point(|&x| x < t) as f64 / n;
+            let b = combined_bound(&sketch, t);
+            assert!(
+                b.lower <= truth + 1e-6 && truth <= b.upper + 1e-6,
+                "{} phi={phi}: [{:.4},{:.4}] vs {truth:.4}",
+                dataset.name(),
+                b.lower,
+                b.upper
+            );
+        }
+    }
+}
+
+#[test]
+fn serialized_sketches_survive_the_full_pipeline() {
+    use msketch::core::serialize::{from_bytes, to_bytes};
+    let data = Dataset::Exponential.generate(30_000, 5);
+    let mut merged = MomentsSketch::new(10);
+    for cell in fixed_cells(&data, 100) {
+        let sketch = MomentsSketch::from_data(10, cell);
+        // Round-trip every cell through the wire format.
+        let restored = from_bytes(&to_bytes(&sketch)).unwrap();
+        merged.merge(&restored);
+    }
+    let q = merged.quantile(0.99).unwrap();
+    let exact = {
+        let mut s = data.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[(0.99 * s.len() as f64) as usize]
+    };
+    assert!((q - exact).abs() / exact < 0.1, "q={q} exact={exact}");
+}
+
+#[test]
+fn cascade_and_direct_estimation_agree_end_to_end() {
+    use msketch::core::{CascadeConfig, ThresholdEvaluator};
+    let data = Dataset::Milan.generate(60_000, 9);
+    let groups: Vec<MomentsSketch> = fixed_cells(&data, 2_000)
+        .iter()
+        .map(|c| MomentsSketch::from_data(10, c))
+        .collect();
+    let mut fast = ThresholdEvaluator::new(CascadeConfig::default());
+    let mut slow = ThresholdEvaluator::new(CascadeConfig::baseline());
+    let cfg = SolverConfig::default();
+    let t = {
+        let mut all = groups[0].clone();
+        for g in &groups[1..] {
+            all.merge(g);
+        }
+        all.solve(&cfg).unwrap().quantile(0.9).unwrap()
+    };
+    // Mix easy predicates (phi far from F(t), resolvable by bounds) with
+    // hard ones (phi right at F(t), requiring the estimate).
+    let mut disagreements = 0;
+    for g in &groups {
+        for phi in [0.3, 0.9, 0.995] {
+            if fast.threshold(g, t, phi) != slow.threshold(g, t, phi) {
+                disagreements += 1;
+            }
+        }
+    }
+    assert_eq!(disagreements, 0);
+    // The cascade must have actually skipped work on the easy predicates.
+    assert!(fast.stats().maxent_evals < slow.stats().maxent_evals);
+}

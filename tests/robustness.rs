@@ -1,0 +1,109 @@
+//! Robustness tests: malformed inputs must produce errors, never panics
+//! or silent corruption.
+
+use msketch::core::lowprec::LowPrecisionCodec;
+use msketch::core::serialize::{from_bytes, to_bytes};
+use msketch::core::{solve_robust, MomentsSketch, SolverConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the binary decoder.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = from_bytes(&bytes); // Ok or Err, both fine
+    }
+
+    /// Arbitrary bytes never panic the low-precision decoder.
+    #[test]
+    fn lowprec_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = LowPrecisionCodec::decode(&bytes);
+    }
+
+    /// Bit-flip corruption of a valid encoding is either rejected or
+    /// decodes into a sketch whose estimation path still terminates.
+    #[test]
+    fn bitflip_survivable(flip_byte in 4usize..100, flip_bit in 0u8..8) {
+        let data: Vec<f64> = (1..=500).map(|i| i as f64).collect();
+        let s = MomentsSketch::from_data(10, &data);
+        let mut bytes = to_bytes(&s);
+        if flip_byte < bytes.len() {
+            bytes[flip_byte] ^= 1 << flip_bit;
+        }
+        if let Ok(sketch) = from_bytes(&bytes) {
+            // May fail to solve (corrupt moments) but must not panic.
+            let _ = solve_robust(&sketch, &SolverConfig::default());
+        }
+    }
+}
+
+#[test]
+fn solver_handles_extreme_magnitudes() {
+    for scale in [1e-150, 1e-30, 1.0, 1e30, 1e150] {
+        let data: Vec<f64> = (1..=2_000).map(|i| i as f64 * scale).collect();
+        let sketch = MomentsSketch::from_data(10, &data);
+        let sol = solve_robust(&sketch, &SolverConfig::default())
+            .unwrap_or_else(|e| panic!("scale {scale}: {e}"));
+        let q = sol.quantile(0.5).unwrap();
+        let expected = 1_000.0 * scale;
+        assert!(
+            (q - expected).abs() < 0.1 * expected,
+            "scale {scale}: median {q} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn solver_handles_constant_and_near_constant_data() {
+    // Exactly constant.
+    let s = MomentsSketch::from_data(10, &vec![42.0; 1000]);
+    assert_eq!(s.quantile(0.9).unwrap(), 42.0);
+    // Constant plus one outlier: must terminate (Ok or clean error).
+    let mut data = vec![42.0; 1000];
+    data.push(43.0);
+    let s = MomentsSketch::from_data(10, &data);
+    if let Ok(sol) = solve_robust(&s, &SolverConfig::default()) {
+        let q = sol.quantile(0.5).unwrap();
+        assert!((42.0..=43.0).contains(&q));
+    }
+}
+
+#[test]
+fn solver_handles_mixed_signs_and_zeros() {
+    let data: Vec<f64> = (-500..=500).map(|i| i as f64 / 10.0).collect();
+    let sketch = MomentsSketch::from_data(10, &data);
+    assert!(!sketch.log_usable());
+    let sol = solve_robust(&sketch, &SolverConfig::default()).unwrap();
+    assert!(sol.quantile(0.5).unwrap().abs() < 1.0);
+}
+
+#[test]
+fn subtraction_to_empty_window_is_safe() {
+    let pane = MomentsSketch::from_data(8, &[1.0, 2.0, 3.0]);
+    let mut window = pane.clone();
+    window.sub(&pane);
+    assert!(window.is_empty());
+    // Estimating an empty window errors cleanly.
+    assert!(window.quantile(0.5).is_err());
+}
+
+#[test]
+fn nan_free_api_surface_on_tiny_sketches() {
+    for n in 1..6 {
+        let data: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let sketch = MomentsSketch::from_data(10, &data);
+        match solve_robust(&sketch, &SolverConfig::default()) {
+            Ok(sol) => {
+                let q = sol.quantile(0.5).unwrap();
+                assert!(q.is_finite());
+                assert!((sketch.min()..=sketch.max()).contains(&q));
+            }
+            Err(e) => {
+                // Tiny discrete supports may legitimately fail (paper
+                // Section 6.2.3) — but with a structured error.
+                assert!(matches!(e, msketch::core::Error::SolverFailed { .. }));
+            }
+        }
+    }
+}
