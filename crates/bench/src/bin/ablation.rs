@@ -48,7 +48,10 @@ fn main() {
         }
 
         print_table_header(
-            &format!("Ablation ({}): Chebyshev interpolation nodes", dataset.name()),
+            &format!(
+                "Ablation ({}): Chebyshev interpolation nodes",
+                dataset.name()
+            ),
             &["nodes", "eps_avg", "t_solve"],
             &widths,
         );

@@ -54,8 +54,10 @@ fn main() {
             );
         }
         if let Some(base) = msketch_total {
-            println!("(speedups vs M-Sketch follow from the `total` column; base = {})",
-                fmt_duration(base));
+            println!(
+                "(speedups vs M-Sketch follow from the `total` column; base = {})",
+                fmt_duration(base)
+            );
         }
     }
 }

@@ -11,10 +11,7 @@ fn main() {
     let args = HarnessArgs::parse();
     let phis = eval_phis();
     for dataset in Dataset::all() {
-        let n = args.scale(
-            dataset.default_size().min(200_000),
-            dataset.default_size(),
-        );
+        let n = args.scale(dataset.default_size().min(200_000), dataset.default_size());
         let data = dataset.generate(n, 29);
         let integer_data = data.iter().take(100).all(|x| x.fract() == 0.0);
         let widths = [10, 14, 12, 12];

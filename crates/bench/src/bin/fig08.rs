@@ -38,10 +38,7 @@ fn main() {
             } else {
                 format!("{:.4}", avg_quantile_error(&data, &est, &phis))
             };
-            print_table_row(
-                &[format!("{card}"), cfg.label().into(), cell],
-                &widths,
-            );
+            print_table_row(&[format!("{card}"), cfg.label().into(), cell], &widths);
         }
         card *= 2;
     }

@@ -26,11 +26,7 @@ fn estimators(source: MomentSource, k: usize) -> Vec<Box<dyn QuantileEstimator>>
         Box::new(SvdEstimator { source, grid: 256 }),
         Box::new(CvxMinEstimator { source, grid: 128 }),
         Box::new(CvxMaxEntEstimator { source, grid: 1000 }),
-        Box::new(NaiveNewtonEstimator {
-            k1,
-            k2,
-            tol: 1e-9,
-        }),
+        Box::new(NaiveNewtonEstimator { k1, k2, tol: 1e-9 }),
         Box::new(BfgsEstimator { k1, k2 }),
         Box::new(OptEstimator {
             config: SolverConfig {
@@ -71,10 +67,7 @@ fn main() {
                 Ok(qs) => format!("{:.2}", 100.0 * avg_quantile_error(&data, &qs, &phis)),
                 Err(e) => format!("fail:{e:.15}"),
             };
-            print_table_row(
-                &[est.name().into(), row, fmt_duration(t)],
-                &widths,
-            );
+            print_table_row(&[est.name().into(), row, fmt_duration(t)], &widths);
         }
     }
     println!(

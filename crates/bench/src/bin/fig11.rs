@@ -20,7 +20,10 @@ fn main() {
     let chunks = fixed_cells(&data, 4); // tiny cells ≈ many single-row cube entries
     let widths = [14, 12, 12];
     print_table_header(
-        &format!("Figure 11: Druid-style end-to-end p99 ({} cells)", chunks.len()),
+        &format!(
+            "Figure 11: Druid-style end-to-end p99 ({} cells)",
+            chunks.len()
+        ),
         &["aggregation", "query", "note"],
         &widths,
     );

@@ -91,12 +91,8 @@ fn main() {
                 .collect::<Vec<_>>()
         });
         let labels: Vec<String> = (0..groups.len()).map(|i| format!("g{i}")).collect();
-        let (hits, t_est) = time_it(|| {
-            engine.search(
-                labels.iter().map(String::as_str).zip(groups.iter()),
-                t99,
-            )
-        });
+        let (hits, t_est) =
+            time_it(|| engine.search(labels.iter().map(String::as_str).zip(groups.iter()), t99));
         print_table_row(
             &[
                 label.into(),
@@ -132,8 +128,7 @@ fn main() {
                 .collect::<Vec<_>>()
         });
         let phi = MacroBaseConfig::default().subpopulation_phi();
-        let (hits, t_est) =
-            time_it(|| groups.iter().filter(|g| g.quantile(phi) > t99).count());
+        let (hits, t_est) = time_it(|| groups.iter().filter(|g| g.quantile(phi) > t99).count());
         print_table_row(
             &[
                 "Merge12a".into(),

@@ -33,8 +33,21 @@ fn main() {
     let base = CascadeConfig::baseline();
     let variants = [
         ("Baseline", base),
-        ("+Simple", CascadeConfig { use_simple: true, ..base }),
-        ("+Markov", CascadeConfig { use_simple: true, use_markov: true, ..base }),
+        (
+            "+Simple",
+            CascadeConfig {
+                use_simple: true,
+                ..base
+            },
+        ),
+        (
+            "+Markov",
+            CascadeConfig {
+                use_simple: true,
+                use_markov: true,
+                ..base
+            },
+        ),
         ("+RTT", CascadeConfig::default()),
     ];
     let widths = [10, 14, 14];
@@ -46,18 +59,17 @@ fn main() {
     let mut fractions = [0.0f64; 4];
     for (label, cascade) in variants {
         let mut ev = ThresholdEvaluator::new(cascade);
-        let (_hits, t) = time_it(|| {
-            groups
-                .iter()
-                .filter(|g| ev.threshold(g, t99, phi))
-                .count()
-        });
+        let (_hits, t) = time_it(|| groups.iter().filter(|g| ev.threshold(g, t99, phi)).count());
         let qps = groups.len() as f64 / t.as_secs_f64();
         if label == "+RTT" {
             fractions = ev.stats().fraction_reaching();
         }
         print_table_row(
-            &[label.into(), format!("{qps:.0}"), msketch_bench::fmt_duration(t)],
+            &[
+                label.into(),
+                format!("{qps:.0}"),
+                msketch_bench::fmt_duration(t),
+            ],
             &widths,
         );
     }
@@ -79,7 +91,10 @@ fn main() {
             .count()
     });
     let (_, t_markov) = time_it(|| {
-        groups.iter().map(|g| markov_bound(g, t99).lower).sum::<f64>()
+        groups
+            .iter()
+            .map(|g| markov_bound(g, t99).lower)
+            .sum::<f64>()
     });
     let (_, t_rtt) = time_it(|| groups.iter().map(|g| rtt_bound(g, t99).lower).sum::<f64>());
     let (_, t_maxent) = time_it(|| {
@@ -97,7 +112,11 @@ fn main() {
     ] {
         let qps = reps as f64 / t.as_secs_f64();
         print_table_row(
-            &[label.into(), format!("{qps:.0}"), msketch_bench::fmt_duration(t)],
+            &[
+                label.into(),
+                format!("{qps:.0}"),
+                msketch_bench::fmt_duration(t),
+            ],
             &widths,
         );
     }
@@ -109,6 +128,9 @@ fn main() {
         &widths,
     );
     for (label, f) in ["Simple", "Markov", "RTT", "MaxEnt"].iter().zip(fractions) {
-        print_table_row(&[(*label).into(), format!("{f:.4}"), String::new()], &widths);
+        print_table_row(
+            &[(*label).into(), format!("{f:.4}"), String::new()],
+            &widths,
+        );
     }
 }

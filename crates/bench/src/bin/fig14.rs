@@ -21,10 +21,7 @@ fn main() {
     let phi = 0.99;
     let base = Dataset::Milan.generate(n_panes * per_pane, 59);
     let spike_panes = [n_panes / 3, 2 * n_panes / 3];
-    let mut pane_data: Vec<Vec<f64>> = base
-        .chunks(per_pane)
-        .map(|c| c.to_vec())
-        .collect();
+    let mut pane_data: Vec<Vec<f64>> = base.chunks(per_pane).map(|c| c.to_vec()).collect();
     for (i, &p) in spike_panes.iter().enumerate() {
         let v = if i == 0 { 2_000.0 } else { 1_000.0 };
         // Spikes span two hours (12 panes) and add 10% extra data.
@@ -47,9 +44,8 @@ fn main() {
             .map(|d| MomentsSketch::from_data(10, d))
             .collect::<Vec<_>>()
     });
-    let ((alerts, stats), t_scan) = time_it(|| {
-        scan_windows(&panes, window, threshold, phi, CascadeConfig::default())
-    });
+    let ((alerts, stats), t_scan) =
+        time_it(|| scan_windows(&panes, window, threshold, phi, CascadeConfig::default()));
     print_table_row(
         &[
             "M-Sketch turnstile".into(),

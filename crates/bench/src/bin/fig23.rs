@@ -53,7 +53,10 @@ fn main() {
         let data = dataset.generate(n, 101);
         let widths = [10, 14, 12, 14];
         print_table_header(
-            &format!("Figure 23 ({}): guaranteed error bound vs size", dataset.name()),
+            &format!(
+                "Figure 23 ({}): guaranteed error bound vs size",
+                dataset.name()
+            ),
             &["sketch", "param", "size(b)", "bound"],
             &widths,
         );

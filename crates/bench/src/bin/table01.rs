@@ -22,7 +22,9 @@ fn main() {
     let widths = [12, 10, 10, 10, 10, 10, 10, 8];
     print_table_header(
         "Table 1: Dataset Characteristics (generated | paper)",
-        &["dataset", "n", "min", "max", "mean", "stddev", "skew", "source"],
+        &[
+            "dataset", "n", "min", "max", "mean", "stddev", "skew", "source",
+        ],
         &widths,
     );
     for d in Dataset::all() {

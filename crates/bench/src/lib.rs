@@ -406,7 +406,10 @@ mod tests {
     #[test]
     fn table2_configs_cover_all_families() {
         use std::collections::HashSet;
-        for configs in [SummaryConfig::table2_milan(), SummaryConfig::table2_hepmass()] {
+        for configs in [
+            SummaryConfig::table2_milan(),
+            SummaryConfig::table2_hepmass(),
+        ] {
             let labels: HashSet<&str> = configs.iter().map(|c| c.label()).collect();
             assert_eq!(labels.len(), 8);
             for l in SummaryConfig::all_labels() {

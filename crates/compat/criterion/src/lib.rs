@@ -1,0 +1,295 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmark
+//! harness exposing the subset of the criterion 0.5 API the workspace's
+//! benches use (`Criterion`, benchmark groups, `Bencher::iter`,
+//! `black_box`, the `criterion_group!` / `criterion_main!` macros).
+//!
+//! Behavior follows criterion's two modes:
+//!
+//! * `cargo bench` passes `--bench`, so each registered function is
+//!   warmed up and timed for its configured measurement window, and a
+//!   mean per-iteration time is printed.
+//! * `cargo test` (no `--bench` flag) runs every benchmark body exactly
+//!   once as a smoke test, keeping the tier-1 suite fast.
+//!
+//! There is no statistical analysis, HTML report, or baseline storage —
+//! numbers printed here are honest means, useful for relative
+//! comparisons within one machine and run.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared throughput of a benchmark, printed alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    #[allow(dead_code)] // accepted for API fidelity; the harness is time-budgeted
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    bench_mode: bool,
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench` under `cargo bench`
+        // and without it under `cargo test`, which is how criterion
+        // itself distinguishes measurement runs from smoke runs.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            bench_mode,
+            settings: Settings::default(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Time one standalone function.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, self.settings, None, id.as_ref(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            settings,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.measurement_time = time;
+        self
+    }
+
+    /// Set the warm-up window for benchmarks in this group.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.warm_up_time = time;
+        self
+    }
+
+    /// Accepted for API fidelity; this harness is time-budgeted rather
+    /// than sample-count-budgeted.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Declare the per-iteration throughput, reported next to timings.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(
+            self.criterion.bench_mode,
+            self.settings,
+            self.throughput,
+            &full,
+            f,
+        );
+        self
+    }
+
+    /// Close the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code
+/// under measurement.
+pub struct Bencher {
+    bench_mode: bool,
+    settings: Settings,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time (one
+    /// smoke-test invocation when not under `cargo bench`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            black_box(f());
+            self.iterations = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // Warm-up: also estimates a batch size that keeps timer overhead
+        // below ~1% without overshooting the measurement window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (100_000 / per_iter.max(1)).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.settings.measurement_time {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.iterations = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    bench_mode: bool,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    id: &str,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        bench_mode,
+        settings,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if !bench_mode {
+        return;
+    }
+    let mean_ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (mean_ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (mean_ns / 1e9))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<40} {}  ({} iters){rate}",
+        fmt_ns(mean_ns),
+        bencher.iterations
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:>10.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:>10.2} µs/iter", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:>10.2} ms/iter", ns / 1e6)
+    } else {
+        format!("{:>10.2} s/iter", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a single group runner, as in
+/// criterion: `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` invoking each group:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            settings: Settings::default(),
+        };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion {
+            bench_mode: true,
+            settings: Settings {
+                measurement_time: Duration::from_millis(10),
+                warm_up_time: Duration::from_millis(2),
+                sample_size: 10,
+            },
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("spin", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

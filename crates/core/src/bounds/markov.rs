@@ -100,8 +100,16 @@ mod tests {
         for &t in &[0.1, 0.25, 0.5, 0.75, 0.9] {
             let truth = data.iter().filter(|&&x| x < t).count() as f64 / n;
             let b = markov_bound(&s, t);
-            assert!(b.lower <= truth + 1e-9, "t={t}: lower {} > {truth}", b.lower);
-            assert!(b.upper >= truth - 1e-9, "t={t}: upper {} < {truth}", b.upper);
+            assert!(
+                b.lower <= truth + 1e-9,
+                "t={t}: lower {} > {truth}",
+                b.lower
+            );
+            assert!(
+                b.upper >= truth - 1e-9,
+                "t={t}: upper {} < {truth}",
+                b.upper
+            );
         }
     }
 

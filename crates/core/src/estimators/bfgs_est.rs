@@ -8,7 +8,7 @@
 //! priced) iterations and wins overall. This estimator quantifies that
 //! gap.
 
-use super::{QuantileEstimator};
+use super::QuantileEstimator;
 use crate::estimators::naive_newton::forced_basis;
 use crate::solver::basis::PrimaryDomain;
 use crate::solver::maxent::MaxEntObjective;
@@ -58,7 +58,11 @@ impl QuantileEstimator for BfgsEstimator {
             return Ok(vec![sketch.min(); phis.len()]);
         }
         let basis = forced_basis(sketch, self.k1, self.k2)?;
-        let n_nodes = if basis.k1 > 0 && basis.k2 > 0 { 128 } else { 64 };
+        let n_nodes = if basis.k1 > 0 && basis.k2 > 0 {
+            128
+        } else {
+            64
+        };
         let mut obj = FirstOrder {
             inner: MaxEntObjective::new(&basis, n_nodes),
         };

@@ -214,18 +214,17 @@ pub(crate) mod test_support {
 
 #[cfg(test)]
 mod tests {
-    use super::test_support::*;
-    use super::*;
     #[allow(unused_imports)]
     use super::test_support as _ts;
+    use super::test_support::*;
+    use super::*;
 
     #[test]
     fn masses_inversion_uniform() {
         let grid = uniform_grid(100);
         let masses = vec![1.0; 100];
         let dom = ScaledDomain::from_range(0.0, 1.0);
-        let qs =
-            quantiles_from_masses(&grid, &masses, &[0.25, 0.5, 0.75], &dom, false).unwrap();
+        let qs = quantiles_from_masses(&grid, &masses, &[0.25, 0.5, 0.75], &dom, false).unwrap();
         assert!((qs[0] - 0.25).abs() < 0.02);
         assert!((qs[1] - 0.5).abs() < 0.02);
         assert!((qs[2] - 0.75).abs() < 0.02);

@@ -301,7 +301,9 @@ mod tests {
     fn reduced_precision_preserves_estimates() {
         // 20-bit storage should barely move the quantile estimates
         // (Figure 17's plateau).
-        let data: Vec<f64> = (1..=20_000).map(|i| (i as f64 / 200.0).sin() + 2.0).collect();
+        let data: Vec<f64> = (1..=20_000)
+            .map(|i| (i as f64 / 200.0).sin() + 2.0)
+            .collect();
         let s = MomentsSketch::from_data(10, &data);
         let codec = LowPrecisionCodec::new(24);
         let back = LowPrecisionCodec::decode(&codec.encode(&s, 5)).unwrap();

@@ -293,10 +293,7 @@ impl MomentsSketch {
     /// assert!(interval.lo <= est && est <= interval.hi);
     /// assert!(interval.lo <= 9_000.0 && 9_000.0 <= interval.hi);
     /// ```
-    pub fn quantile_with_bounds(
-        &self,
-        phi: f64,
-    ) -> Result<(f64, crate::bounds::QuantileInterval)> {
+    pub fn quantile_with_bounds(&self, phi: f64) -> Result<(f64, crate::bounds::QuantileInterval)> {
         let est = crate::solver::solve_robust(self, &crate::solver::SolverConfig::default())?
             .quantile(phi)?;
         let interval = crate::bounds::quantile_interval(self, phi, 60);

@@ -150,10 +150,7 @@ impl MaxEntObjective {
         self.fct_count.set(self.fct_count.get() + 1);
         self.node_f = node_f;
         let integral: f64 = c_f.iter().zip(&self.t_int).map(|(&c, &i)| c * i).sum();
-        for (g, (pair, mu)) in grad
-            .iter_mut()
-            .zip(self.grad_pair.iter().zip(&self.mu))
-        {
+        for (g, (pair, mu)) in grad.iter_mut().zip(self.grad_pair.iter().zip(&self.mu)) {
             *g = numerics::dot(pair, &c_f) - mu;
         }
         integral - numerics::dot(theta, &self.mu)
@@ -214,10 +211,7 @@ impl NewtonObjective for MaxEntObjective {
         let integral: f64 = c_f.iter().zip(&self.t_int).map(|(&c, &i)| c * i).sum();
         let value = integral - numerics::dot(theta, &self.mu);
         // Gradient.
-        for (g, (pair, mu)) in grad
-            .iter_mut()
-            .zip(self.grad_pair.iter().zip(&self.mu))
-        {
+        for (g, (pair, mu)) in grad.iter_mut().zip(self.grad_pair.iter().zip(&self.mu)) {
             *g = numerics::dot(pair, &c_f) - mu;
         }
         // Hessian (symmetric).

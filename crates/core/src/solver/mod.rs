@@ -75,7 +75,10 @@ pub struct MaxEntSolution {
 #[derive(Debug, Clone)]
 enum Inner {
     /// All mass at a single value (e.g. `xmin == xmax`).
-    PointMass { x: f64, n: f64 },
+    PointMass {
+        x: f64,
+        n: f64,
+    },
     Solved(Box<Solved>),
 }
 
@@ -281,7 +284,9 @@ pub fn solve_robust(sketch: &MomentsSketch, config: &SolverConfig) -> Result<Max
                 // Shrink the explicit caps (or set them from what the
                 // failed solve would have used).
                 let k1 = cfg.k1.unwrap_or(sketch.k());
-                let k2 = cfg.k2.unwrap_or(if sketch.log_usable() { sketch.k() } else { 0 });
+                let k2 = cfg
+                    .k2
+                    .unwrap_or(if sketch.log_usable() { sketch.k() } else { 0 });
                 if k1 + k2 <= 2 {
                     break;
                 }
@@ -510,7 +515,9 @@ mod tests {
 
     #[test]
     fn quantiles_bracket_cdf() {
-        let data: Vec<f64> = (1..=10_000).map(|i| (i as f64 / 100.0).sin().abs() + 0.1).collect();
+        let data: Vec<f64> = (1..=10_000)
+            .map(|i| (i as f64 / 100.0).sin().abs() + 0.1)
+            .collect();
         let sketch = MomentsSketch::from_data(10, &data);
         let sol = solve(&sketch, &SolverConfig::default()).unwrap();
         for &phi in &[0.1, 0.5, 0.9, 0.99] {

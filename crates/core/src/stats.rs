@@ -162,7 +162,11 @@ pub fn describe(data: &[f64]) -> Describe {
     let var = (s2 / nf - mean * mean).max(0.0);
     let stddev = var.sqrt();
     let m3 = s3 / nf - 3.0 * mean * var - mean * mean * mean;
-    let skew = if stddev > 0.0 { m3 / var.powf(1.5) } else { 0.0 };
+    let skew = if stddev > 0.0 {
+        m3 / var.powf(1.5)
+    } else {
+        0.0
+    };
     Describe {
         n,
         min,
@@ -206,7 +210,11 @@ mod tests {
         let shifted = shifted_moments(&raw, &dom);
         #[allow(clippy::needless_range_loop)] // index doubles as the moment order
         for j in 0..=k {
-            let direct: f64 = data.iter().map(|&x| dom.scale(x).powi(j as i32)).sum::<f64>() / n;
+            let direct: f64 = data
+                .iter()
+                .map(|&x| dom.scale(x).powi(j as i32))
+                .sum::<f64>()
+                / n;
             assert!(
                 (shifted[j] - direct).abs() < 1e-10,
                 "j={j}: {} vs {direct}",

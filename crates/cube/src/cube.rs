@@ -349,10 +349,7 @@ mod tests {
             let (a, b) = (rolled.quantile(0.9), summary.quantile(0.9));
             assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
         }
-        assert!(matches!(
-            cube.project(&[9]),
-            Err(Error::NoSuchDimension(9))
-        ));
+        assert!(matches!(cube.project(&[9]), Err(Error::NoSuchDimension(9))));
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use crate::cube::DataCube;
 use crate::Result;
-use moments_sketch::{CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator};
+use moments_sketch::{
+    CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
+};
 use msketch_sketches::traits::{QuantileSummary, SummaryFactory};
 use msketch_sketches::MSketchSummary;
 use std::collections::HashMap;
@@ -65,10 +67,7 @@ impl GroupThresholdQuery {
 
     /// Run against pre-merged groups, returning the keys whose estimated
     /// `φ`-quantile exceeds `t` plus the cascade statistics.
-    pub fn run(
-        &self,
-        groups: &HashMap<Vec<u32>, MSketchSummary>,
-    ) -> (Vec<Vec<u32>>, CascadeStats) {
+    pub fn run(&self, groups: &HashMap<Vec<u32>, MSketchSummary>) -> (Vec<Vec<u32>>, CascadeStats) {
         let mut evaluator = ThresholdEvaluator::new(self.cascade);
         let mut hits = Vec::new();
         for (key, summary) in groups {

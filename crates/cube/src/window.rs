@@ -126,8 +126,9 @@ mod tests {
     fn panes(n: usize, per: usize) -> Vec<MomentsSketch> {
         (0..n)
             .map(|p| {
-                let data: Vec<f64> =
-                    (0..per).map(|i| (p * per + i) as f64 % 1000.0 + 1.0).collect();
+                let data: Vec<f64> = (0..per)
+                    .map(|i| (p * per + i) as f64 % 1000.0 + 1.0)
+                    .collect();
                 MomentsSketch::from_data(8, &data)
             })
             .collect()

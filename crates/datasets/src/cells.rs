@@ -73,7 +73,10 @@ mod tests {
         }
         let max = cells.iter().map(|c| c.len()).max().unwrap();
         let mean = total as f64 / cells.len() as f64;
-        assert!(max as f64 > 5.0 * mean, "tail not heavy: max {max} mean {mean}");
+        assert!(
+            max as f64 > 5.0 * mean,
+            "tail not heavy: max {max} mean {mean}"
+        );
     }
 
     #[test]

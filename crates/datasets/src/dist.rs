@@ -144,7 +144,11 @@ mod tests {
             "std {}",
             d.stddev
         );
-        assert!((d.skew - 2.0 / shape.sqrt()).abs() < 0.15, "skew {}", d.skew);
+        assert!(
+            (d.skew - 2.0 / shape.sqrt()).abs() < 0.15,
+            "skew {}",
+            d.skew
+        );
     }
 
     #[test]
@@ -152,7 +156,11 @@ mod tests {
         let (shape, scale) = (0.5, 1.0);
         let d = describe(&sample(200_000, |r| gamma(r, shape, scale)));
         assert!((d.mean - 0.5).abs() < 0.02, "mean {}", d.mean);
-        assert!((d.stddev - (0.5f64).sqrt()).abs() < 0.05, "std {}", d.stddev);
+        assert!(
+            (d.stddev - (0.5f64).sqrt()).abs() < 0.05,
+            "std {}",
+            d.stddev
+        );
     }
 
     #[test]

@@ -32,8 +32,8 @@ impl ProductionWorkload {
         let mut produced = 0usize;
         while produced < total_rows {
             let z = dist::normal(&mut rng);
-            let size = ((mu + sigma * z).exp().round() as usize)
-                .clamp(5, total_rows - produced + 5);
+            let size =
+                ((mu + sigma * z).exp().round() as usize).clamp(5, total_rows - produced + 5);
             let cell: Vec<f64> = (0..size).map(|_| Self::sample_value(&mut rng)).collect();
             produced += cell.len();
             cells.push(cell);

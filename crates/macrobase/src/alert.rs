@@ -50,8 +50,9 @@ mod tests {
     ) -> Vec<MomentsSketch> {
         (0..n_panes)
             .map(|p| {
-                let mut data: Vec<f64> =
-                    (0..500).map(|i| ((i * 17 + p) % 400) as f64 + 1.0).collect();
+                let mut data: Vec<f64> = (0..500)
+                    .map(|i| ((i * 17 + p) % 400) as f64 + 1.0)
+                    .collect();
                 if spike_at.contains(&p) {
                     data.extend(std::iter::repeat_n(spike_value, spike_count));
                 }
@@ -103,8 +104,7 @@ mod tests {
         // module docs of `moments_sketch::cascade`.)
         let panes = spiked_panes(50, &[10, 35], 3_000.0, 250);
         let (fast, _) = scan_windows(&panes, 5, 1_500.0, 0.95, CascadeConfig::default());
-        let (slow, slow_stats) =
-            scan_windows(&panes, 5, 1_500.0, 0.95, CascadeConfig::baseline());
+        let (slow, slow_stats) = scan_windows(&panes, 5, 1_500.0, 0.95, CascadeConfig::baseline());
         assert_eq!(fast, slow);
         assert_eq!(slow_stats.maxent_evals, slow_stats.total);
         assert!(!fast.is_empty());

@@ -1,6 +1,8 @@
 //! Outlier-rate subpopulation search (Section 7.2.1 of the paper).
 
-use moments_sketch::{CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator};
+use moments_sketch::{
+    CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
+};
 
 /// Query configuration mirroring the paper's MacroBase deployment.
 #[derive(Debug, Clone, Copy)]

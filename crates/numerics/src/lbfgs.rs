@@ -227,8 +227,7 @@ mod tests {
 
     #[test]
     fn lbfgs_quadratic_high_dim() {
-        let res =
-            lbfgs_minimize(&mut Quadratic10, &[0.0; 10], LbfgsOptions::default()).unwrap();
+        let res = lbfgs_minimize(&mut Quadratic10, &[0.0; 10], LbfgsOptions::default()).unwrap();
         for &x in &res.theta {
             assert!((x - 1.0).abs() < 1e-6);
         }

@@ -234,10 +234,7 @@ mod tests {
         // min -x - 2y s.t. x + y + s1 = 4, x + 3y + s2 = 6, all >= 0.
         // Optimum at (3, 1): objective -5.
         let lp = StandardLp {
-            a: vec![
-                vec![1.0, 1.0, 1.0, 0.0],
-                vec![1.0, 3.0, 0.0, 1.0],
-            ],
+            a: vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, 3.0, 0.0, 1.0]],
             b: vec![4.0, 6.0],
             c: vec![-1.0, -2.0, 0.0, 0.0],
         };

@@ -149,11 +149,7 @@ mod tests {
 
     #[test]
     fn svd_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let svd = svd_tall(&a);
         let r = reconstruct(&svd);
         for i in 0..3 {

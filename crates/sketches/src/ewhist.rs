@@ -79,7 +79,6 @@ impl EwHist {
             self.counts[idx as usize] += c;
         }
     }
-
 }
 
 impl QuantileSummary for EwHist {

@@ -68,8 +68,8 @@ impl QuantileSummary for ExactQuantiles {
         if me.sorted.is_empty() {
             return f64::NAN;
         }
-        let idx = ((phi.clamp(0.0, 1.0) * me.sorted.len() as f64) as usize)
-            .min(me.sorted.len() - 1);
+        let idx =
+            ((phi.clamp(0.0, 1.0) * me.sorted.len() as f64) as usize).min(me.sorted.len() - 1);
         me.sorted[idx]
     }
 

@@ -63,12 +63,7 @@ impl GkSummary {
         }
         let mut me = self.clone();
         me.flush();
-        let worst = me
-            .entries
-            .iter()
-            .map(|t| t.g + t.delta)
-            .max()
-            .unwrap_or(0);
+        let worst = me.entries.iter().map(|t| t.g + t.delta).max().unwrap_or(0);
         worst as f64 / (2.0 * self.n as f64)
     }
 

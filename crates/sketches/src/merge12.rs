@@ -162,8 +162,7 @@ impl QuantileSummary for Merge12 {
     }
 
     fn size_bytes(&self) -> usize {
-        let held =
-            self.base.len() + self.levels.iter().map(Vec::len).sum::<usize>();
+        let held = self.base.len() + self.levels.iter().map(Vec::len).sum::<usize>();
         held * 8 + 32
     }
 }

@@ -84,11 +84,7 @@ impl RandomW {
         merged.extend_from_slice(&a[i..]);
         merged.extend_from_slice(&b[j..]);
         let phase = usize::from(self.rng.coin());
-        merged
-            .into_iter()
-            .skip(phase)
-            .step_by(2)
-            .collect()
+        merged.into_iter().skip(phase).step_by(2).collect()
     }
 
     fn flush_active(&mut self) {

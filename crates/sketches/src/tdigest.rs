@@ -58,11 +58,7 @@ impl TDigest {
         }
         let mut me = self.clone();
         me.flush();
-        me.centroids
-            .iter()
-            .map(|c| c.weight)
-            .fold(0.0f64, f64::max)
-            / self.n
+        me.centroids.iter().map(|c| c.weight).fold(0.0f64, f64::max) / self.n
     }
 
     fn k_scale(&self, q: f64) -> f64 {
@@ -219,7 +215,11 @@ mod tests {
         let data: Vec<f64> = (0..200_000).map(|i| (i as f64).sin()).collect();
         let mut td = TDigest::new(5.0);
         td.accumulate_all(&data);
-        assert!(td.centroid_count() < 120, "centroids {}", td.centroid_count());
+        assert!(
+            td.centroid_count() < 120,
+            "centroids {}",
+            td.centroid_count()
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ fn main() {
 
     for k in [4usize, 8, 12] {
         let sketch = MomentsSketch::from_data(k, &latencies);
-        println!("--- sketch order k = {k} ({} bytes) ---", sketch.size_bytes());
+        println!(
+            "--- sketch order k = {k} ({} bytes) ---",
+            sketch.size_bytes()
+        );
         for phi in [0.5, 0.9, 0.99] {
             let (est, interval) = sketch.quantile_with_bounds(phi).expect("solve");
             println!(

@@ -66,7 +66,11 @@ fn group_by_quantiles_track_version_ordering() {
         .into_iter()
         .map(|(k, q)| {
             (
-                cube.dictionary(1).unwrap().decode(k[0]).unwrap().to_string(),
+                cube.dictionary(1)
+                    .unwrap()
+                    .decode(k[0])
+                    .unwrap()
+                    .to_string(),
                 q,
             )
         })

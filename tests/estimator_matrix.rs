@@ -27,14 +27,7 @@ fn estimators(source: MomentSource) -> Vec<(Box<dyn QuantileEstimator>, bool)> {
         (Box::new(SvdEstimator { source, grid: 128 }), false),
         (Box::new(CvxMinEstimator { source, grid: 64 }), false),
         (Box::new(CvxMaxEntEstimator { source, grid: 400 }), true),
-        (
-            Box::new(NaiveNewtonEstimator {
-                k1,
-                k2,
-                tol: 1e-8,
-            }),
-            true,
-        ),
+        (Box::new(NaiveNewtonEstimator { k1, k2, tol: 1e-8 }), true),
         (Box::new(BfgsEstimator { k1, k2 }), true),
         (
             Box::new(OptEstimator {

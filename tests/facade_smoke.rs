@@ -1,0 +1,96 @@
+//! Build-surface smoke test: exercises construct / accumulate / merge /
+//! serialize / query strictly through the `msketch` facade re-exports,
+//! pinning the public API this workspace promises. If a re-export is
+//! dropped or a core signature drifts, this file stops compiling — by
+//! design.
+
+use msketch::core::serialize::{from_bytes, to_bytes, SketchRepr};
+use msketch::core::solve_robust;
+use msketch::{MomentsSketch, SolverConfig};
+
+/// The facade's headline types are nameable at the crate root and the
+/// full pipeline (build → merge → serialize → solve → query) works.
+#[test]
+fn facade_pipeline_end_to_end() {
+    // Construct per-shard sketches through the root re-export.
+    let mut shard_a = MomentsSketch::new(10);
+    let mut shard_b = MomentsSketch::new(10);
+    for i in 1..=50_000 {
+        let x = i as f64 / 50_000.0;
+        if i % 2 == 0 {
+            shard_a.accumulate(x);
+        } else {
+            shard_b.accumulate(x);
+        }
+    }
+
+    // Merge; counts and extrema combine exactly.
+    let mut merged = shard_a.clone();
+    merged.merge(&shard_b);
+    assert_eq!(merged.count(), 50_000.0);
+    assert_eq!(merged.min(), shard_a.min().min(shard_b.min()));
+    assert_eq!(merged.max(), shard_a.max().max(shard_b.max()));
+
+    // Serialize over the compact wire format and query the restored copy.
+    let restored = from_bytes(&to_bytes(&merged)).expect("wire roundtrip");
+    assert_eq!(merged, restored);
+
+    let est = restored
+        .solve(&SolverConfig::default())
+        .expect("maxent solve");
+    let median = est.quantile(0.5).expect("median");
+    assert!((median - 0.5).abs() < 0.01, "median {median}");
+
+    // The robust entry point agrees with the plain solve path.
+    let robust = solve_robust(&restored, &SolverConfig::default()).expect("robust solve");
+    let p99 = robust.quantile(0.99).expect("p99");
+    assert!((p99 - 0.99).abs() < 0.02, "p99 {p99}");
+}
+
+/// The serde mirror type re-exported through the facade still converts
+/// in both directions.
+#[test]
+fn facade_serde_mirror_roundtrip() {
+    let sketch = MomentsSketch::from_data(6, &[0.5, 1.5, 2.5, 3.5]);
+    let repr = SketchRepr::from(&sketch);
+    let back = MomentsSketch::try_from(repr).expect("repr roundtrip");
+    assert_eq!(sketch, back);
+}
+
+/// Module-level facade paths stay available: every sub-crate is
+/// reachable under its aliased name.
+#[test]
+fn facade_module_aliases_reachable() {
+    // datasets
+    let data = msketch::datasets::Dataset::Exponential.generate(2_000, 11);
+    assert_eq!(data.len(), 2_000);
+
+    // sketches (+ the shared trait)
+    use msketch::sketches::QuantileSummary;
+    let mut td = msketch::sketches::TDigest::new(5.0);
+    td.accumulate_all(&data);
+    assert_eq!(td.count(), 2_000);
+
+    // numerics
+    assert!((msketch::numerics::dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
+
+    // cube
+    use msketch::sketches::traits::FnFactory;
+    let factory = FnFactory(|| msketch::sketches::MSketchSummary::new(8));
+    let mut cube = msketch::cube::DataCube::new(factory, &["shard"]);
+    let shards = ["s0", "s1", "s2", "s3"];
+    for (i, &x) in data.iter().enumerate() {
+        cube.insert(&[shards[i % 4]], x).expect("insert");
+    }
+    let total = cube.rollup(&[None]).expect("rollup");
+    assert_eq!(total.count(), 2_000);
+
+    // macrobase
+    let config = msketch::macrobase::MacroBaseConfig::default();
+    let _ = config; // constructible through the facade
+
+    // bounds through the `core` alias
+    let s = MomentsSketch::from_data(4, &data);
+    let bound = msketch::core::bounds::markov_bound(&s, 1.0);
+    assert!(bound.lower >= 0.0 && bound.upper <= 1.0 + 1e-12);
+}
