@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use msketch_bench::SummaryConfig;
 use msketch_datasets::Dataset;
-use msketch_sketches::QuantileSummary;
+use msketch_sketches::Sketch;
 
 fn bench_accumulate(c: &mut Criterion) {
     let data = Dataset::Power.generate(20_000, 21);

@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use msketch_bench::SummaryConfig;
 use msketch_datasets::Dataset;
-use msketch_sketches::QuantileSummary;
+use msketch_sketches::Sketch;
 
 fn bench_estimates(c: &mut Criterion) {
     let data = Dataset::Milan.generate(100_000, 3);

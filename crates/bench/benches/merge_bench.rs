@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use msketch_bench::{build_cells, SummaryConfig};
 use msketch_datasets::Dataset;
-use msketch_sketches::QuantileSummary;
+use msketch_sketches::{QuantileSummary, Sketch};
 
 fn bench_merges(c: &mut Criterion) {
     let data = Dataset::Exponential.generate(40_000, 7);

@@ -8,7 +8,7 @@ use msketch_bench::{
     SummaryConfig,
 };
 use msketch_datasets::{fixed_cells, Dataset};
-use msketch_sketches::QuantileSummary;
+use msketch_sketches::Sketch;
 use std::time::Duration;
 
 fn main() {

@@ -9,7 +9,7 @@ use msketch_bench::{
     fmt_duration, print_table_header, print_table_row, time_mean, HarnessArgs, SummaryConfig,
 };
 use msketch_datasets::Dataset;
-use msketch_sketches::QuantileSummary;
+use msketch_sketches::Sketch;
 use std::time::Duration;
 
 fn main() {

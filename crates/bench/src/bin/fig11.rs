@@ -9,7 +9,7 @@ use msketch_bench::{
     HarnessArgs, SummaryConfig,
 };
 use msketch_datasets::{fixed_cells, Dataset};
-use msketch_sketches::QuantileSummary;
+use msketch_sketches::Sketch;
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -7,7 +7,7 @@ use moments_sketch::{CascadeConfig, MomentsSketch};
 use msketch_bench::{fmt_duration, print_table_header, print_table_row, time_it, HarnessArgs};
 use msketch_datasets::{fixed_cells, Dataset};
 use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
-use msketch_sketches::{Merge12, QuantileSummary};
+use msketch_sketches::{Merge12, QuantileSummary, Sketch};
 
 fn cascade_variants() -> Vec<(&'static str, CascadeConfig)> {
     let base = CascadeConfig::baseline();

@@ -8,7 +8,7 @@ use msketch_bench::{fmt_duration, print_table_header, print_table_row, time_it, 
 use msketch_cube::sliding_windows_remerge;
 use msketch_datasets::Dataset;
 use msketch_macrobase::scan_windows;
-use msketch_sketches::{Merge12, QuantileSummary};
+use msketch_sketches::{Merge12, Sketch};
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -5,7 +5,7 @@
 
 use msketch_bench::{print_table_header, print_table_row, HarnessArgs, SummaryConfig};
 use msketch_datasets::gen::gaussian_with_outliers;
-use msketch_sketches::{avg_quantile_error, exact::eval_phis, QuantileSummary};
+use msketch_sketches::{avg_quantile_error, exact::eval_phis, Sketch};
 
 fn main() {
     let args = HarnessArgs::parse();

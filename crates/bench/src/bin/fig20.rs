@@ -11,7 +11,7 @@ use msketch_bench::{
     SummaryConfig,
 };
 use msketch_datasets::{fixed_cells, gen::gaussian, Dataset};
-use msketch_sketches::QuantileSummary;
+use msketch_sketches::Sketch;
 use std::time::Duration;
 
 fn run(dataset_name: &str, data: &[f64], cell_size: usize) {

@@ -8,7 +8,7 @@ use msketch_bench::{
     SummaryConfig,
 };
 use msketch_datasets::ProductionWorkload;
-use msketch_sketches::{avg_quantile_error, exact::eval_phis, QuantileSummary};
+use msketch_sketches::{avg_quantile_error, exact::eval_phis, Sketch};
 use std::time::Duration;
 
 fn main() {

@@ -15,34 +15,49 @@
 use moments_sketch::bounds::quantile_error_bound;
 use msketch_bench::{print_table_header, print_table_row, AnySummary, HarnessArgs, SummaryConfig};
 use msketch_datasets::Dataset;
-use msketch_sketches::{exact::eval_phis, QuantileSummary};
+use msketch_sketches::{
+    exact::eval_phis, EwHist, GkSummary, MSketchSummary, Merge12, RandomW, ReservoirSample, Sketch,
+    TDigest,
+};
 
+/// Per-backend certified bound, recovered from the type-erased summary by
+/// downcast (S-Hist provides no bound, as in the paper).
 fn guaranteed_bound(s: &AnySummary, phis: &[f64]) -> f64 {
-    match s {
-        AnySummary::MSketch(m) => {
-            let Ok(sol) = m.sketch.solve(&m.config) else {
-                return 1.0;
-            };
-            phis.iter()
-                .map(|&p| {
-                    sol.quantile(p)
-                        .map(|q| quantile_error_bound(&m.sketch, q, p))
-                        .unwrap_or(1.0)
-                })
-                .sum::<f64>()
-                / phis.len() as f64
-        }
-        AnySummary::Gk(g) => g.max_rank_uncertainty(),
-        AnySummary::Merge12(m) => m.occupied_levels() as f64 / (4.0 * m.level_size() as f64),
-        AnySummary::RandomW(r) => 1.65 / (8.0 * r.buffer_size() as f64).sqrt(),
-        AnySummary::Sampling(r) => {
-            let s = r.items().len().max(1) as f64;
-            ((2.0f64 / 0.05).ln() / (2.0 * s)).sqrt()
-        }
-        AnySummary::TDigest(t) => t.max_centroid_fraction(),
-        AnySummary::EwHist(h) => h.max_bin_fraction(),
-        AnySummary::SHist(_) => f64::NAN, // S-Hist provides no bound (as in the paper)
+    let any = s.as_any();
+    if let Some(m) = any.downcast_ref::<MSketchSummary>() {
+        let Ok(sol) = m.sketch.solve(&m.config) else {
+            return 1.0;
+        };
+        return phis
+            .iter()
+            .map(|&p| {
+                sol.quantile(p)
+                    .map(|q| quantile_error_bound(&m.sketch, q, p))
+                    .unwrap_or(1.0)
+            })
+            .sum::<f64>()
+            / phis.len() as f64;
     }
+    if let Some(g) = any.downcast_ref::<GkSummary>() {
+        return g.max_rank_uncertainty();
+    }
+    if let Some(m) = any.downcast_ref::<Merge12>() {
+        return m.occupied_levels() as f64 / (4.0 * m.level_size() as f64);
+    }
+    if let Some(r) = any.downcast_ref::<RandomW>() {
+        return 1.65 / (8.0 * r.buffer_size() as f64).sqrt();
+    }
+    if let Some(r) = any.downcast_ref::<ReservoirSample>() {
+        let s = r.items().len().max(1) as f64;
+        return ((2.0f64 / 0.05).ln() / (2.0 * s)).sqrt();
+    }
+    if let Some(t) = any.downcast_ref::<TDigest>() {
+        return t.max_centroid_fraction();
+    }
+    if let Some(h) = any.downcast_ref::<EwHist>() {
+        return h.max_bin_fraction();
+    }
+    f64::NAN
 }
 
 fn main() {

@@ -5,7 +5,7 @@
 
 use msketch_bench::{print_table_header, print_table_row, HarnessArgs, SummaryConfig};
 use msketch_datasets::Dataset;
-use msketch_sketches::{avg_quantile_error, exact::eval_phis, QuantileSummary};
+use msketch_sketches::{avg_quantile_error, exact::eval_phis, Sketch};
 
 fn smallest_accurate(
     label: &str,

@@ -12,10 +12,7 @@
 //! comparison.
 
 use moments_sketch::SolverConfig;
-use msketch_sketches::{
-    EwHist, GkSummary, MSketchSummary, Merge12, QuantileSummary, RandomW, ReservoirSample, SHist,
-    TDigest,
-};
+use msketch_sketches::{QuantileSummary, Sketch, SketchSpec};
 use std::time::{Duration, Instant};
 
 /// A summary configuration: the parameterizations of Table 2 plus size
@@ -40,75 +37,10 @@ pub enum SummaryConfig {
     EwHist(usize),
 }
 
-/// Type-erased summary so heterogeneous sketches run through one harness.
-#[derive(Debug, Clone)]
-pub enum AnySummary {
-    /// Moments sketch.
-    MSketch(MSketchSummary),
-    /// Low-discrepancy sketch.
-    Merge12(Merge12),
-    /// Random buffer sketch.
-    RandomW(RandomW),
-    /// Greenwald–Khanna.
-    Gk(GkSummary),
-    /// t-digest.
-    TDigest(TDigest),
-    /// Reservoir sample.
-    Sampling(ReservoirSample),
-    /// Streaming histogram.
-    SHist(SHist),
-    /// Equi-width histogram.
-    EwHist(EwHist),
-}
-
-macro_rules! dispatch {
-    ($self:expr, $s:ident => $body:expr) => {
-        match $self {
-            AnySummary::MSketch($s) => $body,
-            AnySummary::Merge12($s) => $body,
-            AnySummary::RandomW($s) => $body,
-            AnySummary::Gk($s) => $body,
-            AnySummary::TDigest($s) => $body,
-            AnySummary::Sampling($s) => $body,
-            AnySummary::SHist($s) => $body,
-            AnySummary::EwHist($s) => $body,
-        }
-    };
-}
-
-impl QuantileSummary for AnySummary {
-    fn name(&self) -> &'static str {
-        dispatch!(self, s => s.name())
-    }
-    fn accumulate(&mut self, x: f64) {
-        dispatch!(self, s => s.accumulate(x))
-    }
-    fn merge_from(&mut self, other: &Self) {
-        match (self, other) {
-            (AnySummary::MSketch(a), AnySummary::MSketch(b)) => a.merge_from(b),
-            (AnySummary::Merge12(a), AnySummary::Merge12(b)) => a.merge_from(b),
-            (AnySummary::RandomW(a), AnySummary::RandomW(b)) => a.merge_from(b),
-            (AnySummary::Gk(a), AnySummary::Gk(b)) => a.merge_from(b),
-            (AnySummary::TDigest(a), AnySummary::TDigest(b)) => a.merge_from(b),
-            (AnySummary::Sampling(a), AnySummary::Sampling(b)) => a.merge_from(b),
-            (AnySummary::SHist(a), AnySummary::SHist(b)) => a.merge_from(b),
-            (AnySummary::EwHist(a), AnySummary::EwHist(b)) => a.merge_from(b),
-            _ => panic!("cannot merge summaries of different kinds"),
-        }
-    }
-    fn quantile(&self, phi: f64) -> f64 {
-        dispatch!(self, s => s.quantile(phi))
-    }
-    fn quantiles(&self, phis: &[f64]) -> Vec<f64> {
-        dispatch!(self, s => s.quantiles(phis))
-    }
-    fn count(&self) -> u64 {
-        dispatch!(self, s => s.count())
-    }
-    fn size_bytes(&self) -> usize {
-        dispatch!(self, s => s.size_bytes())
-    }
-}
+/// Type-erased summary so heterogeneous sketches run through one harness
+/// — the object-safe core trait does the dispatch the old `AnySummary`
+/// enum hand-rolled.
+pub type AnySummary = Box<dyn Sketch>;
 
 impl SummaryConfig {
     /// Label matching the paper's legends.
@@ -139,18 +71,24 @@ impl SummaryConfig {
         }
     }
 
+    /// The equivalent runtime [`SketchSpec`] — the public-API boundary
+    /// the cube engines consume.
+    pub fn spec(&self) -> SketchSpec {
+        match *self {
+            SummaryConfig::MSketch(k) => SketchSpec::moments(k),
+            SummaryConfig::Merge12(k) => SketchSpec::merge12(k),
+            SummaryConfig::RandomW(s) => SketchSpec::randomw(s),
+            SummaryConfig::Gk(inv) => SketchSpec::gk(1.0 / inv as f64),
+            SummaryConfig::TDigest(d10) => SketchSpec::tdigest(d10 as f64 / 10.0),
+            SummaryConfig::Sampling(n) => SketchSpec::sampling(n),
+            SummaryConfig::SHist(b) => SketchSpec::shist(b),
+            SummaryConfig::EwHist(b) => SketchSpec::ewhist(b),
+        }
+    }
+
     /// Build an empty summary (seed varies randomized sketches per cell).
     pub fn build(&self, seed: u64) -> AnySummary {
-        match *self {
-            SummaryConfig::MSketch(k) => AnySummary::MSketch(MSketchSummary::new(k)),
-            SummaryConfig::Merge12(k) => AnySummary::Merge12(Merge12::new(k, seed)),
-            SummaryConfig::RandomW(s) => AnySummary::RandomW(RandomW::new(s, seed)),
-            SummaryConfig::Gk(inv) => AnySummary::Gk(GkSummary::new(1.0 / inv as f64)),
-            SummaryConfig::TDigest(d10) => AnySummary::TDigest(TDigest::new(d10 as f64 / 10.0)),
-            SummaryConfig::Sampling(n) => AnySummary::Sampling(ReservoirSample::new(n, seed)),
-            SummaryConfig::SHist(b) => AnySummary::SHist(SHist::new(b)),
-            SummaryConfig::EwHist(b) => AnySummary::EwHist(EwHist::new(b)),
-        }
+        self.spec().build_seeded(seed)
     }
 
     /// The Table 2 parameterizations for ε_avg ≤ 0.01 on `milan`-like
@@ -388,10 +326,14 @@ mod tests {
     fn heterogeneous_merge_panics() {
         let a = SummaryConfig::MSketch(4).build(0);
         let b = SummaryConfig::SHist(10).build(0);
-        let result = std::panic::catch_unwind(move || {
+        // The checked path reports the mismatch as an error...
+        let mut a2 = a.clone();
+        assert!(a2.merge_dyn(&*b).is_err());
+        // ...while the typed fast path treats it as a caller bug.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             let mut a = a;
             a.merge_from(&b);
-        });
+        }));
         assert!(result.is_err());
     }
 

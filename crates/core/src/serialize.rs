@@ -76,6 +76,67 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<MomentsSketch> {
     MomentsSketch::from_parts(min, max, power_sums, log_sums)
 }
 
+/// Encode a [`SolverConfig`] to a fixed 37-byte little-endian record
+/// (`k1`, `k2`, `n_nodes` use `u32::MAX` as the `None` sentinel).
+///
+/// Estimation settings travel with a stored sketch so a deserialized
+/// summary answers queries exactly like the original — the glue the
+/// workspace's tagged wire format (`msketch_sketches::api`) builds on.
+pub fn solver_config_to_bytes(config: &crate::SolverConfig) -> Vec<u8> {
+    fn opt(v: Option<usize>) -> u32 {
+        v.map_or(u32::MAX, |x| x.min((u32::MAX - 1) as usize) as u32)
+    }
+    let mut buf = Vec::with_capacity(37);
+    buf.put_u32_le(opt(config.k1));
+    buf.put_u32_le(opt(config.k2));
+    buf.put_f64_le(config.kappa_max);
+    buf.put_f64_le(config.grad_tol);
+    buf.put_u64_le(config.max_iter as u64);
+    buf.put_u32_le(opt(config.n_nodes));
+    buf.put_u8(u8::from(config.use_log));
+    buf
+}
+
+/// Decode a [`SolverConfig`] record written by
+/// [`solver_config_to_bytes`].
+pub fn solver_config_from_bytes(mut buf: &[u8]) -> Result<crate::SolverConfig> {
+    if buf.remaining() != 37 {
+        return Err(Error::Corrupt("solver config record must be 37 bytes"));
+    }
+    fn opt(v: u32) -> Option<usize> {
+        (v != u32::MAX).then_some(v as usize)
+    }
+    let k1 = opt(buf.get_u32_le());
+    let k2 = opt(buf.get_u32_le());
+    let kappa_max = buf.get_f64_le();
+    let grad_tol = buf.get_f64_le();
+    if !kappa_max.is_finite() || kappa_max <= 0.0 || !grad_tol.is_finite() || grad_tol <= 0.0 {
+        return Err(Error::Corrupt("solver tolerances must be positive finite"));
+    }
+    let max_iter = buf.get_u64_le() as usize;
+    let n_nodes = opt(buf.get_u32_le());
+    if let Some(n) = n_nodes {
+        // The Chebyshev-node count the maxent solver asserts on.
+        if !n.is_power_of_two() || !(8..=1 << 20).contains(&n) {
+            return Err(Error::Corrupt("node count must be a power of two >= 8"));
+        }
+    }
+    let use_log = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        _ => return Err(Error::Corrupt("invalid use_log flag")),
+    };
+    Ok(crate::SolverConfig {
+        k1,
+        k2,
+        kappa_max,
+        grad_tol,
+        max_iter,
+        n_nodes,
+        use_log,
+    })
+}
+
 /// Serde-friendly mirror of a sketch's state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SketchRepr {
@@ -144,6 +205,33 @@ mod tests {
         let mut bytes = to_bytes(&s);
         bytes[1] = 99;
         assert!(matches!(from_bytes(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn solver_config_roundtrip() {
+        let config = crate::SolverConfig {
+            k1: Some(7),
+            k2: None,
+            kappa_max: 5e3,
+            grad_tol: 1e-8,
+            max_iter: 99,
+            n_nodes: Some(128),
+            use_log: false,
+        };
+        let bytes = solver_config_to_bytes(&config);
+        assert_eq!(bytes.len(), 37);
+        let back = solver_config_from_bytes(&bytes).unwrap();
+        assert_eq!(back.k1, Some(7));
+        assert_eq!(back.k2, None);
+        assert_eq!(back.kappa_max, 5e3);
+        assert_eq!(back.grad_tol, 1e-8);
+        assert_eq!(back.max_iter, 99);
+        assert_eq!(back.n_nodes, Some(128));
+        assert!(!back.use_log);
+        assert!(solver_config_from_bytes(&bytes[..12]).is_err());
+        let mut bad = bytes;
+        bad[36] = 7;
+        assert!(solver_config_from_bytes(&bad).is_err());
     }
 
     #[test]

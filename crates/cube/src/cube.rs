@@ -9,16 +9,16 @@
 
 use crate::dictionary::Dictionary;
 use crate::{Error, Result};
-use msketch_sketches::traits::{QuantileSummary, SummaryFactory};
+use msketch_sketches::traits::{QuantileSummary, Sketch, SummaryFactory};
 use std::collections::HashMap;
 
 /// An in-memory data cube of pre-aggregated summaries.
 pub struct DataCube<F: SummaryFactory> {
-    factory: F,
-    dims: Vec<Dictionary>,
-    dim_names: Vec<String>,
-    cells: HashMap<Vec<u32>, F::Summary>,
-    rows: u64,
+    pub(crate) factory: F,
+    pub(crate) dims: Vec<Dictionary>,
+    pub(crate) dim_names: Vec<String>,
+    pub(crate) cells: HashMap<Vec<u32>, F::Summary>,
+    pub(crate) rows: u64,
 }
 
 impl<F: SummaryFactory> DataCube<F> {

@@ -19,11 +19,13 @@
 pub mod cube;
 pub mod dictionary;
 pub mod query;
+pub mod serde;
 pub mod window;
 
 pub use cube::DataCube;
 pub use dictionary::Dictionary;
 pub use query::{GroupThresholdQuery, QueryEngine};
+pub use serde::DynCube;
 pub use window::{sliding_windows_remerge, sliding_windows_turnstile, TurnstileWindow};
 
 /// Errors from cube construction and querying.
@@ -40,6 +42,14 @@ pub enum Error {
     NoSuchDimension(usize),
     /// A query matched no cells.
     EmptyResult,
+    /// A persisted cube failed to encode or decode.
+    Wire(msketch_sketches::SketchError),
+}
+
+impl From<msketch_sketches::SketchError> for Error {
+    fn from(e: msketch_sketches::SketchError) -> Self {
+        Error::Wire(e)
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -50,6 +60,7 @@ impl std::fmt::Display for Error {
             }
             Error::NoSuchDimension(d) => write!(f, "no such dimension: {d}"),
             Error::EmptyResult => write!(f, "query matched no cells"),
+            Error::Wire(e) => write!(f, "cube wire format: {e}"),
         }
     }
 }

@@ -6,8 +6,8 @@ use crate::Result;
 use moments_sketch::{
     CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
 };
-use msketch_sketches::traits::{QuantileSummary, SummaryFactory};
-use msketch_sketches::MSketchSummary;
+use msketch_sketches::traits::{Sketch, SummaryFactory};
+use msketch_sketches::{MSketchSummary, SketchSpec};
 use std::collections::HashMap;
 
 /// Convenience wrapper answering the paper's two query classes against a
@@ -78,6 +78,25 @@ impl GroupThresholdQuery {
         (hits, evaluator.stats())
     }
 
+    /// Run against groups of runtime-chosen backends (the cells of a
+    /// [`crate::DynCube`]). Moments-sketch groups go through the full
+    /// cascade (Algorithm 2); every other backend falls back to comparing
+    /// its direct quantile estimate — the baseline path the paper
+    /// compares the cascade against.
+    pub fn run_dyn(
+        &self,
+        groups: &HashMap<Vec<u32>, Box<dyn Sketch>>,
+    ) -> (Vec<Vec<u32>>, CascadeStats) {
+        let mut evaluator = ThresholdEvaluator::new(self.cascade);
+        let mut hits = Vec::new();
+        for (key, summary) in groups {
+            if msketch_sketches::threshold_dyn(&mut evaluator, &**summary, self.t, self.phi) {
+                hits.push(key.clone());
+            }
+        }
+        (hits, evaluator.stats())
+    }
+
     /// Run directly against raw sketches.
     pub fn run_sketches<'a, I>(&self, groups: I) -> (Vec<usize>, CascadeStats)
     where
@@ -101,6 +120,12 @@ pub fn msketch_factory(
     config: SolverConfig,
 ) -> impl SummaryFactory<Summary = MSketchSummary> {
     msketch_sketches::traits::FnFactory(move || MSketchSummary::with_config(k, config))
+}
+
+/// A moments-sketch [`SketchSpec`] of order `k` — the runtime-selectable
+/// counterpart of [`msketch_factory`].
+pub fn msketch_spec(k: usize) -> SketchSpec {
+    SketchSpec::moments(k)
 }
 
 #[cfg(test)]
@@ -150,6 +175,48 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0], vec![a3]);
         assert_eq!(stats.total, 3);
+    }
+
+    #[test]
+    fn run_dyn_matches_typed_run_on_moments_cells() {
+        // Same data, one cube typed, one runtime-selected: the HAVING
+        // answer must agree, and the dyn path must use the cascade.
+        let typed = cube_with_hot_group();
+        let mut dynamic = crate::DynCube::from_spec(msketch_spec(10), &["app", "hw"]);
+        for i in 0..9000u64 {
+            let app = match i % 3 {
+                0 => "a1",
+                1 => "a2",
+                _ => "a3",
+            };
+            let hw = if i % 2 == 0 { "h1" } else { "h2" };
+            let metric = (i % 97) as f64 + if app == "a3" { 300.0 } else { 0.0 };
+            dynamic.insert(&[app, hw], metric).unwrap();
+        }
+        let query = GroupThresholdQuery::new(0.9, 250.0);
+        let (mut typed_hits, _) = query.run(&typed.group_by(&[0], &typed.no_filter()).unwrap());
+        let dyn_groups = dynamic.group_by(&[0], &dynamic.no_filter()).unwrap();
+        let (mut dyn_hits, stats) = query.run_dyn(&dyn_groups);
+        typed_hits.sort();
+        dyn_hits.sort();
+        assert_eq!(typed_hits, dyn_hits);
+        assert_eq!(stats.total, 3, "moments cells must route into the cascade");
+    }
+
+    #[test]
+    fn run_dyn_thresholds_non_moments_backends() {
+        let mut cube = crate::DynCube::from_spec(SketchSpec::tdigest(5.0), &["app"]);
+        for i in 0..6000u64 {
+            let app = if i % 3 == 2 { "slow" } else { "fast" };
+            let metric = (i % 97) as f64 + if app == "slow" { 300.0 } else { 0.0 };
+            cube.insert(&[app], metric).unwrap();
+        }
+        let groups = cube.group_by(&[0], &cube.no_filter()).unwrap();
+        let (hits, stats) = GroupThresholdQuery::new(0.9, 250.0).run_dyn(&groups);
+        let slow = cube.dictionary(0).unwrap().lookup("slow").unwrap();
+        assert_eq!(hits, vec![vec![slow]]);
+        // Non-moments backends bypass the cascade entirely.
+        assert_eq!(stats.total, 0);
     }
 
     #[test]

@@ -122,6 +122,7 @@ pub fn sliding_windows_remerge<S: QuantileSummary, Fv: FnMut(usize, &S)>(
 mod tests {
     use super::*;
     use moments_sketch::SolverConfig;
+    use msketch_sketches::Sketch;
 
     fn panes(n: usize, per: usize) -> Vec<MomentsSketch> {
         (0..n)

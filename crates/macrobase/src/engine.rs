@@ -3,6 +3,7 @@
 use moments_sketch::{
     CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
 };
+use msketch_sketches::{MSketchSummary, Sketch};
 
 /// Query configuration mirroring the paper's MacroBase deployment.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +92,37 @@ impl MacroBaseEngine {
         out
     }
 
+    /// Compute the global outlier threshold from a merged all-data
+    /// summary of any backend — the runtime-selected counterpart of
+    /// [`Self::global_threshold`]. Moments sketches go through the
+    /// max-entropy solver; other backends answer directly.
+    pub fn global_threshold_dyn(&self, all: &dyn Sketch) -> moments_sketch::Result<f64> {
+        match all.as_any().downcast_ref::<MSketchSummary>() {
+            Some(ms) => self.global_threshold(&ms.sketch),
+            None => Ok(all.quantile(self.config.global_phi)),
+        }
+    }
+
+    /// Scan labeled subpopulations of any backend. Moments-sketch groups
+    /// run the threshold cascade; every other backend compares its direct
+    /// quantile estimate against `threshold`.
+    pub fn search_dyn<'a, I>(&mut self, groups: I, threshold: f64) -> Vec<SubpopulationReport>
+    where
+        I: IntoIterator<Item = (&'a str, &'a dyn Sketch)>,
+    {
+        let phi = self.config.subpopulation_phi();
+        let mut out = Vec::new();
+        for (label, sketch) in groups {
+            if msketch_sketches::threshold_dyn(&mut self.evaluator, sketch, threshold, phi) {
+                out.push(SubpopulationReport {
+                    label: label.to_string(),
+                    count: sketch.count() as f64,
+                });
+            }
+        }
+        out
+    }
+
     /// Cascade statistics accumulated so far.
     pub fn stats(&self) -> CascadeStats {
         self.evaluator.stats()
@@ -162,6 +194,72 @@ mod tests {
             stats.maxent_evals <= stats.total / 2,
             "cascade should prune most groups: {stats:?}"
         );
+    }
+
+    #[test]
+    fn dyn_search_agrees_with_typed_on_moments_groups() {
+        use msketch_sketches::api::SketchSpec;
+        use msketch_sketches::QuantileSummary;
+
+        let (groups, all) = groups();
+        let mut typed = MacroBaseEngine::new(MacroBaseConfig::default());
+        let t = typed.global_threshold(&all).unwrap();
+        let expected = typed.search(groups.iter().map(|(l, s)| (l.as_str(), s)), t);
+
+        // The same populations behind runtime-selected boxed sketches.
+        let spec = SketchSpec::moments(10);
+        let mut all_dyn = spec.build();
+        let dyn_groups: Vec<(String, Box<dyn Sketch>)> = groups
+            .iter()
+            .map(|(l, s)| {
+                let boxed: Box<dyn Sketch> = Box::new(MSketchSummary {
+                    sketch: s.clone(),
+                    config: Default::default(),
+                });
+                all_dyn.merge_from(&boxed);
+                (l.clone(), boxed)
+            })
+            .collect();
+        let mut engine = MacroBaseEngine::new(MacroBaseConfig::default());
+        let t_dyn = engine.global_threshold_dyn(&*all_dyn).unwrap();
+        assert!((t_dyn - t).abs() < 1e-9 * t.abs().max(1.0));
+        let hits = engine.search_dyn(dyn_groups.iter().map(|(l, s)| (l.as_str(), &**s)), t_dyn);
+        assert_eq!(hits, expected);
+        assert_eq!(
+            engine.stats().total,
+            50,
+            "dyn moments groups use the cascade"
+        );
+    }
+
+    #[test]
+    fn dyn_search_works_on_non_moments_backends() {
+        use msketch_sketches::api::SketchSpec;
+
+        // Two groups, one with a heavy tail; a t-digest backend has no
+        // cascade but must still flag the anomalous group. The anomalous
+        // group is a small share of the population so its spike stays
+        // under 1% of all points (the 30x-ratio setup of the paper).
+        let spec = SketchSpec::tdigest(5.0);
+        let mut normal = spec.build();
+        let mut anomalous = spec.build();
+        for i in 0..98_000u64 {
+            normal.accumulate((i % 100) as f64 + 1.0);
+        }
+        for i in 0..2_000u64 {
+            let base = (i % 100) as f64 + 1.0;
+            anomalous.accumulate(if i % 20 < 9 { base + 1000.0 } else { base });
+        }
+        let mut all = normal.clone();
+        all.merge_dyn(&*anomalous).unwrap();
+        let mut engine = MacroBaseEngine::new(MacroBaseConfig::default());
+        let t = engine.global_threshold_dyn(&*all).unwrap();
+        let groups: Vec<(&str, &dyn Sketch)> =
+            vec![("normal", &*normal), ("anomalous", &*anomalous)];
+        let hits = engine.search_dyn(groups, t);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].label, "anomalous");
+        assert_eq!(engine.stats().total, 0, "no cascade for non-moments cells");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! Fast and tiny, but accuracy collapses on long-tailed data (most mass
 //! lands in one bin) — exactly the weakness Figures 7 and 19 highlight.
 
-use crate::traits::QuantileSummary;
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
+use crate::traits::{QuantileSummary, Sketch};
 
 /// Equi-width histogram with a fixed bin budget.
 #[derive(Debug, Clone)]
@@ -81,7 +82,9 @@ impl EwHist {
     }
 }
 
-impl QuantileSummary for EwHist {
+impl Sketch for EwHist {
+    impl_sketch_object!(EwHist);
+
     fn name(&self) -> &'static str {
         "EW-Hist"
     }
@@ -117,6 +120,36 @@ impl QuantileSummary for EwHist {
         }
     }
 
+    fn quantile(&self, phi: f64) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let target = phi.clamp(0.0, 1.0) * self.n as f64;
+        let w = self.width();
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                let lo = (self.start + i as i64) as f64 * w;
+                return (lo + frac * w).clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn size_bytes(&self) -> usize {
+        // counts as u64 plus width/start/min/max/count header.
+        self.counts.len() * 8 + 8 + 24
+    }
+}
+
+impl QuantileSummary for EwHist {
     fn merge_from(&mut self, other: &Self) {
         if other.n == 0 {
             return;
@@ -167,33 +200,56 @@ impl QuantileSummary for EwHist {
             other.coarsen();
         }
     }
+}
 
-    fn quantile(&self, phi: f64) -> f64 {
-        if self.n == 0 {
-            return f64::NAN;
+/// Payload: `budget`, `log_width`, `start`, `n`, `min`, `max`, then the
+/// bin counts.
+impl WireCodec for EwHist {
+    const KIND: SketchKind = SketchKind::EwHist;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.u64(self.budget as u64);
+        w.i64(self.log_width as i64);
+        w.i64(self.start);
+        w.u64(self.n);
+        w.f64(self.min);
+        w.f64(self.max);
+        w.len(self.counts.len());
+        for &c in &self.counts {
+            w.u64(c);
         }
-        let target = phi.clamp(0.0, 1.0) * self.n as f64;
-        let w = self.width();
-        let mut cum = 0.0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            let next = cum + c as f64;
-            if next >= target && c > 0 {
-                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
-                let lo = (self.start + i as i64) as f64 * w;
-                return (lo + frac * w).clamp(self.min, self.max);
-            }
-            cum = next;
-        }
-        self.max
     }
 
-    fn count(&self) -> u64 {
-        self.n
-    }
-
-    fn size_bytes(&self) -> usize {
-        // counts as u64 plus width/start/min/max/count header.
-        self.counts.len() * 8 + 8 + 24
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let budget = r.u64()? as usize;
+        if budget < 2 {
+            return Err(SketchError::Corrupt("histogram budget must be >= 2"));
+        }
+        let log_width = r.i64()?;
+        if !(-1100..=1100).contains(&log_width) {
+            return Err(SketchError::Corrupt("bin width exponent out of range"));
+        }
+        let start = r.i64()?;
+        let n = r.u64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        crate::api::check_extrema(n > 0, min, max)?;
+        let len = r.len(8)?;
+        if len > budget {
+            return Err(SketchError::Corrupt("bin list exceeds budget"));
+        }
+        let counts = (0..len)
+            .map(|_| r.u64())
+            .collect::<Result<Vec<_>, SketchError>>()?;
+        Ok(EwHist {
+            budget,
+            log_width: log_width as i32,
+            start,
+            counts,
+            n,
+            min,
+            max,
+        })
     }
 }
 

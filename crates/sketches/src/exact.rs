@@ -4,7 +4,8 @@
 //! experiment and as the naive "sort everything" baseline quoted in
 //! Section 6.2.1.
 
-use crate::traits::QuantileSummary;
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
+use crate::traits::{QuantileSummary, Sketch};
 
 /// Exact quantiles over fully retained data.
 #[derive(Debug, Clone, Default)]
@@ -48,18 +49,15 @@ impl ExactQuantiles {
     }
 }
 
-impl QuantileSummary for ExactQuantiles {
+impl Sketch for ExactQuantiles {
+    impl_sketch_object!(ExactQuantiles);
+
     fn name(&self) -> &'static str {
         "Exact"
     }
 
     fn accumulate(&mut self, x: f64) {
         self.dirty.push(x);
-    }
-
-    fn merge_from(&mut self, other: &Self) {
-        self.dirty.extend_from_slice(&other.sorted);
-        self.dirty.extend_from_slice(&other.dirty);
     }
 
     fn quantile(&self, phi: f64) -> f64 {
@@ -79,6 +77,32 @@ impl QuantileSummary for ExactQuantiles {
 
     fn size_bytes(&self) -> usize {
         (self.sorted.len() + self.dirty.len()) * 8
+    }
+}
+
+impl QuantileSummary for ExactQuantiles {
+    fn merge_from(&mut self, other: &Self) {
+        self.dirty.extend_from_slice(&other.sorted);
+        self.dirty.extend_from_slice(&other.dirty);
+    }
+}
+
+/// Payload: the sorted retained data, then the unsorted tail.
+impl WireCodec for ExactQuantiles {
+    const KIND: SketchKind = SketchKind::Exact;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.f64_slice(&self.sorted);
+        w.f64_slice(&self.dirty);
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let sorted = r.f64_vec()?;
+        if sorted.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SketchError::Corrupt("retained data not sorted"));
+        }
+        let dirty = r.f64_vec()?;
+        Ok(ExactQuantiles { sorted, dirty })
     }
 }
 

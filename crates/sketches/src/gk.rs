@@ -13,7 +13,8 @@
 //! depth, which is exactly the behavior the paper reports in its
 //! production benchmarks (Appendix D.4).
 
-use crate::traits::QuantileSummary;
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
+use crate::traits::{QuantileSummary, Sketch};
 
 /// A GK tuple: value, absorbed count, rank uncertainty.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,7 +153,9 @@ fn buffer_cap(epsilon: f64) -> usize {
     ((0.5 / epsilon).ceil() as usize).clamp(16, 4096)
 }
 
-impl QuantileSummary for GkSummary {
+impl Sketch for GkSummary {
+    impl_sketch_object!(GkSummary);
+
     fn name(&self) -> &'static str {
         "GK"
     }
@@ -165,6 +168,40 @@ impl QuantileSummary for GkSummary {
         }
     }
 
+    fn quantile(&self, phi: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&phi));
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let mut me = self.clone();
+        me.flush();
+        if me.entries.is_empty() {
+            return f64::NAN;
+        }
+        let target = (phi * me.n as f64).ceil() as u64;
+        let mut rank_min = 0u64;
+        for t in &me.entries {
+            rank_min += t.g;
+            if rank_min + t.delta / 2 >= target {
+                return t.v;
+            }
+        }
+        me.entries.last().unwrap().v
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn size_bytes(&self) -> usize {
+        // v: f64, g and delta as u32 in a serialized layout.
+        let mut me = self.clone();
+        me.flush();
+        me.entries.len() * (8 + 4 + 4) + 16
+    }
+}
+
+impl QuantileSummary for GkSummary {
     fn merge_from(&mut self, other: &Self) {
         let mut other = other.clone();
         other.flush();
@@ -206,37 +243,62 @@ impl QuantileSummary for GkSummary {
         self.entries = merged;
         self.compress();
     }
+}
 
-    fn quantile(&self, phi: f64) -> f64 {
-        debug_assert!((0.0..=1.0).contains(&phi));
-        if self.n == 0 {
-            return f64::NAN;
+/// Payload: `epsilon`, `n`, the tuple list as `(v, g, Δ)` triples, then
+/// the unsorted insert buffer.
+impl WireCodec for GkSummary {
+    const KIND: SketchKind = SketchKind::Gk;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.f64(self.epsilon);
+        w.u64(self.n);
+        w.len(self.entries.len());
+        for t in &self.entries {
+            w.f64(t.v);
+            w.u64(t.g);
+            w.u64(t.delta);
         }
-        let mut me = self.clone();
-        me.flush();
-        if me.entries.is_empty() {
-            return f64::NAN;
-        }
-        let target = (phi * me.n as f64).ceil() as u64;
-        let mut rank_min = 0u64;
-        for t in &me.entries {
-            rank_min += t.g;
-            if rank_min + t.delta / 2 >= target {
-                return t.v;
-            }
-        }
-        me.entries.last().unwrap().v
+        w.f64_slice(&self.buffer);
     }
 
-    fn count(&self) -> u64 {
-        self.n
-    }
-
-    fn size_bytes(&self) -> usize {
-        // v: f64, g and delta as u32 in a serialized layout.
-        let mut me = self.clone();
-        me.flush();
-        me.entries.len() * (8 + 4 + 4) + 16
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let epsilon = r.f64()?;
+        if !epsilon.is_finite() || epsilon <= 0.0 || epsilon >= 0.5 {
+            return Err(SketchError::Corrupt("GK epsilon outside (0, 0.5)"));
+        }
+        let n = r.u64()?;
+        let len = r.len(24)?;
+        let mut absorbed = 0u64;
+        let entries = (0..len)
+            .map(|_| {
+                let t = Tuple {
+                    v: r.f64()?,
+                    g: r.u64()?,
+                    delta: r.u64()?,
+                };
+                // `g + Δ <= n` per tuple and `Σg <= n` overall are the GK
+                // invariants; enforcing them also keeps the rank walk in
+                // `quantile` free of integer overflow.
+                if t.v.is_nan() || t.g.checked_add(t.delta).is_none_or(|gd| gd > n) {
+                    return Err(SketchError::Corrupt("invalid GK tuple"));
+                }
+                absorbed = absorbed
+                    .checked_add(t.g)
+                    .ok_or(SketchError::Corrupt("GK tuple counts overflow"))?;
+                Ok(t)
+            })
+            .collect::<Result<Vec<_>, SketchError>>()?;
+        let buffer = r.f64_vec()?;
+        if absorbed.checked_add(buffer.len() as u64) != Some(n) {
+            return Err(SketchError::Corrupt("GK counts do not sum to n"));
+        }
+        Ok(GkSummary {
+            epsilon,
+            entries,
+            buffer,
+            n,
+        })
     }
 }
 

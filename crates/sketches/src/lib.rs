@@ -12,11 +12,25 @@
 //! | [`Merge12`] | `Merge12` | low-discrepancy mergeable sketch (Agarwal et al.) |
 //! | [`MSketchSummary`] | `M-Sketch` | adapter over [`moments_sketch`] |
 //!
-//! All types implement [`QuantileSummary`], the shared
-//! accumulate/merge/query interface the benchmark harness drives.
+//! All types implement the object-safe [`Sketch`] interface (runtime
+//! backend selection, `Box<dyn Sketch>` storage, the versioned wire
+//! format of [`api`]) plus the typed [`QuantileSummary`] extension the
+//! monomorphized harness hot loops drive. Pick a backend at runtime with
+//! [`api::SketchSpec`]:
+//!
+//! ```
+//! use msketch_sketches::api::SketchSpec;
+//! use msketch_sketches::Sketch;
+//!
+//! let mut s = SketchSpec::parse("tdigest:5.0").unwrap().build();
+//! s.accumulate_all(&[2.0, 4.0, 6.0]);
+//! let restored = msketch_sketches::api::sketch_from_bytes(&s.to_bytes()).unwrap();
+//! assert_eq!(restored.count(), 3);
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod ewhist;
 pub mod exact;
 pub mod gk;
@@ -29,13 +43,14 @@ pub mod shist;
 pub mod tdigest;
 pub mod traits;
 
+pub use api::{sketch_from_bytes, SketchError, SketchKind, SketchSpec};
 pub use ewhist::EwHist;
 pub use exact::{avg_quantile_error, quantile_error, ExactQuantiles};
 pub use gk::GkSummary;
 pub use merge12::Merge12;
-pub use msketch::MSketchSummary;
+pub use msketch::{threshold_dyn, MSketchSummary};
 pub use randomw::RandomW;
 pub use sampling::ReservoirSample;
 pub use shist::SHist;
 pub use tdigest::TDigest;
-pub use traits::QuantileSummary;
+pub use traits::{QuantileSummary, Sketch, SummaryFactory};

@@ -9,8 +9,9 @@
 //! 2k-buffer (random offset — the "low discrepancy" trick keeps rank
 //! error `O(1/k · sqrt(log n))` after arbitrary merges).
 
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
 use crate::rng::Rng;
-use crate::traits::QuantileSummary;
+use crate::traits::{QuantileSummary, Sketch};
 
 /// Low-discrepancy mergeable quantile sketch.
 #[derive(Debug, Clone)]
@@ -108,7 +109,9 @@ impl Merge12 {
     }
 }
 
-impl QuantileSummary for Merge12 {
+impl Sketch for Merge12 {
+    impl_sketch_object!(Merge12);
+
     fn name(&self) -> &'static str {
         "Merge12"
     }
@@ -119,21 +122,6 @@ impl QuantileSummary for Merge12 {
         self.n += 1;
         self.base.push(x);
         self.flush_base();
-    }
-
-    fn merge_from(&mut self, other: &Self) {
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        self.n += other.n;
-        for &x in &other.base {
-            self.base.push(x);
-            self.flush_base();
-        }
-        for (l, arr) in other.levels.iter().enumerate() {
-            if !arr.is_empty() {
-                self.place(arr.clone(), l);
-            }
-        }
     }
 
     fn quantile(&self, phi: f64) -> f64 {
@@ -164,6 +152,84 @@ impl QuantileSummary for Merge12 {
     fn size_bytes(&self) -> usize {
         let held = self.base.len() + self.levels.iter().map(Vec::len).sum::<usize>();
         held * 8 + 32
+    }
+}
+
+impl QuantileSummary for Merge12 {
+    fn merge_from(&mut self, other: &Self) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n += other.n;
+        for &x in &other.base {
+            self.base.push(x);
+            self.flush_base();
+        }
+        for (l, arr) in other.levels.iter().enumerate() {
+            if !arr.is_empty() {
+                self.place(arr.clone(), l);
+            }
+        }
+    }
+}
+
+/// Payload: level size `k`, `n`, `min`, `max`, the RNG state, the base
+/// buffer, then each level's sorted array (empty = unoccupied).
+impl WireCodec for Merge12 {
+    const KIND: SketchKind = SketchKind::Merge12;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.u64(self.k as u64);
+        w.u64(self.n);
+        w.f64(self.min);
+        w.f64(self.max);
+        w.u64(self.rng.state());
+        w.f64_slice(&self.base);
+        w.len(self.levels.len());
+        for level in &self.levels {
+            w.f64_slice(level);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let k = r.u64()? as usize;
+        if k < 2 {
+            return Err(SketchError::Corrupt("Merge12 level size must be >= 2"));
+        }
+        let n = r.u64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        crate::api::check_extrema(n > 0, min, max)?;
+        let rng = Rng::from_state(r.u64()?);
+        let base = r.f64_vec()?;
+        if base.len() > 2 * k {
+            return Err(SketchError::Corrupt("Merge12 base buffer exceeds 2k"));
+        }
+        let n_levels = r.len(4)?;
+        // Level `l` carries weight `2^(l+1)`; more than 62 levels cannot
+        // arise from real data and would overflow the weight shift.
+        if n_levels > 62 {
+            return Err(SketchError::Corrupt("Merge12 level count out of range"));
+        }
+        let levels = (0..n_levels)
+            .map(|_| {
+                let arr = r.f64_vec()?;
+                if !arr.is_empty() && arr.len() != k {
+                    return Err(SketchError::Corrupt(
+                        "Merge12 level array must hold k items",
+                    ));
+                }
+                Ok(arr)
+            })
+            .collect::<Result<Vec<_>, SketchError>>()?;
+        Ok(Merge12 {
+            k,
+            base,
+            levels,
+            n,
+            min,
+            max,
+            rng,
+        })
     }
 }
 

@@ -2,7 +2,10 @@
 //! [`QuantileSummary`] interface, so the benchmark harness can drive it
 //! interchangeably with the baselines.
 
-use crate::traits::QuantileSummary;
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
+use crate::traits::{QuantileSummary, Sketch};
+use moments_sketch::lowprec::LowPrecisionCodec;
+use moments_sketch::serialize::{solver_config_from_bytes, solver_config_to_bytes};
 use moments_sketch::{MomentsSketch, SolverConfig};
 
 /// Moments sketch behind the common summary interface (`M-Sketch` in the
@@ -33,17 +36,15 @@ impl MSketchSummary {
     }
 }
 
-impl QuantileSummary for MSketchSummary {
+impl Sketch for MSketchSummary {
+    impl_sketch_object!(MSketchSummary);
+
     fn name(&self) -> &'static str {
         "M-Sketch"
     }
 
     fn accumulate(&mut self, x: f64) {
         self.sketch.accumulate(x);
-    }
-
-    fn merge_from(&mut self, other: &Self) {
-        self.sketch.merge(&other.sketch);
     }
 
     fn quantile(&self, phi: f64) -> f64 {
@@ -71,6 +72,50 @@ impl QuantileSummary for MSketchSummary {
 
     fn size_bytes(&self) -> usize {
         self.sketch.size_bytes()
+    }
+}
+
+impl QuantileSummary for MSketchSummary {
+    fn merge_from(&mut self, other: &Self) {
+        self.sketch.merge(&other.sketch);
+    }
+}
+
+/// Payload: the solver configuration (length-prefixed, see
+/// `moments_sketch::serialize::solver_config_to_bytes`), then the sketch
+/// state through the low-precision codec of Appendix C at its lossless
+/// 64-bit setting — the same bitstream a space-tight deployment would
+/// store at 20 bits per value.
+impl WireCodec for MSketchSummary {
+    const KIND: SketchKind = SketchKind::Moments;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.bytes(&solver_config_to_bytes(&self.config));
+        // Seed is irrelevant at 64 bits: randomized rounding never fires.
+        w.bytes(&LowPrecisionCodec::new(64).encode(&self.sketch, 0));
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let config = solver_config_from_bytes(r.bytes()?)?;
+        let sketch = LowPrecisionCodec::decode(r.bytes()?)?;
+        Ok(MSketchSummary { sketch, config })
+    }
+}
+
+/// Threshold-test a runtime-chosen summary: moments sketches route
+/// through the cascade `evaluator` (Algorithm 2); every other backend
+/// compares its direct quantile estimate — the baseline path the paper
+/// compares the cascade against. The single policy point for every
+/// `*_dyn` threshold query in the workspace.
+pub fn threshold_dyn(
+    evaluator: &mut moments_sketch::ThresholdEvaluator,
+    sketch: &dyn Sketch,
+    t: f64,
+    phi: f64,
+) -> bool {
+    match sketch.as_any().downcast_ref::<MSketchSummary>() {
+        Some(ms) => evaluator.threshold(&ms.sketch, t, phi),
+        None => sketch.quantile(phi) > t,
     }
 }
 

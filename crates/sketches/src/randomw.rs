@@ -8,8 +8,9 @@
 //! of their merged order (random phase), halving the sample count while
 //! doubling the weight.
 
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
 use crate::rng::Rng;
-use crate::traits::QuantileSummary;
+use crate::traits::{QuantileSummary, Sketch};
 
 /// Randomized multi-level buffer sketch.
 #[derive(Debug, Clone)]
@@ -113,7 +114,9 @@ impl RandomW {
     }
 }
 
-impl QuantileSummary for RandomW {
+impl Sketch for RandomW {
+    impl_sketch_object!(RandomW);
+
     fn name(&self) -> &'static str {
         "RandomW"
     }
@@ -122,19 +125,6 @@ impl QuantileSummary for RandomW {
         self.n += 1;
         self.active.push(x);
         self.flush_active();
-    }
-
-    fn merge_from(&mut self, other: &Self) {
-        self.n += other.n;
-        for x in &other.active {
-            self.active.push(*x);
-            self.flush_active();
-        }
-        for (l, buf) in other.levels.iter().enumerate() {
-            if let Some(b) = buf {
-                self.place(b.clone(), l);
-            }
-        }
     }
 
     fn quantile(&self, phi: f64) -> f64 {
@@ -170,6 +160,74 @@ impl QuantileSummary for RandomW {
             .sum::<usize>()
             + self.active.len();
         held * 8 + 16
+    }
+}
+
+impl QuantileSummary for RandomW {
+    fn merge_from(&mut self, other: &Self) {
+        self.n += other.n;
+        for x in &other.active {
+            self.active.push(*x);
+            self.flush_active();
+        }
+        for (l, buf) in other.levels.iter().enumerate() {
+            if let Some(b) = buf {
+                self.place(b.clone(), l);
+            }
+        }
+    }
+}
+
+/// Payload: buffer size `s`, `n`, the RNG state, the level-0 fill buffer,
+/// then each level as a presence byte + sorted buffer.
+impl WireCodec for RandomW {
+    const KIND: SketchKind = SketchKind::RandomW;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.u64(self.s as u64);
+        w.u64(self.n);
+        w.u64(self.rng.state());
+        w.f64_slice(&self.active);
+        w.len(self.levels.len());
+        for level in &self.levels {
+            match level {
+                Some(buf) => {
+                    w.u8(1);
+                    w.f64_slice(buf);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let s = r.u64()? as usize;
+        if s < 4 {
+            return Err(SketchError::Corrupt("RandomW buffer size must be >= 4"));
+        }
+        let n = r.u64()?;
+        let rng = Rng::from_state(r.u64()?);
+        let active = r.f64_vec()?;
+        let n_levels = r.len(1)?;
+        // Level `l` carries weight `2^l`; more than 63 levels cannot
+        // arise from real data and would overflow the weight shift.
+        if n_levels > 63 {
+            return Err(SketchError::Corrupt("RandomW level count out of range"));
+        }
+        let levels = (0..n_levels)
+            .map(|_| match r.u8()? {
+                0 => Ok(None),
+                1 => Ok(Some(r.f64_vec()?)),
+                _ => Err(SketchError::Corrupt("invalid level presence byte")),
+            })
+            .collect::<Result<Vec<_>, SketchError>>()?;
+        Ok(RandomW {
+            s,
+            active,
+            levels,
+            n,
+            rng,
+        })
     }
 }
 

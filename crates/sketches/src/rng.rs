@@ -19,6 +19,17 @@ impl Rng {
         }
     }
 
+    /// The raw generator state, for serializing a summary mid-stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restore a generator from [`Rng::state`], so a deserialized summary
+    /// continues the exact random stream it would have produced in memory.
+    pub fn from_state(state: u64) -> Self {
+        Rng::new(state)
+    }
+
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

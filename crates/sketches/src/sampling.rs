@@ -5,8 +5,9 @@
 //! reservoir with probability proportional to its remaining represented
 //! population (sampling without replacement within each reservoir).
 
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
 use crate::rng::Rng;
-use crate::traits::QuantileSummary;
+use crate::traits::{QuantileSummary, Sketch};
 
 /// Fixed-size uniform reservoir sample.
 #[derive(Debug, Clone)]
@@ -34,7 +35,9 @@ impl ReservoirSample {
     }
 }
 
-impl QuantileSummary for ReservoirSample {
+impl Sketch for ReservoirSample {
+    impl_sketch_object!(ReservoirSample);
+
     fn name(&self) -> &'static str {
         "Sampling"
     }
@@ -51,6 +54,26 @@ impl QuantileSummary for ReservoirSample {
         }
     }
 
+    fn quantile(&self, phi: f64) -> f64 {
+        if self.items.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.items.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((phi.clamp(0.0, 1.0) * sorted.len() as f64) as usize).min(sorted.len() - 1);
+        sorted[idx]
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.items.len() * 8 + 10
+    }
+}
+
+impl QuantileSummary for ReservoirSample {
     fn merge_from(&mut self, other: &Self) {
         if other.n == 0 {
             return;
@@ -90,23 +113,36 @@ impl QuantileSummary for ReservoirSample {
         self.items = out;
         self.n += other.n;
     }
+}
 
-    fn quantile(&self, phi: f64) -> f64 {
-        if self.items.is_empty() {
-            return f64::NAN;
+/// Payload: `capacity`, `n`, the RNG state, then the retained sample.
+impl WireCodec for ReservoirSample {
+    const KIND: SketchKind = SketchKind::Sampling;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.u64(self.capacity as u64);
+        w.u64(self.n);
+        w.u64(self.rng.state());
+        w.f64_slice(&self.items);
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let capacity = r.u64()? as usize;
+        if capacity == 0 {
+            return Err(SketchError::Corrupt("reservoir capacity must be > 0"));
         }
-        let mut sorted = self.items.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let idx = ((phi.clamp(0.0, 1.0) * sorted.len() as f64) as usize).min(sorted.len() - 1);
-        sorted[idx]
-    }
-
-    fn count(&self) -> u64 {
-        self.n
-    }
-
-    fn size_bytes(&self) -> usize {
-        self.items.len() * 8 + 10
+        let n = r.u64()?;
+        let rng = Rng::from_state(r.u64()?);
+        let items = r.f64_vec()?;
+        if items.len() > capacity || (items.len() as u64) > n {
+            return Err(SketchError::Corrupt("reservoir holds more than it saw"));
+        }
+        Ok(ReservoirSample {
+            capacity,
+            items,
+            n,
+            rng,
+        })
     }
 }
 

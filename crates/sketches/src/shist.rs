@@ -9,7 +9,8 @@
 //! interpolation ("sum" procedure): mass between adjacent centroids is
 //! distributed linearly.
 
-use crate::traits::QuantileSummary;
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
+use crate::traits::{QuantileSummary, Sketch};
 
 /// Streaming histogram with a centroid budget.
 #[derive(Debug, Clone)]
@@ -62,7 +63,9 @@ impl SHist {
     }
 }
 
-impl QuantileSummary for SHist {
+impl Sketch for SHist {
+    impl_sketch_object!(SHist);
+
     fn name(&self) -> &'static str {
         "S-Hist"
     }
@@ -84,34 +87,6 @@ impl QuantileSummary for SHist {
                     self.shrink_once();
                 }
             }
-        }
-    }
-
-    fn merge_from(&mut self, other: &Self) {
-        if other.n == 0 {
-            return;
-        }
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        self.n += other.n;
-        // Union the sorted centroid lists, then shrink to budget.
-        let mut merged = Vec::with_capacity(self.bins.len() + other.bins.len());
-        let (a, b) = (&self.bins, &other.bins);
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            if a[i].0 <= b[j].0 {
-                merged.push(a[i]);
-                i += 1;
-            } else {
-                merged.push(b[j]);
-                j += 1;
-            }
-        }
-        merged.extend_from_slice(&a[i..]);
-        merged.extend_from_slice(&b[j..]);
-        self.bins = merged;
-        while self.bins.len() > self.budget {
-            self.shrink_once();
         }
     }
 
@@ -151,6 +126,85 @@ impl QuantileSummary for SHist {
     fn size_bytes(&self) -> usize {
         // position f64 + mass f32, plus header.
         self.bins.len() * 12 + 24
+    }
+}
+
+impl QuantileSummary for SHist {
+    fn merge_from(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n += other.n;
+        // Union the sorted centroid lists, then shrink to budget.
+        let mut merged = Vec::with_capacity(self.bins.len() + other.bins.len());
+        let (a, b) = (&self.bins, &other.bins);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].0 <= b[j].0 {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.bins = merged;
+        while self.bins.len() > self.budget {
+            self.shrink_once();
+        }
+    }
+}
+
+/// Payload: `budget`, `n`, `min`, `max`, then the sorted centroid list as
+/// `(position, mass)` pairs.
+impl WireCodec for SHist {
+    const KIND: SketchKind = SketchKind::SHist;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.u64(self.budget as u64);
+        w.u64(self.n);
+        w.f64(self.min);
+        w.f64(self.max);
+        w.len(self.bins.len());
+        for &(p, m) in &self.bins {
+            w.f64(p);
+            w.f64(m);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let budget = r.u64()? as usize;
+        if budget < 2 {
+            return Err(SketchError::Corrupt("histogram budget must be >= 2"));
+        }
+        let n = r.u64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        crate::api::check_extrema(n > 0, min, max)?;
+        let len = r.len(16)?;
+        if len > budget + 1 {
+            return Err(SketchError::Corrupt("centroid list exceeds budget"));
+        }
+        let bins = (0..len)
+            .map(|_| {
+                let (p, m) = (r.f64()?, r.f64()?);
+                if p.is_nan() || m.is_nan() {
+                    return Err(SketchError::Corrupt("NaN centroid"));
+                }
+                Ok((p, m))
+            })
+            .collect::<Result<Vec<_>, SketchError>>()?;
+        Ok(SHist {
+            budget,
+            bins,
+            n,
+            min,
+            max,
+        })
     }
 }
 

@@ -7,7 +7,8 @@
 //! merged in one sorted sweep; merging two digests merges their centroid
 //! lists the same way.
 
-use crate::traits::QuantileSummary;
+use crate::api::{impl_sketch_object, Reader, SketchError, SketchKind, WireCodec, Writer};
+use crate::traits::{QuantileSummary, Sketch};
 use std::f64::consts::PI;
 
 /// A centroid: mean and weight.
@@ -95,7 +96,9 @@ impl TDigest {
     }
 }
 
-impl QuantileSummary for TDigest {
+impl Sketch for TDigest {
+    impl_sketch_object!(TDigest);
+
     fn name(&self) -> &'static str {
         "T-Digest"
     }
@@ -111,15 +114,6 @@ impl QuantileSummary for TDigest {
         if self.buffer.len() >= 256 {
             self.flush();
         }
-    }
-
-    fn merge_from(&mut self, other: &Self) {
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        self.n += other.n;
-        self.buffer.extend_from_slice(&other.centroids);
-        self.buffer.extend_from_slice(&other.buffer);
-        self.flush();
     }
 
     fn quantile(&self, phi: f64) -> f64 {
@@ -166,6 +160,73 @@ impl QuantileSummary for TDigest {
     fn size_bytes(&self) -> usize {
         // mean f64 + weight u32, plus min/max/count header.
         self.centroid_count() * 12 + 24
+    }
+}
+
+impl QuantileSummary for TDigest {
+    fn merge_from(&mut self, other: &Self) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n += other.n;
+        self.buffer.extend_from_slice(&other.centroids);
+        self.buffer.extend_from_slice(&other.buffer);
+        self.flush();
+    }
+}
+
+/// Payload: `delta` (post-scaling), `n`, `min`, `max`, then the centroid
+/// and buffer lists as interleaved `(mean, weight)` pairs.
+impl WireCodec for TDigest {
+    const KIND: SketchKind = SketchKind::TDigest;
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.f64(self.delta);
+        w.f64(self.n);
+        w.f64(self.min);
+        w.f64(self.max);
+        for list in [&self.centroids, &self.buffer] {
+            w.len(list.len());
+            for c in list {
+                w.f64(c.mean);
+                w.f64(c.weight);
+            }
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SketchError> {
+        let delta = r.f64()?;
+        if !delta.is_finite() || delta <= 0.0 {
+            return Err(SketchError::Corrupt("t-digest compression must be > 0"));
+        }
+        let n = r.f64()?;
+        if !n.is_finite() || n < 0.0 {
+            return Err(SketchError::Corrupt("negative t-digest count"));
+        }
+        let min = r.f64()?;
+        let max = r.f64()?;
+        crate::api::check_extrema(n > 0.0, min, max)?;
+        let read_list = |r: &mut Reader<'_>| -> Result<Vec<Centroid>, SketchError> {
+            let len = r.len(16)?;
+            (0..len)
+                .map(|_| {
+                    let (mean, weight) = (r.f64()?, r.f64()?);
+                    if mean.is_nan() || weight.is_nan() {
+                        return Err(SketchError::Corrupt("NaN centroid"));
+                    }
+                    Ok(Centroid { mean, weight })
+                })
+                .collect()
+        };
+        let centroids = read_list(r)?;
+        let buffer = read_list(r)?;
+        Ok(TDigest {
+            delta,
+            centroids,
+            buffer,
+            n,
+            min,
+            max,
+        })
     }
 }
 

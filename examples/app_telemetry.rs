@@ -4,9 +4,8 @@
 //!
 //! Run: `cargo run --release --example app_telemetry`
 
-use msketch::cube::{DataCube, GroupThresholdQuery, QueryEngine};
 use msketch::datasets::dist;
-use msketch::sketches::{traits::FnFactory, MSketchSummary, QuantileSummary};
+use msketch::prelude::{DynCube, GroupThresholdQuery, QueryEngine, Sketch, SketchSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,9 +14,7 @@ fn main() {
     let versions = ["v7.0", "v7.1", "v8.0", "v8.1", "v8.2"];
     let oses = ["ios-6.1", "ios-6.2", "ios-6.3", "android-12"];
 
-    let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
-        FnFactory(|| MSketchSummary::new(10));
-    let mut cube = DataCube::new(factory, &["country", "app_version", "os"]);
+    let mut cube = DynCube::from_spec(SketchSpec::moments(10), &["country", "app_version", "os"]);
 
     // Ingest telemetry: request latency in ms, log-normal-ish, with a
     // regression in v8.2 on android.
@@ -53,7 +50,7 @@ fn main() {
     // Threshold query: GROUP BY (version, os) HAVING p99 > 100ms.
     let groups = cube.group_by(&[1, 2], &cube.no_filter()).unwrap();
     let query = GroupThresholdQuery::new(0.99, 150.0);
-    let (hits, stats) = query.run(&groups);
+    let (hits, stats) = query.run_dyn(&groups);
     println!(
         "\nGROUP BY (version, os) HAVING p99 > 150ms — {} of {} groups:",
         hits.len(),

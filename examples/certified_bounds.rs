@@ -7,8 +7,8 @@
 //!
 //! Run: `cargo run --release --example certified_bounds`
 
-use msketch::core::MomentsSketch;
 use msketch::datasets::dist;
+use msketch::prelude::MomentsSketch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

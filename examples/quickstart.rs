@@ -2,7 +2,7 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use msketch::core::{solve_robust, MomentsSketch, SolverConfig};
+use msketch::prelude::{solve_robust, MomentsSketch, SolverConfig};
 
 fn main() {
     // Simulate per-server latency measurements (ms) collected on three

@@ -8,9 +8,9 @@
 //!
 //! Run: `cargo run --release --example sliding_window`
 
-use msketch::core::{CascadeConfig, MomentsSketch};
 use msketch::datasets::dist;
 use msketch::macrobase::scan_windows;
+use msketch::prelude::{CascadeConfig, MomentsSketch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

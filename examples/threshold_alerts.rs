@@ -4,9 +4,8 @@
 //!
 //! Run: `cargo run --release --example threshold_alerts`
 
-use msketch::core::MomentsSketch;
 use msketch::datasets::dist;
-use msketch::macrobase::{MacroBaseConfig, MacroBaseEngine};
+use msketch::prelude::{MacroBaseConfig, MacroBaseEngine, MomentsSketch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -14,6 +14,23 @@
 //!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/src/bin/` for the per-figure reproduction harnesses.
+//!
+//! Most applications only need the [`prelude`]:
+//!
+//! ```
+//! use msketch::prelude::*;
+//!
+//! // Backend chosen at runtime, cube serialized and restored — the
+//! // Druid segment lifecycle.
+//! let spec = SketchSpec::parse("moments:10").unwrap();
+//! let mut cube = DynCube::from_spec(spec, &["host"]);
+//! for i in 0..5000 {
+//!     cube.insert(&[["a", "b"][i % 2]], (i % 97) as f64).unwrap();
+//! }
+//! let restored = DynCube::from_bytes(&cube.to_bytes()).unwrap();
+//! let p50 = QueryEngine::quantile(&restored, &restored.no_filter(), 0.5).unwrap();
+//! assert!(p50 > 0.0);
+//! ```
 
 pub use moments_sketch as core;
 pub use msketch_cube as cube;
@@ -23,3 +40,18 @@ pub use msketch_sketches as sketches;
 pub use numerics;
 
 pub use moments_sketch::{MomentsSketch, SolverConfig};
+
+/// The one-stop import surface: the object-safe sketch API, the runtime
+/// backend registry, the wire-format entry points, and the engines.
+pub mod prelude {
+    pub use moments_sketch::{
+        solve_robust, CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
+    };
+    pub use msketch_cube::{DataCube, DynCube, GroupThresholdQuery, QueryEngine};
+    pub use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
+    pub use msketch_sketches::api::{
+        from_bytes as sketch_from_bytes_typed, sketch_from_bytes, SketchError, SketchKind,
+        SketchSpec,
+    };
+    pub use msketch_sketches::traits::{QuantileSummary, Sketch, SummaryFactory};
+}

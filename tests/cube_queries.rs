@@ -4,7 +4,8 @@
 
 use msketch::cube::{DataCube, GroupThresholdQuery, QueryEngine};
 use msketch::datasets::dist;
-use msketch::sketches::{traits::FnFactory, MSketchSummary, QuantileSummary};
+use msketch::prelude::{QuantileSummary, Sketch};
+use msketch::sketches::{traits::FnFactory, MSketchSummary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;

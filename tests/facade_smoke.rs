@@ -1,11 +1,16 @@
 //! Build-surface smoke test: exercises construct / accumulate / merge /
 //! serialize / query strictly through the `msketch` facade re-exports,
-//! pinning the public API this workspace promises. If a re-export is
-//! dropped or a core signature drifts, this file stops compiling — by
-//! design.
+//! pinning the public API this workspace promises — including the
+//! object-safe sketch layer (`prelude`, `SketchKind`, `SketchSpec`,
+//! `&dyn Sketch`). If a re-export is dropped or a core signature drifts,
+//! this file stops compiling — by design.
 
 use msketch::core::serialize::{from_bytes, to_bytes, SketchRepr};
 use msketch::core::solve_robust;
+use msketch::prelude::{
+    sketch_from_bytes, sketch_from_bytes_typed, DynCube, QuantileSummary, QueryEngine, Sketch,
+    SketchError, SketchKind, SketchSpec,
+};
 use msketch::{MomentsSketch, SolverConfig};
 
 /// The facade's headline types are nameable at the crate root and the
@@ -57,6 +62,57 @@ fn facade_serde_mirror_roundtrip() {
     assert_eq!(sketch, back);
 }
 
+/// The object-safe core is usable as a trait object: `&dyn Sketch` and
+/// `Box<dyn Sketch>` support the full lifecycle, and dynamic merges are
+/// kind-checked rather than panicking.
+#[test]
+fn facade_object_safe_sketch_api() {
+    // `SketchSpec::<kind>(param).build()` replaces factory closures.
+    let mut boxed: Box<dyn Sketch> = SketchSpec::moments(10).build();
+    boxed.accumulate_all(&[1.0, 2.0, 3.0, 4.0]);
+
+    // Object safety: a plain borrowed trait object answers queries.
+    let view: &dyn Sketch = &*boxed;
+    assert_eq!(view.kind(), SketchKind::Moments);
+    assert_eq!(view.count(), 4);
+    assert!(view.size_bytes() > 0);
+
+    // The versioned wire format round-trips dynamically and typed.
+    let bytes = view.to_bytes();
+    let restored = sketch_from_bytes(&bytes).expect("dynamic decode");
+    assert_eq!(restored.count(), 4);
+    let typed: msketch::sketches::MSketchSummary =
+        sketch_from_bytes_typed(&bytes).expect("typed decode");
+    // The typed extension keeps the monomorphized merge path.
+    QuantileSummary::merge_from(&mut typed.clone(), &typed);
+    assert_eq!(typed.count(), 4);
+
+    // Same-kind dynamic merges work; cross-kind merges report an error.
+    let mut other = SketchSpec::moments(10).build();
+    other.accumulate(9.0);
+    boxed.merge_dyn(&*other).expect("same-kind merge");
+    assert_eq!(boxed.count(), 5);
+    let alien = SketchSpec::tdigest(5.0).build();
+    assert!(matches!(
+        boxed.merge_dyn(&*alien),
+        Err(SketchError::KindMismatch { .. })
+    ));
+}
+
+/// Every registered kind is constructible from a runtime string through
+/// the facade, and the registry enumerates exactly the shipped backends.
+#[test]
+fn facade_runtime_kind_registry() {
+    assert_eq!(SketchKind::ALL.len(), 9);
+    for kind in SketchKind::ALL {
+        let spec = SketchSpec::parse(kind.label()).expect("label parses");
+        assert_eq!(spec.kind(), kind);
+        let s = spec.build();
+        assert_eq!(s.kind(), kind);
+        assert_eq!(s.name(), kind.label());
+    }
+}
+
 /// Module-level facade paths stay available: every sub-crate is
 /// reachable under its aliased name.
 #[test]
@@ -66,7 +122,6 @@ fn facade_module_aliases_reachable() {
     assert_eq!(data.len(), 2_000);
 
     // sketches (+ the shared trait)
-    use msketch::sketches::QuantileSummary;
     let mut td = msketch::sketches::TDigest::new(5.0);
     td.accumulate_all(&data);
     assert_eq!(td.count(), 2_000);
@@ -74,16 +129,17 @@ fn facade_module_aliases_reachable() {
     // numerics
     assert!((msketch::numerics::dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
 
-    // cube
-    use msketch::sketches::traits::FnFactory;
-    let factory = FnFactory(|| msketch::sketches::MSketchSummary::new(8));
-    let mut cube = msketch::cube::DataCube::new(factory, &["shard"]);
+    // cube: runtime-chosen backend, serialized and restored.
+    let mut cube = DynCube::from_spec(SketchSpec::moments(8), &["shard"]);
     let shards = ["s0", "s1", "s2", "s3"];
     for (i, &x) in data.iter().enumerate() {
         cube.insert(&[shards[i % 4]], x).expect("insert");
     }
-    let total = cube.rollup(&[None]).expect("rollup");
+    let restored = DynCube::from_bytes(&cube.to_bytes()).expect("cube roundtrip");
+    let total = restored.rollup(&[None]).expect("rollup");
     assert_eq!(total.count(), 2_000);
+    let q = QueryEngine::quantile(&restored, &restored.no_filter(), 0.5).expect("quantile");
+    assert!(q.is_finite());
 
     // macrobase
     let config = msketch::macrobase::MacroBaseConfig::default();

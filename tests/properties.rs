@@ -144,7 +144,8 @@ proptest! {
         cell in 10usize..50,
     ) {
         use msketch::sketches::{
-            EwHist, GkSummary, Merge12, QuantileSummary, RandomW, ReservoirSample, SHist, TDigest,
+            EwHist, GkSummary, Merge12, QuantileSummary, RandomW, ReservoirSample, SHist, Sketch,
+            TDigest,
         };
         let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
