@@ -1,0 +1,99 @@
+//! Criterion benchmark: ingestion throughput across the write paths —
+//! row-at-a-time `DataCube::insert`, columnar `insert_batch`, and the
+//! sharded concurrent engine at 1/2/4/8 shards — over one million rows
+//! of a realistic two-dimension telemetry schema (the satellite
+//! measurement behind `BENCH_ingest.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use msketch_cube::{ColumnarBatch, DataCube};
+use msketch_engine::{EngineConfig, ShardedCube};
+use msketch_sketches::traits::FnFactory;
+use msketch_sketches::MSketchSummary;
+
+const ROWS: usize = 1_000_000;
+const BATCH_ROWS: usize = 16384;
+
+type MomentsFactory = FnFactory<MSketchSummary, fn() -> MSketchSummary>;
+
+fn factory() -> MomentsFactory {
+    FnFactory(|| MSketchSummary::new(10))
+}
+
+/// 1M rows over 100 apps x 20 regions (2000 cells), with the bursty
+/// value locality real telemetry streams show (runs of ~16 rows from
+/// one app). Labels are leaked once so the row table borrows nothing.
+fn rows() -> Vec<([&'static str; 2], f64)> {
+    const REGIONS: [&str; 20] = [
+        "us-e1", "us-e2", "us-w1", "us-w2", "eu-w1", "eu-w2", "eu-c1", "eu-n1", "ap-s1", "ap-s2",
+        "ap-ne1", "ap-se1", "sa-e1", "af-s1", "me-c1", "ca-c1", "us-g1", "eu-s1", "ap-e1", "oc-s1",
+    ];
+    let apps: Vec<&'static str> = (0..100)
+        .map(|i| Box::leak(format!("app-{i:02}").into_boxed_str()) as &'static str)
+        .collect();
+    (0..ROWS)
+        .map(|i| {
+            let app = apps[(i / 16) % 100];
+            let region = REGIONS[(i / 7) % 20];
+            let metric = ((i * 37) % 10_000) as f64 / 10.0;
+            ([app, region], metric)
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let data = rows();
+    let mut group = c.benchmark_group("ingest_1m");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    group.bench_function("insert_row", |b| {
+        b.iter(|| {
+            let mut cube = DataCube::new(factory(), &["app", "region"]);
+            for (dims, metric) in &data {
+                cube.insert(dims, *metric).unwrap();
+            }
+            black_box(cube.row_count())
+        })
+    });
+
+    group.bench_function("insert_batch", |b| {
+        b.iter(|| {
+            let mut cube = DataCube::new(factory(), &["app", "region"]);
+            let mut batch = ColumnarBatch::with_capacity(2, BATCH_ROWS);
+            for (dims, metric) in &data {
+                batch.push_row(dims, *metric);
+                if batch.len() == BATCH_ROWS {
+                    cube.insert_batch(&batch).unwrap();
+                    batch = ColumnarBatch::with_capacity(2, BATCH_ROWS);
+                }
+            }
+            cube.insert_batch(&batch).unwrap();
+            black_box(cube.row_count())
+        })
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("sharded_{shards}"), |b| {
+            b.iter(|| {
+                let mut engine = ShardedCube::new(
+                    factory(),
+                    &["app", "region"],
+                    EngineConfig::with_shards(shards).batch_rows(BATCH_ROWS),
+                );
+                for (dims, metric) in &data {
+                    engine.insert(dims, *metric).unwrap();
+                }
+                // Ingest isn't done until the rows are queryable:
+                // include the snapshot fold in the measured cost.
+                let snap = engine.snapshot().unwrap();
+                assert_eq!(snap.row_count() as usize, ROWS);
+                black_box(snap.cell_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

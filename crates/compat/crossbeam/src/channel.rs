@@ -1,0 +1,242 @@
+//! Multi-producer multi-consumer channels (mirrors `crossbeam::channel`).
+//!
+//! Backed by `std::sync::mpsc`; the receiver side is shared behind a
+//! mutex so `Receiver` is cloneable (MPMC) like crossbeam's. Semantics
+//! the workspace relies on and which carry over from `mpsc`:
+//!
+//! * per-sender FIFO: messages from one sender arrive in send order
+//!   (the sharded ingestion engine's snapshot barrier depends on this);
+//! * `bounded(cap)` applies backpressure once `cap` messages are in
+//!   flight (`bounded(0)` is a rendezvous channel);
+//! * `recv` returns [`RecvError`] once every sender is dropped and the
+//!   queue is drained, which is how worker threads learn to shut down.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Sending half of a channel. Cloneable; dropping every clone
+/// disconnects the channel.
+pub struct Sender<T> {
+    inner: SenderKind<T>,
+}
+
+enum SenderKind<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: match &self.inner {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            },
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while a bounded channel is full. Returns
+    /// the message back in [`SendError`] when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            SenderKind::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            SenderKind::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+        }
+    }
+}
+
+/// Receiving half of a channel. Cloneable: clones share one queue, so
+/// each message is delivered to exactly one receiver (work-stealing).
+pub struct Receiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives; [`RecvError`] once the channel is
+    /// disconnected (all senders dropped) and drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let guard = self.inner.lock().expect("channel receiver poisoned");
+        guard.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// Never blocks: if another cloned receiver currently holds the
+    /// queue (e.g. parked inside [`Self::recv`]), this returns
+    /// [`TryRecvError::Empty`] — correct for work-stealing, since any
+    /// queued or arriving message will be handed to that receiver.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => return Err(TryRecvError::Empty),
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("channel receiver poisoned"),
+        };
+        guard.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocking iterator over messages until disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+/// Blocking message iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// The channel is disconnected; the unsent message is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// The channel is disconnected and drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Why a [`Receiver::try_recv`] returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// The channel is disconnected and drained.
+    Disconnected,
+}
+
+/// An unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender {
+            inner: SenderKind::Unbounded(tx),
+        },
+        Receiver {
+            inner: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+/// A bounded FIFO channel holding at most `cap` in-flight messages
+/// (`cap == 0` is a rendezvous channel: every send waits for a receive).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            inner: SenderKind::Bounded(tx),
+        },
+        Receiver {
+            inner: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let handle = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the receiver drains one
+            "sent"
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(handle.join().unwrap(), "sent");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn disconnection_is_observable_on_both_ends() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_never_blocks_on_a_parked_recv() {
+        let (tx, rx) = unbounded::<u8>();
+        let rx2 = rx.clone();
+        let parked = std::thread::spawn(move || rx2.recv());
+        // Give the spawned thread time to park inside recv() holding the
+        // shared queue; try_recv must still return promptly.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(42).unwrap();
+        assert_eq!(parked.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn cloned_receivers_share_one_queue() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut seen = Vec::new();
+        loop {
+            let (a, b) = (rx.try_recv(), rx2.try_recv());
+            if a.is_err() && b.is_err() {
+                break;
+            }
+            seen.extend(a.ok());
+            seen.extend(b.ok());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,11 +1,15 @@
-//! Offline stand-in for `crossbeam`: scoped threads only, backed by
-//! `std::thread::scope`. The API mirrors `crossbeam::thread::scope` /
-//! `Scope::spawn` closely enough that the workspace's parallel merge
-//! paths compile and run unchanged; structured join semantics (every
-//! spawned thread finishes before `scope` returns) are inherited from
-//! the standard library.
+//! Offline stand-in for `crossbeam`: scoped threads backed by
+//! `std::thread::scope` plus MPMC channels backed by `std::sync::mpsc`.
+//! The API mirrors `crossbeam::thread::scope` / `Scope::spawn` and
+//! `crossbeam::channel::{bounded, unbounded}` closely enough that the
+//! workspace's parallel merge paths and the sharded ingestion engine
+//! compile and run unchanged; structured join semantics (every spawned
+//! thread finishes before `scope` returns) are inherited from the
+//! standard library.
 
 #![warn(missing_docs)]
+
+pub mod channel;
 
 /// Scoped threads (mirrors `crossbeam::thread`).
 pub mod thread {

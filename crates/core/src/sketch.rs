@@ -165,11 +165,39 @@ impl MomentsSketch {
         }
     }
 
-    /// Accumulate a slice of points.
+    /// Accumulate a slice of points — the batched ingest path.
+    ///
+    /// Performs exactly the per-element operations of [`Self::accumulate`]
+    /// in the same order, so the resulting power sums are bit-identical to
+    /// pointwise accumulation (the sharded ingestion engine's equivalence
+    /// guarantee rests on this). The win is structural: `min`/`max` ride
+    /// in registers instead of being re-read and re-written through
+    /// `&mut self` per point, and the power-sum slices are borrowed once
+    /// for the whole slice.
     pub fn accumulate_all(&mut self, data: &[f64]) {
+        let mut min = self.min;
+        let mut max = self.max;
+        let ps = &mut self.power_sums[..];
+        let ls = &mut self.log_sums[..];
         for &x in data {
-            self.accumulate(x);
+            min = min.min(x);
+            max = max.max(x);
+            let mut pw = 1.0;
+            for slot in ps.iter_mut() {
+                *slot += pw;
+                pw *= x;
+            }
+            if x > 0.0 {
+                let lx = x.ln();
+                let mut pw = 1.0;
+                for slot in ls.iter_mut() {
+                    *slot += pw;
+                    pw *= lx;
+                }
+            }
         }
+        self.min = min;
+        self.max = max;
     }
 
     /// Merge another sketch into this one (Algorithm 1).

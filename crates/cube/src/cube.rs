@@ -7,12 +7,22 @@
 //! this is the whole query cost model of Section 3.3:
 //! `t_query = t_merge · n_merge + t_est`.
 
+use crate::batch::ColumnarBatch;
 use crate::dictionary::Dictionary;
+use crate::hash::FxHashMap;
 use crate::{Error, Result};
 use msketch_sketches::traits::{QuantileSummary, Sketch, SummaryFactory};
 use std::collections::HashMap;
 
+/// A borrowed cube cell: encoded key plus pre-aggregated summary.
+pub type CellRef<'a, S> = (&'a Vec<u32>, &'a S);
+
 /// An in-memory data cube of pre-aggregated summaries.
+///
+/// `Clone` requires `F: Clone` (summaries are always cloneable); the
+/// sharded ingestion engine's snapshot path clones each shard-local
+/// cube off its worker thread.
+#[derive(Clone)]
 pub struct DataCube<F: SummaryFactory> {
     pub(crate) factory: F,
     pub(crate) dims: Vec<Dictionary>,
@@ -112,6 +122,217 @@ impl<F: SummaryFactory> DataCube<F> {
             .collect())
     }
 
+    /// Ingest a columnar batch of rows — the batched counterpart of
+    /// [`Self::insert`].
+    ///
+    /// The batch arrives already encoded against batch-local value pools
+    /// (see [`ColumnarBatch`]), so ingestion touches each *distinct*
+    /// dimension value once per batch — one dictionary intern per pool
+    /// entry — and every per-row step is integer work: pool-id → dict-id
+    /// remap, then cell grouping. Each cell's metrics are then fed
+    /// through the summary's batched `accumulate_all`, preserving row
+    /// order within a cell, so the resulting cells are bit-identical to
+    /// row-at-a-time insertion of the same rows.
+    pub fn insert_batch(&mut self, batch: &ColumnarBatch) -> Result<()> {
+        if batch.dim_count() != self.dims.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dims.len(),
+                got: batch.dim_count(),
+            });
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Encode once: batch pool id → dictionary id, per dimension.
+        let remaps: Vec<Vec<u32>> = batch
+            .columns
+            .iter()
+            .zip(self.dims.iter_mut())
+            .map(|(col, dict)| col.pool.iter().map(|v| dict.encode(v)).collect())
+            .collect();
+        // Group rows per cell. The product of the *batch-local*
+        // cardinalities is usually tiny (distinct values per batch, not
+        // per stream), so the common case is a dense counting sort over
+        // composite pool-id slots: no hashing and no allocation per row,
+        // one contiguous metric slice per touched cell. Batches with a
+        // huge combination space fall back to hash grouping.
+        const DENSE_SLOT_CAP: usize = 1 << 16;
+        let slot_space = batch.columns.iter().try_fold(1usize, |acc, col| {
+            acc.checked_mul(col.pool.len().max(1))
+                .filter(|&p| p <= DENSE_SLOT_CAP)
+        });
+        match slot_space {
+            Some(slot_space) => self.insert_batch_dense(batch, &remaps, slot_space),
+            None => self.insert_batch_sparse(batch, &remaps),
+        }
+        self.rows += batch.len() as u64;
+        Ok(())
+    }
+
+    /// Dense grouping: counting sort of rows by composite batch-local
+    /// slot, then one batched accumulate per touched cell. Row order is
+    /// preserved within each cell (the scatter walks rows in order), so
+    /// cell contents stay bit-identical to row-at-a-time ingestion.
+    fn insert_batch_dense(
+        &mut self,
+        batch: &ColumnarBatch,
+        remaps: &[Vec<u32>],
+        slot_space: usize,
+    ) {
+        let n = batch.len();
+        let mut strides: Vec<usize> = Vec::with_capacity(batch.columns.len());
+        let mut stride = 1usize;
+        for col in &batch.columns {
+            strides.push(stride);
+            stride *= col.pool.len().max(1);
+        }
+        let mut slots: Vec<u32> = Vec::with_capacity(n);
+        let mut counts = vec![0u32; slot_space];
+        for row in 0..n {
+            let mut slot = 0usize;
+            for (col, stride) in batch.columns.iter().zip(&strides) {
+                slot += col.ids[row] as usize * stride;
+            }
+            counts[slot] += 1;
+            slots.push(slot as u32);
+        }
+        let mut starts = vec![0u32; slot_space];
+        let mut acc = 0u32;
+        for (start, &count) in starts.iter_mut().zip(&counts) {
+            *start = acc;
+            acc += count;
+        }
+        let mut cursor = starts.clone();
+        let mut scattered = vec![0f64; n];
+        for (row, &slot) in slots.iter().enumerate() {
+            let at = &mut cursor[slot as usize];
+            scattered[*at as usize] = batch.metrics[row];
+            *at += 1;
+        }
+        for (slot, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let mut rest = slot;
+            let key: Vec<u32> = batch
+                .columns
+                .iter()
+                .zip(remaps)
+                .map(|(col, remap)| {
+                    let card = col.pool.len().max(1);
+                    let id = rest % card;
+                    rest /= card;
+                    remap[id]
+                })
+                .collect();
+            let start = starts[slot] as usize;
+            self.cells
+                .entry(key)
+                .or_insert_with(|| self.factory.build())
+                .accumulate_all(&scattered[start..start + count as usize]);
+        }
+    }
+
+    /// Hash-grouping fallback for batches whose combination space is too
+    /// large for the dense path.
+    fn insert_batch_sparse(&mut self, batch: &ColumnarBatch, remaps: &[Vec<u32>]) {
+        let mut groups: FxHashMap<Vec<u32>, Vec<f64>> = FxHashMap::default();
+        for (row, &metric) in batch.metrics.iter().enumerate() {
+            let key: Vec<u32> = batch
+                .columns
+                .iter()
+                .zip(remaps)
+                .map(|(col, remap)| remap[col.ids[row] as usize])
+                .collect();
+            groups.entry(key).or_default().push(metric);
+        }
+        for (key, metrics) in groups {
+            self.cells
+                .entry(key)
+                .or_insert_with(|| self.factory.build())
+                .accumulate_all(&metrics);
+        }
+    }
+
+    /// Ingest rows given as parallel column slices (`columns[d][row]`)
+    /// plus metrics — convenience over [`Self::insert_batch`].
+    pub fn insert_columns(&mut self, columns: &[&[&str]], metrics: &[f64]) -> Result<()> {
+        if columns.len() != self.dims.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dims.len(),
+                got: columns.len(),
+            });
+        }
+        let batch = ColumnarBatch::from_columns(columns, metrics).ok_or(Error::RaggedColumns {
+            metrics: metrics.len(),
+            shortest: columns.iter().map(|c| c.len()).min().unwrap_or(0),
+        })?;
+        self.insert_batch(&batch)
+    }
+
+    /// Union another cube into this one — the shard-fold of the
+    /// concurrent ingestion engine.
+    ///
+    /// The cubes must share the same dimension names in the same order
+    /// ([`Error::SchemaMismatch`] otherwise), but their dictionaries may
+    /// have grown independently: each of `other`'s dictionaries is
+    /// remapped into this cube's id space
+    /// ([`Dictionary::merge_remap`]), cell keys are translated, and
+    /// summaries for coinciding cells merge. Moments-sketch cells merge
+    /// bit-exactly (power-sum addition), so a cube assembled from
+    /// disjoint shard cubes is indistinguishable from one built
+    /// sequentially. Each destination cell receives at most one merge
+    /// per call (the id remap is injective), so equal inputs always
+    /// produce bit-identical results regardless of hash-map layout.
+    pub fn merge_cube(&mut self, other: &DataCube<F>) -> Result<()> {
+        if self.dim_names != other.dim_names {
+            return Err(Error::SchemaMismatch {
+                expected: self.dim_names.clone(),
+                got: other.dim_names.clone(),
+            });
+        }
+        // Typed cubes can't disagree on backend (one concrete summary
+        // type), but boxed cells (`DynCube`) can: merging, say, t-digest
+        // cells into a moments cube would panic in `merge_from` or leave
+        // cells that contradict the cube's own spec. Probe one summary
+        // from each factory and reject cross-kind unions up front.
+        let mine = self.factory.build();
+        let theirs = other.factory.build();
+        if mine.kind() != theirs.kind() {
+            return Err(Error::BackendMismatch {
+                expected: mine.name(),
+                got: theirs.name(),
+            });
+        }
+        let remaps: Vec<Vec<u32>> = self
+            .dims
+            .iter_mut()
+            .zip(&other.dims)
+            .map(|(mine, theirs)| mine.merge_remap(theirs))
+            .collect();
+        // Plain map iteration: `merge_remap` is injective, so every
+        // remapped key targets a distinct destination cell — each cell
+        // receives at most one `merge_from` per call, making visit order
+        // irrelevant to the result (read paths re-sort for determinism).
+        for (key, summary) in other.cells.iter() {
+            let new_key: Vec<u32> = key
+                .iter()
+                .zip(&remaps)
+                .map(|(&id, remap)| remap[id as usize])
+                .collect();
+            match self.cells.entry(new_key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge_from(summary)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(summary.clone());
+                }
+            }
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+
     /// Iterate all `(key, summary)` cells.
     pub fn cells(&self) -> impl Iterator<Item = (&Vec<u32>, &F::Summary)> {
         self.cells.iter()
@@ -125,19 +346,59 @@ impl<F: SummaryFactory> DataCube<F> {
             .all(|(k, f)| f.is_none_or(|v| v == *k))
     }
 
+    /// Matching cells in sorted dimension-*name* order.
+    ///
+    /// Float merges are not associative, so hash-map iteration order
+    /// would make two cubes holding bit-identical cells answer queries
+    /// with different low-order bits — and cell *ids* are no better an
+    /// order, because dictionaries grown on different ingest paths
+    /// (sequential vs sharded, different shard counts) assign ids in
+    /// different orders. Every aggregation path therefore merges in the
+    /// order of the cells' decoded value tuples, which depends only on
+    /// the data: two cubes holding the same logical cells produce
+    /// bit-identical aggregates no matter how they were built — the
+    /// property the concurrent engine's snapshot-equivalence guarantee
+    /// (and test suite) rests on. The sort compares short string tuples;
+    /// its cost is negligible next to the summary merges it orders.
+    pub(crate) fn matching_sorted(&self, filter: &[Option<u32>]) -> Vec<CellRef<'_, F::Summary>> {
+        let mut matching: Vec<(Vec<&str>, CellRef<'_, F::Summary>)> = self
+            .cells
+            .iter()
+            .filter(|(k, _)| Self::matches(k, filter))
+            .map(|(k, s)| {
+                let names: Vec<&str> = k
+                    .iter()
+                    .zip(&self.dims)
+                    .map(|(&id, dict)| dict.decode(id).unwrap_or(""))
+                    .collect();
+                (names, (k, s))
+            })
+            .collect();
+        matching.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        matching.into_iter().map(|(_, kv)| kv).collect()
+    }
+
+    /// All cells in deterministic (decoded value tuple) order — the
+    /// order every aggregation path merges in. Use this instead of
+    /// [`Self::cells`] when float reproducibility across differently
+    /// built cubes matters.
+    pub fn cells_sorted(&self) -> Vec<CellRef<'_, F::Summary>> {
+        self.matching_sorted(&self.no_filter())
+    }
+
     /// Merge every cell matching `filter` into one summary.
     ///
     /// This is the hot loop of every aggregation query: its cost is
-    /// `n_merge · t_merge`.
+    /// `n_merge · t_merge`. Cells merge in deterministic decoded-tuple
+    /// order (see [`Self::cells_sorted`]), so equal cell sets always
+    /// produce bit-identical results.
     pub fn rollup(&self, filter: &[Option<u32>]) -> Result<F::Summary> {
         debug_assert_eq!(filter.len(), self.dims.len());
         let mut acc: Option<F::Summary> = None;
-        for (key, summary) in &self.cells {
-            if Self::matches(key, filter) {
-                match &mut acc {
-                    None => acc = Some(summary.clone()),
-                    Some(a) => a.merge_from(summary),
-                }
+        for (_, summary) in self.matching_sorted(filter) {
+            match &mut acc {
+                None => acc = Some(summary.clone()),
+                Some(a) => a.merge_from(summary),
             }
         }
         acc.ok_or(Error::EmptyResult)
@@ -151,9 +412,8 @@ impl<F: SummaryFactory> DataCube<F> {
         F::Summary: Send + Sync,
     {
         let matching: Vec<&F::Summary> = self
-            .cells
-            .iter()
-            .filter(|(k, _)| Self::matches(k, filter))
+            .matching_sorted(filter)
+            .into_iter()
             .map(|(_, s)| s)
             .collect();
         if matching.is_empty() {
@@ -197,10 +457,7 @@ impl<F: SummaryFactory> DataCube<F> {
             }
         }
         let mut groups: HashMap<Vec<u32>, F::Summary> = HashMap::new();
-        for (key, summary) in &self.cells {
-            if !Self::matches(key, filter) {
-                continue;
-            }
+        for (key, summary) in self.matching_sorted(filter) {
             let gkey: Vec<u32> = group_dims.iter().map(|&d| key[d]).collect();
             match groups.entry(gkey) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -242,7 +499,7 @@ impl<F: SummaryFactory> DataCube<F> {
             cells: HashMap::new(),
             rows: self.rows,
         };
-        for (key, summary) in &self.cells {
+        for (key, summary) in self.matching_sorted(&self.no_filter()) {
             let new_key: Vec<u32> = keep_dims.iter().map(|&d| key[d]).collect();
             match out.cells.entry(new_key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -350,6 +607,143 @@ mod tests {
             assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
         }
         assert!(matches!(cube.project(&[9]), Err(Error::NoSuchDimension(9))));
+    }
+
+    #[test]
+    fn insert_batch_matches_row_at_a_time_bit_exactly() {
+        let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
+            FnFactory(|| MSketchSummary::new(8));
+        let mut rows = DataCube::new(factory.clone(), &["country", "version"]);
+        let mut batched = DataCube::new(factory, &["country", "version"]);
+        let mut batch = ColumnarBatch::new(2);
+        for i in 0..5000 {
+            let country = ["US", "CA", "MX"][i % 3];
+            let version = ["v1", "v2"][i % 2];
+            let metric = (i % 997) as f64 * 1.5;
+            rows.insert(&[country, version], metric).unwrap();
+            batch.push_row(&[country, version], metric);
+            if batch.len() == 640 {
+                batched.insert_batch(&batch).unwrap();
+                batch = ColumnarBatch::new(2);
+            }
+        }
+        batched.insert_batch(&batch).unwrap();
+        assert_eq!(batched.row_count(), rows.row_count());
+        assert_eq!(batched.cell_count(), rows.cell_count());
+        let a = rows.rollup(&rows.no_filter()).unwrap();
+        let b = batched.rollup(&batched.no_filter()).unwrap();
+        for phi in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(phi).to_bits(), b.quantile(phi).to_bits());
+        }
+    }
+
+    #[test]
+    fn insert_columns_convenience() {
+        let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
+            FnFactory(|| MSketchSummary::new(8));
+        let mut cube = DataCube::new(factory, &["host"]);
+        cube.insert_columns(&[&["a", "b", "a"]], &[1.0, 2.0, 3.0])
+            .unwrap();
+        assert_eq!(cube.row_count(), 3);
+        assert_eq!(cube.cell_count(), 2);
+        // Ragged input is rejected with the column length, not arity.
+        assert!(matches!(
+            cube.insert_columns(&[&["a"]], &[1.0, 2.0]),
+            Err(Error::RaggedColumns {
+                metrics: 2,
+                shortest: 1
+            })
+        ));
+        // Wrong arity is rejected.
+        assert!(matches!(
+            cube.insert_columns(&[&["a"], &["b"]], &[1.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_cube_remaps_independent_dictionaries() {
+        let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
+            FnFactory(|| MSketchSummary::new(8));
+        // Two cubes over the same schema, values interned in different
+        // orders — ids disagree between the dictionaries.
+        let mut a = DataCube::new(factory.clone(), &["country", "version"]);
+        let mut b = DataCube::new(factory.clone(), &["country", "version"]);
+        let mut reference = DataCube::new(factory, &["country", "version"]);
+        for i in 0..3000 {
+            let country = ["US", "CA", "MX"][i % 3];
+            let version = ["v1", "v2"][i % 2];
+            let metric = (i % 100) as f64;
+            if i % 2 == 0 {
+                a.insert(&[country, version], metric).unwrap();
+            } else {
+                b.insert(&[country, version], metric).unwrap();
+            }
+            reference.insert(&[country, version], metric).unwrap();
+        }
+        assert_ne!(
+            a.dictionary(1).unwrap().lookup("v1"),
+            b.dictionary(1).unwrap().lookup("v1"),
+            "test needs genuinely divergent dictionaries"
+        );
+        a.merge_cube(&b).unwrap();
+        assert_eq!(a.row_count(), 3000);
+        assert_eq!(a.cell_count(), reference.cell_count());
+        // Every (country, version) group answers identically by *name*.
+        let groups = a.group_by(&[0, 1], &a.no_filter()).unwrap();
+        for (key, summary) in &groups {
+            let country = a.dictionary(0).unwrap().decode(key[0]).unwrap();
+            let version = a.dictionary(1).unwrap().decode(key[1]).unwrap();
+            let rkey = vec![
+                reference.dictionary(0).unwrap().lookup(country).unwrap(),
+                reference.dictionary(1).unwrap().lookup(version).unwrap(),
+            ];
+            let rgroups = reference.group_by(&[0, 1], &reference.no_filter()).unwrap();
+            let rsum = &rgroups[&rkey];
+            assert_eq!(summary.count(), rsum.count());
+            assert_eq!(
+                summary.quantile(0.9).to_bits(),
+                rsum.quantile(0.9).to_bits(),
+                "{country}/{version}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_cube_rejects_mismatched_schemas() {
+        let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
+            FnFactory(|| MSketchSummary::new(8));
+        let mut a = DataCube::new(factory.clone(), &["country", "version"]);
+        let b = DataCube::new(factory.clone(), &["country", "hw"]);
+        assert!(matches!(
+            a.merge_cube(&b),
+            Err(Error::SchemaMismatch { .. })
+        ));
+        // Same names, different order: also a schema mismatch.
+        let c = DataCube::new(factory, &["version", "country"]);
+        assert!(matches!(
+            a.merge_cube(&c),
+            Err(Error::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_cube_rejects_mismatched_backends() {
+        use msketch_sketches::SketchSpec;
+        // Boxed cells can disagree on backend at runtime; unioning them
+        // must fail cleanly instead of panicking in merge_from (same key)
+        // or planting foreign cells under the wrong spec (disjoint keys).
+        let mut a = crate::DynCube::from_spec(SketchSpec::moments(8), &["app"]);
+        let mut b = crate::DynCube::from_spec(SketchSpec::tdigest(5.0), &["app"]);
+        a.insert(&["x"], 1.0).unwrap();
+        b.insert(&["x"], 2.0).unwrap();
+        match a.merge_cube(&b) {
+            Err(Error::BackendMismatch { expected, got }) => {
+                assert_ne!(expected, got);
+            }
+            other => panic!("expected BackendMismatch, got {other:?}"),
+        }
+        assert_eq!(a.row_count(), 1, "failed merge must not mutate the cube");
     }
 
     #[test]

@@ -52,6 +52,19 @@ impl Dictionary {
             .enumerate()
             .map(|(i, n)| (i as u32, n.as_str()))
     }
+
+    /// Union another dictionary into this one, returning the id remap
+    /// table: `remap[other_id] = self_id` for every id of `other`.
+    ///
+    /// Two dictionaries grown independently (e.g. on different ingest
+    /// threads) assign ids in their own arrival order; merging their
+    /// cubes requires translating the other cube's cell keys into this
+    /// dictionary's id space. Values unknown to `self` are interned,
+    /// values already present keep their existing id, so remapping is
+    /// idempotent and never invalidates `self`'s ids.
+    pub fn merge_remap(&mut self, other: &Dictionary) -> Vec<u32> {
+        other.names.iter().map(|name| self.encode(name)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +89,28 @@ mod tests {
         assert_eq!(d.lookup("v8.2"), Some(id));
         assert_eq!(d.lookup("nope"), None);
         assert_eq!(d.decode(99), None);
+    }
+
+    #[test]
+    fn merge_remap_translates_and_interns() {
+        let mut a = Dictionary::new();
+        for name in ["US", "CA", "MX"] {
+            a.encode(name);
+        }
+        let mut b = Dictionary::new();
+        for name in ["CA", "BR", "US"] {
+            b.encode(name);
+        }
+        let remap = a.merge_remap(&b);
+        // b: CA=0, BR=1, US=2 → a: CA=1, BR=3 (new), US=0.
+        assert_eq!(remap, vec![1, 3, 0]);
+        assert_eq!(a.cardinality(), 4);
+        assert_eq!(a.decode(3), Some("BR"));
+        // Idempotent: a second remap changes nothing.
+        assert_eq!(a.merge_remap(&b), vec![1, 3, 0]);
+        assert_eq!(a.cardinality(), 4);
+        // Empty other → empty remap.
+        assert!(a.merge_remap(&Dictionary::new()).is_empty());
     }
 
     #[test]

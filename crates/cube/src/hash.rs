@@ -1,0 +1,122 @@
+//! Fast non-cryptographic hashing for batch-local maps and shard
+//! routing.
+//!
+//! The cube's long-lived cell store keeps the standard library's
+//! SipHash-based `HashMap` (its DoS resistance is the right default for
+//! a store that outlives any one request). The *batch* paths — the
+//! per-batch value memo, per-batch cell grouping, and shard routing —
+//! hash every row of every batch, live only for that batch, and are the
+//! measured hot spots of ingestion, so they use an FxHash-style
+//! multiply-xor hasher instead (the rustc hash; several times faster
+//! than SipHash on short keys).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style multiply-xor hasher (not collision-resistant against
+/// adversarial keys; use only for batch-local state).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" cannot collide.
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps.
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the fast batch-local hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
+
+/// Hash a dimension-value tuple to a stable 64-bit value.
+///
+/// This is the shard-routing hash: it must be identical across writer
+/// handles and across process runs (re-ingesting the same rows must land
+/// them on the same shards), so it depends only on the value bytes —
+/// never on map layout or a per-process seed.
+pub fn route_hash(dim_values: &[&str]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in dim_values {
+        h.write(v.as_bytes());
+        // Separate fields so ("ab","c") and ("a","bc") differ.
+        h.write_u64(0xFE);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_hash_is_stable_and_field_aware() {
+        let a = route_hash(&["US", "v1"]);
+        assert_eq!(a, route_hash(&["US", "v1"]));
+        assert_ne!(a, route_hash(&["USv", "1"]));
+        assert_ne!(a, route_hash(&["v1", "US"]));
+    }
+
+    #[test]
+    fn fx_map_roundtrips() {
+        let mut m: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(vec![i, i * 7], u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&vec![41u32, 287]], 41);
+    }
+
+    #[test]
+    fn short_strings_do_not_trivially_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for s in ["", "a", "ab", "ab\0", "ba", "abc", "b", "aa"] {
+            let mut h = FxHasher::default();
+            h.write(s.as_bytes());
+            assert!(seen.insert(h.finish()), "collision on {s:?}");
+        }
+    }
+}

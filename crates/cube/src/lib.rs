@@ -5,9 +5,16 @@
 //! summaries — never rescanning raw data (Figure 1 of the paper). This
 //! crate reproduces that query path:
 //!
-//! * [`dictionary`] — string-to-id encoding per dimension;
-//! * [`cube`] — the cell store: ingest rows, pre-aggregate per cell,
-//!   roll-up with filters (sequentially or with parallel sharded merges);
+//! * [`dictionary`] — string-to-id encoding per dimension, including id
+//!   remapping between independently grown dictionaries;
+//! * [`batch`] — columnar row batches with batch-local value pools (the
+//!   encode-once ingest unit, also shipped over channels by the sharded
+//!   ingestion engine);
+//! * [`hash`] — the fast batch-local hasher and the stable shard-routing
+//!   hash;
+//! * [`cube`] — the cell store: ingest rows (one at a time or batched),
+//!   union concurrently built cubes, pre-aggregate per cell, roll-up
+//!   with filters (sequentially or with parallel sharded merges);
 //! * [`query`] — single-quantile and group-by/HAVING threshold queries,
 //!   with the cascade fast path for moments-sketch cells;
 //! * [`window`] — time panes and sliding windows, including the turnstile
@@ -16,13 +23,16 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cube;
 pub mod dictionary;
+pub mod hash;
 pub mod query;
 pub mod serde;
 pub mod window;
 
-pub use cube::DataCube;
+pub use batch::ColumnarBatch;
+pub use cube::{CellRef, DataCube};
 pub use dictionary::Dictionary;
 pub use query::{GroupThresholdQuery, QueryEngine};
 pub use serde::DynCube;
@@ -40,6 +50,28 @@ pub enum Error {
     },
     /// Referenced an unknown dimension index.
     NoSuchDimension(usize),
+    /// Two cubes with different dimension schemas cannot union.
+    SchemaMismatch {
+        /// Dimension names of the destination cube.
+        expected: Vec<String>,
+        /// Dimension names of the cube being merged in.
+        got: Vec<String>,
+    },
+    /// Columnar input where a dimension column's length disagrees with
+    /// the metric count.
+    RaggedColumns {
+        /// Number of metric values supplied.
+        metrics: usize,
+        /// Length of the shortest dimension column.
+        shortest: usize,
+    },
+    /// Two cubes whose cells use different sketch backends cannot union.
+    BackendMismatch {
+        /// Backend name of the destination cube's cells.
+        expected: &'static str,
+        /// Backend name of the cells being merged in.
+        got: &'static str,
+    },
     /// A query matched no cells.
     EmptyResult,
     /// A persisted cube failed to encode or decode.
@@ -59,6 +91,23 @@ impl std::fmt::Display for Error {
                 write!(f, "expected {expected} dimensions, got {got}")
             }
             Error::NoSuchDimension(d) => write!(f, "no such dimension: {d}"),
+            Error::SchemaMismatch { expected, got } => {
+                write!(
+                    f,
+                    "cube schemas differ: [{}] vs [{}]",
+                    expected.join(", "),
+                    got.join(", ")
+                )
+            }
+            Error::RaggedColumns { metrics, shortest } => {
+                write!(
+                    f,
+                    "ragged columnar input: {metrics} metrics vs a column of {shortest} values"
+                )
+            }
+            Error::BackendMismatch { expected, got } => {
+                write!(f, "cube sketch backends differ: {expected} vs {got}")
+            }
             Error::EmptyResult => write!(f, "query matched no cells"),
             Error::Wire(e) => write!(f, "cube wire format: {e}"),
         }

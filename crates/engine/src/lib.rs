@@ -1,0 +1,82 @@
+//! Sharded concurrent ingestion engine.
+//!
+//! The paper's query cost model (`t_query = t_merge · n_merge + t_est`,
+//! Section 3.3) presumes cubes are cheap to build and merge; this crate
+//! supplies the write path that makes that true at Druid-like ingest
+//! rates. Rows are routed by a stable hash of their dimension-value
+//! tuple to one of N shard workers, each feeding its own
+//! [`msketch_cube::DataCube`] over a bounded channel in columnar batches
+//! ([`msketch_cube::ColumnarBatch`]). Because the moments sketch merges
+//! by bit-exact power-sum addition and each dimension tuple lands on
+//! exactly one shard, folding the shard-local cubes back together
+//! ([`DataCube::merge_cube`](msketch_cube::DataCube::merge_cube), with
+//! dictionary id remapping) reproduces sequential ingestion *exactly* —
+//! concurrency costs no accuracy.
+//!
+//! ```text
+//!              route_hash(dims) % N
+//! writer ──┬─▶ channel 0 ─▶ worker 0: DataCube (shard-local dicts)
+//!  (rows   ├─▶ channel 1 ─▶ worker 1: DataCube        │ snapshot /
+//!  batched │        …                …                │ rotate
+//!  per     └─▶ channel N-1 ─▶ worker N-1: DataCube    ▼
+//!  shard)                          merge_cube ─▶ EngineSnapshot (epoch e)
+//!                                                  │ rotate_pane
+//!                                                  ▼
+//!                                       TurnstileWindow (sliding serving)
+//! ```
+//!
+//! * [`ShardedCube`] — the engine: spawn workers, ingest, snapshot;
+//! * [`ShardWriter`] — additional ingest handles for concurrent writers;
+//! * [`EngineSnapshot`] — an epoch-stamped immutable merged cube;
+//!   readers query it (it derefs to `DataCube`) while writers continue;
+//! * [`SlidingEngine`] — pane rotation into
+//!   [`msketch_cube::TurnstileWindow`] for sliding-window serving.
+
+#![warn(missing_docs)]
+
+mod sharded;
+mod snapshot;
+mod window;
+
+pub use sharded::{DynShardedCube, EngineConfig, ShardWriter, ShardedCube};
+pub use snapshot::EngineSnapshot;
+pub use window::SlidingEngine;
+
+/// Errors from the concurrent engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A cube-level operation failed (arity, schema, empty result).
+    Cube(msketch_cube::Error),
+    /// A shard worker terminated; the engine can no longer make
+    /// progress.
+    Disconnected,
+    /// Pane rotation found no rows to retire into the window.
+    EmptyPane,
+    /// Sliding-window serving requires moments-backed cells (turnstile
+    /// updates need raw power sums); the cube's backend is different.
+    NonMomentsBackend,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Cube(e) => write!(f, "cube operation failed: {e}"),
+            EngineError::Disconnected => f.write_str("a shard worker has terminated"),
+            EngineError::EmptyPane => f.write_str("pane holds no rows"),
+            EngineError::NonMomentsBackend => {
+                f.write_str("sliding-window serving requires moments-backed cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<msketch_cube::Error> for EngineError {
+    fn from(e: msketch_cube::Error) -> Self {
+        EngineError::Cube(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

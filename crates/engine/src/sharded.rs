@@ -1,0 +1,578 @@
+//! The sharded write path: routing, per-shard channels, worker threads.
+
+use crate::snapshot::EngineSnapshot;
+use crate::{EngineError, Result};
+use crossbeam::channel::{self, Receiver, Sender};
+use msketch_cube::hash::route_hash;
+use msketch_cube::{ColumnarBatch, DataCube};
+use msketch_sketches::traits::SummaryFactory;
+use msketch_sketches::SketchSpec;
+use std::thread::JoinHandle;
+
+/// Tuning knobs for [`ShardedCube`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of shard workers (and shard-local cubes).
+    pub shards: usize,
+    /// Rows buffered per shard before a batch is shipped. Larger batches
+    /// amortize channel and dictionary-intern costs; smaller batches
+    /// shorten the ingest-to-snapshot visibility lag.
+    pub batch_rows: usize,
+    /// Bounded channel depth per shard, in batches. Backpressure: a
+    /// writer flushing into a full shard blocks until the worker drains.
+    pub channel_batches: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            // Measured on the ingest bench: 16k-row batches amortize
+            // channel and pool-intern costs well past the crossover
+            // where sharded ingest beats row-at-a-time insertion.
+            batch_rows: 16384,
+            channel_batches: 8,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with `shards` workers and default batching.
+    pub fn with_shards(shards: usize) -> Self {
+        EngineConfig {
+            shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Override the rows-per-batch threshold.
+    pub fn batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = rows.max(1);
+        self
+    }
+}
+
+/// Control and data messages flowing to one shard worker. Channels are
+/// FIFO per sender, so a control message acts as a barrier: the reply
+/// reflects every batch the same sender shipped before it.
+enum ShardMsg<F: SummaryFactory> {
+    /// Ingest a columnar batch.
+    Batch(ColumnarBatch),
+    /// Reply with a clone of the shard-local cube; keep ingesting.
+    Snapshot(Sender<DataCube<F>>),
+    /// Reply with the shard-local cube, replacing it with a fresh one.
+    Rotate(Sender<DataCube<F>>),
+}
+
+/// An ingest handle: routes rows to shards and buffers them into
+/// per-shard columnar batches.
+///
+/// Obtain extra handles with [`ShardedCube::writer`] to ingest from
+/// several threads; each handle buffers independently. Rows become
+/// visible to snapshots once flushed (explicitly via [`Self::flush`],
+/// or implicitly when a shard buffer reaches `batch_rows`).
+pub struct ShardWriter<F: SummaryFactory> {
+    senders: Vec<Sender<ShardMsg<F>>>,
+    buffers: Vec<ColumnarBatch>,
+    dims: usize,
+    batch_rows: usize,
+    /// Run cache: telemetry streams repeat dimension tuples in bursts,
+    /// so the previous row's tuple and shard are kept to skip routing
+    /// and re-encoding on repeats.
+    last_dims: Vec<String>,
+    last_shard: usize,
+    last_valid: bool,
+}
+
+impl<F: SummaryFactory> ShardWriter<F> {
+    fn new(senders: Vec<Sender<ShardMsg<F>>>, dims: usize, batch_rows: usize) -> Self {
+        let buffers = senders.iter().map(|_| ColumnarBatch::new(dims)).collect();
+        ShardWriter {
+            senders,
+            buffers,
+            dims,
+            batch_rows,
+            last_dims: vec![String::new(); dims],
+            last_shard: 0,
+            last_valid: false,
+        }
+    }
+
+    /// Buffer one row, shipping the destination shard's batch if it
+    /// reached the configured size.
+    ///
+    /// Routing hashes only the dimension values ([`route_hash`]), so
+    /// every occurrence of a tuple — from any writer, in any run — lands
+    /// on the same shard, which is what keeps each cube cell owned by
+    /// exactly one shard.
+    pub fn insert(&mut self, dim_values: &[&str], metric: f64) -> Result<()> {
+        if dim_values.len() != self.dims {
+            return Err(EngineError::Cube(msketch_cube::Error::DimensionMismatch {
+                expected: self.dims,
+                got: dim_values.len(),
+            }));
+        }
+        let shard =
+            if self.last_valid && dim_values.iter().zip(&self.last_dims).all(|(v, l)| *v == l) {
+                // Repeated tuple: reuse the cached route and duplicate the
+                // previous encoding (falls through after a flush emptied the
+                // buffer).
+                let shard = self.last_shard;
+                if self.buffers[shard].push_repeat(metric) {
+                    if self.buffers[shard].len() >= self.batch_rows {
+                        self.flush_shard(shard)?;
+                    }
+                    return Ok(());
+                }
+                shard
+            } else {
+                let shard = (route_hash(dim_values) % self.senders.len() as u64) as usize;
+                for (slot, v) in self.last_dims.iter_mut().zip(dim_values) {
+                    slot.clear();
+                    slot.push_str(v);
+                }
+                self.last_shard = shard;
+                self.last_valid = true;
+                shard
+            };
+        self.buffers[shard].push_row(dim_values, metric);
+        if self.buffers[shard].len() >= self.batch_rows {
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Ship every non-empty buffered batch to its shard.
+    pub fn flush(&mut self) -> Result<()> {
+        for shard in 0..self.senders.len() {
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Rows buffered but not yet shipped (thus invisible to snapshots).
+    pub fn pending(&self) -> usize {
+        self.buffers.iter().map(ColumnarBatch::len).sum()
+    }
+
+    fn flush_shard(&mut self, shard: usize) -> Result<()> {
+        if self.buffers[shard].is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(&mut self.buffers[shard], ColumnarBatch::new(self.dims));
+        self.senders[shard]
+            .send(ShardMsg::Batch(batch))
+            .map_err(|_| EngineError::Disconnected)
+    }
+}
+
+impl<F: SummaryFactory> Drop for ShardWriter<F> {
+    fn drop(&mut self) {
+        // Best-effort: don't silently lose buffered rows.
+        let _ = self.flush();
+    }
+}
+
+/// The sharded concurrent ingestion engine.
+///
+/// `N` worker threads each own a shard-local [`DataCube`] (its own
+/// dictionaries, its own cells) and drain columnar batches from a
+/// bounded channel. The engine itself is an ingest handle (it embeds a
+/// [`ShardWriter`]); additional concurrent writers come from
+/// [`Self::writer`]. Readers never touch the live shards: they query
+/// [`EngineSnapshot`]s, which are immutable merged cubes built by
+/// [`Self::snapshot`] — workers keep ingesting while the caller folds,
+/// so writers never block queries and queries never block writers.
+///
+/// Worker threads exit when the engine and every extra writer have been
+/// dropped (the channels disconnect).
+pub struct ShardedCube<F>
+where
+    F: SummaryFactory + Clone + Send + 'static,
+    F::Summary: Send,
+{
+    factory: F,
+    dim_names: Vec<String>,
+    config: EngineConfig,
+    writer: ShardWriter<F>,
+    workers: Vec<JoinHandle<()>>,
+    epoch: u64,
+}
+
+/// A sharded engine over runtime-chosen (boxed) sketch cells; snapshots
+/// are [`msketch_cube::DynCube`]s.
+pub type DynShardedCube = ShardedCube<SketchSpec>;
+
+impl<F> ShardedCube<F>
+where
+    F: SummaryFactory + Clone + Send + 'static,
+    F::Summary: Send,
+{
+    /// Spawn `config.shards` workers, each owning an empty cube with the
+    /// given dimension names.
+    pub fn new(factory: F, dim_names: &[&str], config: EngineConfig) -> Self {
+        let shards = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = channel::bounded::<ShardMsg<F>>(config.channel_batches.max(1));
+            let cube = DataCube::new(factory.clone(), dim_names);
+            let factory = factory.clone();
+            let names: Vec<String> = dim_names.iter().map(|s| s.to_string()).collect();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("msketch-shard-{shard}"))
+                    .spawn(move || worker_loop(rx, cube, factory, names))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        let writer = ShardWriter::new(senders, dim_names.len(), config.batch_rows.max(1));
+        ShardedCube {
+            factory,
+            dim_names: dim_names.iter().map(|s| s.to_string()).collect(),
+            config,
+            writer,
+            workers,
+            epoch: 0,
+        }
+    }
+
+    pub(crate) fn factory(&self) -> &F {
+        &self.factory
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.config.shards.max(1)
+    }
+
+    /// Dimension names of the schema.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dim_names
+    }
+
+    /// Epochs advanced so far (one per snapshot or pane rotation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ingest one row through the engine's own writer.
+    pub fn insert(&mut self, dim_values: &[&str], metric: f64) -> Result<()> {
+        self.writer.insert(dim_values, metric)
+    }
+
+    /// Ship this handle's buffered rows to their shards.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush()
+    }
+
+    /// An additional ingest handle for another writer thread.
+    pub fn writer(&self) -> ShardWriter<F> {
+        ShardWriter::new(
+            self.writer.senders.clone(),
+            self.dim_names.len(),
+            self.config.batch_rows.max(1),
+        )
+    }
+
+    /// Take an epoch-stamped snapshot: flush this handle, have every
+    /// worker clone its shard-local cube, and fold the clones into one
+    /// immutable merged cube.
+    ///
+    /// Isolation: per-sender channel FIFO makes the snapshot request a
+    /// barrier, so the snapshot contains *every* row this handle (and
+    /// any writer that flushed before the barrier reached the shard)
+    /// shipped, and *no* row shipped after. Workers resume ingesting the
+    /// moment they have replied; the O(cells) fold runs on the calling
+    /// thread, so concurrent writers are never blocked by readers.
+    pub fn snapshot(&mut self) -> Result<EngineSnapshot<F>> {
+        self.collect(false)
+    }
+
+    /// Retire the current pane: like [`Self::snapshot`], but every
+    /// worker hands over its cube and starts a fresh one, so the
+    /// returned snapshot holds exactly the rows since the previous
+    /// rotation (or engine start). Used for time-pane serving — see
+    /// [`crate::SlidingEngine`].
+    pub fn rotate_pane(&mut self) -> Result<EngineSnapshot<F>> {
+        self.collect(true)
+    }
+
+    fn collect(&mut self, rotate: bool) -> Result<EngineSnapshot<F>> {
+        self.writer.flush()?;
+        // Ask every shard first, then await the replies: workers clone /
+        // swap their cubes concurrently with each other.
+        let mut replies: Vec<Receiver<DataCube<F>>> = Vec::with_capacity(self.workers.len());
+        for sender in &self.writer.senders {
+            let (tx, rx) = channel::bounded(1);
+            let msg = if rotate {
+                ShardMsg::Rotate(tx)
+            } else {
+                ShardMsg::Snapshot(tx)
+            };
+            sender.send(msg).map_err(|_| EngineError::Disconnected)?;
+            replies.push(rx);
+        }
+        let names: Vec<&str> = self.dim_names.iter().map(String::as_str).collect();
+        let mut merged = DataCube::new(self.factory.clone(), &names);
+        // Fold in shard order: each cell lives on exactly one shard, so
+        // every snapshot cell is built by one clone + per-shard-ordered
+        // merges — equal ingest histories produce bit-identical
+        // snapshots.
+        for rx in replies {
+            let shard_cube = rx.recv().map_err(|_| EngineError::Disconnected)?;
+            merged.merge_cube(&shard_cube)?;
+        }
+        self.epoch += 1;
+        Ok(EngineSnapshot::new(self.epoch, merged))
+    }
+}
+
+fn worker_loop<F>(
+    rx: Receiver<ShardMsg<F>>,
+    mut cube: DataCube<F>,
+    factory: F,
+    dim_names: Vec<String>,
+) where
+    F: SummaryFactory + Clone,
+{
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(batch) => {
+                // Arity was checked at the writer; a failure here is a
+                // bug, and panicking surfaces it as Disconnected at the
+                // next engine call instead of silently dropping rows.
+                cube.insert_batch(&batch).expect("shard batch arity");
+            }
+            ShardMsg::Snapshot(reply) => {
+                // The engine may already have given up on this snapshot
+                // (send error elsewhere); dropping the reply is fine.
+                let _ = reply.send(cube.clone());
+            }
+            ShardMsg::Rotate(reply) => {
+                let names: Vec<&str> = dim_names.iter().map(String::as_str).collect();
+                let fresh = DataCube::new(factory.clone(), &names);
+                let _ = reply.send(std::mem::replace(&mut cube, fresh));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msketch_sketches::traits::FnFactory;
+    use msketch_sketches::{MSketchSummary, QuantileSummary, Sketch, SketchKind};
+
+    type MomentsFactory = FnFactory<MSketchSummary, fn() -> MSketchSummary>;
+
+    fn moments_factory() -> MomentsFactory {
+        FnFactory(|| MSketchSummary::new(8))
+    }
+
+    fn row(i: u64) -> ([&'static str; 2], f64) {
+        let country = ["US", "CA", "MX", "BR", "JP"][(i % 5) as usize];
+        let version = ["v1", "v2", "v3"][(i % 3) as usize];
+        (
+            [country, version],
+            (i % 911) as f64 + if version == "v3" { 400.0 } else { 0.0 },
+        )
+    }
+
+    fn sequential_reference(n: u64) -> DataCube<MomentsFactory> {
+        let mut cube = DataCube::new(moments_factory(), &["country", "version"]);
+        for i in 0..n {
+            let (dims, metric) = row(i);
+            cube.insert(&dims, metric).unwrap();
+        }
+        cube
+    }
+
+    #[test]
+    fn snapshot_is_bit_exact_vs_sequential_at_8_shards() {
+        let reference = sequential_reference(50_000);
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(8).batch_rows(1024),
+        );
+        for i in 0..50_000 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.row_count(), reference.row_count());
+        assert_eq!(snap.cell_count(), reference.cell_count());
+        let a = reference.rollup(&reference.no_filter()).unwrap();
+        let b = snap.rollup(&snap.no_filter()).unwrap();
+        assert_eq!(a.count(), b.count());
+        for phi in [0.01, 0.25, 0.5, 0.9, 0.99] {
+            assert_eq!(
+                a.quantile(phi).to_bits(),
+                b.quantile(phi).to_bits(),
+                "phi {phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_see_flushed_rows_and_writers_continue() {
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(3).batch_rows(64),
+        );
+        for i in 0..1000 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        let first = engine.snapshot().unwrap();
+        assert_eq!(first.row_count(), 1000);
+        // Keep ingesting after the snapshot; the old snapshot is
+        // unaffected, a new one sees everything.
+        for i in 1000..3000 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        let second = engine.snapshot().unwrap();
+        assert_eq!(first.row_count(), 1000);
+        assert_eq!(second.row_count(), 3000);
+        assert_eq!(second.epoch(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_land_all_rows() {
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(4).batch_rows(128),
+        );
+        let mut writers: Vec<ShardWriter<_>> = (0..3).map(|_| engine.writer()).collect();
+        std::thread::scope(|scope| {
+            for (w, writer) in writers.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for i in 0..5000u64 {
+                        let (dims, metric) = row(i * 3 + w as u64);
+                        writer.insert(&dims, metric).unwrap();
+                    }
+                    writer.flush().unwrap();
+                });
+            }
+        });
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.row_count(), 15_000);
+        let all = snap.rollup(&snap.no_filter()).unwrap();
+        assert_eq!(all.count(), 15_000);
+    }
+
+    #[test]
+    fn rotate_pane_splits_the_stream() {
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(2).batch_rows(32),
+        );
+        for i in 0..600 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        let pane1 = engine.rotate_pane().unwrap();
+        for i in 600..1000 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        let pane2 = engine.rotate_pane().unwrap();
+        assert_eq!(pane1.row_count(), 600);
+        assert_eq!(pane2.row_count(), 400);
+        assert_eq!(pane2.epoch(), 2);
+        // Panes recombine into the full population.
+        let mut whole = pane1.into_cube();
+        whole.merge_cube(&pane2).unwrap();
+        assert_eq!(whole.row_count(), 1000);
+    }
+
+    #[test]
+    fn dyn_engine_serves_runtime_backends() {
+        let mut engine = DynShardedCube::new(
+            SketchSpec::moments(10),
+            &["region"],
+            EngineConfig::with_shards(2).batch_rows(100),
+        );
+        for i in 0..4000u64 {
+            engine
+                .insert(&[["eu", "us", "ap"][(i % 3) as usize]], (i % 500) as f64)
+                .unwrap();
+        }
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.spec().kind(), SketchKind::Moments);
+        assert_eq!(snap.row_count(), 4000);
+        // The snapshot is a full DynCube: it serializes like any other.
+        let restored = msketch_cube::DynCube::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(restored.row_count(), 4000);
+        let q = snap.rollup(&snap.no_filter()).unwrap().quantile(0.5);
+        let r = restored
+            .rollup(&restored.no_filter())
+            .unwrap()
+            .quantile(0.5);
+        assert_eq!(q.to_bits(), r.to_bits());
+    }
+
+    #[test]
+    fn unflushed_rows_are_invisible_until_flush() {
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(2).batch_rows(1_000_000),
+        );
+        let mut side = engine.writer();
+        let (dims, metric) = row(7);
+        side.insert(&dims, metric).unwrap();
+        assert_eq!(side.pending(), 1);
+        // The engine's own snapshot flushes only its own buffer.
+        let snap = engine.snapshot().unwrap();
+        assert!(matches!(
+            snap.rollup(&snap.no_filter()),
+            Err(msketch_cube::Error::EmptyResult)
+        ));
+        side.flush().unwrap();
+        assert_eq!(side.pending(), 0);
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.row_count(), 1);
+    }
+
+    #[test]
+    fn writer_arity_is_checked() {
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(1),
+        );
+        assert!(matches!(
+            engine.insert(&["US"], 1.0),
+            Err(EngineError::Cube(
+                msketch_cube::Error::DimensionMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn merge_from_boxed_cells_still_works_after_snapshot() {
+        // Regression guard: snapshots of dyn engines hold Box<dyn Sketch>
+        // cells; merging two snapshot rollups must use the checked path.
+        let mut engine = DynShardedCube::new(
+            SketchSpec::moments(8),
+            &["k"],
+            EngineConfig::with_shards(2).batch_rows(10),
+        );
+        for i in 0..100u64 {
+            engine.insert(&["a"], i as f64).unwrap();
+        }
+        let snap = engine.snapshot().unwrap();
+        let mut a = snap.rollup(&snap.no_filter()).unwrap();
+        let b = snap.rollup(&snap.no_filter()).unwrap();
+        a.merge_from(&b);
+        assert_eq!(a.count(), 200);
+    }
+}

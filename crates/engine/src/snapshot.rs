@@ -1,0 +1,55 @@
+//! Epoch-stamped immutable snapshots served to readers.
+
+use msketch_cube::DataCube;
+use msketch_sketches::traits::SummaryFactory;
+
+/// An immutable merged cube produced by
+/// [`ShardedCube::snapshot`](crate::ShardedCube::snapshot) (or
+/// [`rotate_pane`](crate::ShardedCube::rotate_pane)), stamped with the
+/// epoch at which it was taken.
+///
+/// Snapshots deref to [`DataCube`], so every read-side API — roll-ups,
+/// group-bys, [`GroupThresholdQuery::run_cube`], MacroBase's
+/// `search_cube` — works on a snapshot unchanged. No mutating cube
+/// method is reachable (they all need `&mut`), so a snapshot handed to
+/// readers is frozen: writers keep ingesting into the live shards
+/// without ever touching it. Wrap one in `Arc` to share across reader
+/// threads.
+///
+/// [`GroupThresholdQuery::run_cube`]:
+///     msketch_cube::GroupThresholdQuery::run_cube
+#[derive(Clone)]
+pub struct EngineSnapshot<F: SummaryFactory> {
+    epoch: u64,
+    cube: DataCube<F>,
+}
+
+impl<F: SummaryFactory> EngineSnapshot<F> {
+    pub(crate) fn new(epoch: u64, cube: DataCube<F>) -> Self {
+        EngineSnapshot { epoch, cube }
+    }
+
+    /// The engine epoch at which this snapshot was taken; later
+    /// snapshots of the same engine carry strictly larger epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The merged cube.
+    pub fn cube(&self) -> &DataCube<F> {
+        &self.cube
+    }
+
+    /// Unwrap into the merged cube (e.g. to keep ingesting into it
+    /// offline, or to persist a `DynCube` snapshot).
+    pub fn into_cube(self) -> DataCube<F> {
+        self.cube
+    }
+}
+
+impl<F: SummaryFactory> std::ops::Deref for EngineSnapshot<F> {
+    type Target = DataCube<F>;
+    fn deref(&self) -> &DataCube<F> {
+        &self.cube
+    }
+}

@@ -1,0 +1,175 @@
+//! Pane rotation into sliding-window serving (Section 7.2.2 of the
+//! paper, on top of the concurrent write path).
+
+use crate::sharded::ShardedCube;
+use crate::snapshot::EngineSnapshot;
+use crate::{EngineError, Result};
+use moments_sketch::MomentsSketch;
+use msketch_cube::TurnstileWindow;
+use msketch_sketches::traits::SummaryFactory;
+use msketch_sketches::MomentsBacked;
+
+/// A sharded engine serving a sliding window of the last `w` panes.
+///
+/// Ingest flows through the wrapped [`ShardedCube`]; every
+/// [`Self::rotate`] retires the current pane (all rows since the last
+/// rotation) into a [`TurnstileWindow`], whose O(k) turnstile updates
+/// (add the arriving pane's power sums, subtract the departing pane's)
+/// keep the window aggregate current regardless of window length. The
+/// retired pane snapshot is also returned, so callers can archive panes
+/// (e.g. persist `DynCube` bytes) while serving.
+///
+/// Requires moments-backed cells — turnstile subtraction needs raw
+/// power sums. [`Self::new`] rejects other backends with
+/// [`EngineError::NonMomentsBackend`].
+pub struct SlidingEngine<F>
+where
+    F: SummaryFactory + Clone + Send + 'static,
+    F::Summary: Send + MomentsBacked,
+{
+    engine: ShardedCube<F>,
+    window: TurnstileWindow,
+}
+
+impl<F> SlidingEngine<F>
+where
+    F: SummaryFactory + Clone + Send + 'static,
+    F::Summary: Send + MomentsBacked,
+{
+    /// Serve a sliding window spanning `window_panes` panes over the
+    /// given engine.
+    ///
+    /// Validated up front: a probe summary from the engine's factory must
+    /// be moments-backed ([`EngineError::NonMomentsBackend`] otherwise),
+    /// so a rotation can never fail on the backend *after* it has already
+    /// destructively retired the pane.
+    pub fn new(engine: ShardedCube<F>, window_panes: usize) -> Result<Self> {
+        if engine.factory().build().as_moments().is_none() {
+            return Err(EngineError::NonMomentsBackend);
+        }
+        Ok(SlidingEngine {
+            engine,
+            window: TurnstileWindow::new(window_panes.max(1)),
+        })
+    }
+
+    /// The wrapped engine, for ingest and ad-hoc snapshots.
+    pub fn engine_mut(&mut self) -> &mut ShardedCube<F> {
+        &mut self.engine
+    }
+
+    /// Ingest one row into the current pane.
+    pub fn insert(&mut self, dim_values: &[&str], metric: f64) -> Result<()> {
+        self.engine.insert(dim_values, metric)
+    }
+
+    /// Close the current pane: fold its cells into one all-data moments
+    /// sketch, push it into the window, and return the retired pane
+    /// snapshot alongside the up-to-date window aggregate.
+    pub fn rotate(&mut self) -> Result<(EngineSnapshot<F>, &MomentsSketch)> {
+        let pane = self.engine.rotate_pane()?;
+        // Deterministic fold order (decoded value tuples): bit-identical
+        // pane aggregates for identical pane contents, as everywhere
+        // else in the read path.
+        let cells = pane.cells_sorted();
+        if cells.is_empty() {
+            return Err(EngineError::EmptyPane);
+        }
+        let mut agg: Option<MomentsSketch> = None;
+        for (_, cell) in cells {
+            let sketch = cell.as_moments().ok_or(EngineError::NonMomentsBackend)?;
+            match &mut agg {
+                None => agg = Some(sketch.clone()),
+                Some(a) => a.merge(sketch),
+            }
+        }
+        let agg = agg.expect("non-empty cell list folds to a sketch");
+        Ok((pane, self.window.push(agg)))
+    }
+
+    /// The current window aggregate (`None` before the first rotation).
+    pub fn aggregate(&self) -> Option<&MomentsSketch> {
+        self.window.aggregate()
+    }
+
+    /// Panes retired so far.
+    pub fn pane_count(&self) -> usize {
+        self.window.pane_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+    use msketch_sketches::traits::FnFactory;
+    use msketch_sketches::{MSketchSummary, SketchSpec};
+
+    #[test]
+    fn window_tracks_last_w_panes() {
+        let factory: FnFactory<MSketchSummary, fn() -> MSketchSummary> =
+            FnFactory(|| MSketchSummary::new(8));
+        let engine = ShardedCube::new(
+            factory,
+            &["host"],
+            EngineConfig::with_shards(3).batch_rows(16),
+        );
+        let mut sliding = SlidingEngine::new(engine, 3).unwrap();
+        for pane in 0..6u64 {
+            for i in 0..200u64 {
+                let host = ["h1", "h2", "h3", "h4"][(i % 4) as usize];
+                sliding.insert(&[host], (pane * 200 + i) as f64).unwrap();
+            }
+            let (retired, agg) = sliding.rotate().unwrap();
+            assert_eq!(retired.row_count(), 200);
+            let expect = 200.0 * (pane + 1).min(3) as f64;
+            assert_eq!(agg.count(), expect, "pane {pane}");
+        }
+        assert_eq!(sliding.pane_count(), 6);
+        // Window covers panes 3..6: values 600..1200, so the window
+        // median sits near 900 while the all-time median is ~600.
+        let agg = sliding.aggregate().unwrap();
+        let median = agg.quantile(0.5).unwrap();
+        assert!((median - 900.0).abs() < 60.0, "median {median}");
+    }
+
+    #[test]
+    fn dyn_moments_cells_fold_and_others_error() {
+        let engine = DynEngine::new(
+            SketchSpec::moments(8),
+            &["host"],
+            EngineConfig::with_shards(2).batch_rows(8),
+        );
+        let mut sliding = SlidingEngine::new(engine, 2).unwrap();
+        for i in 0..100u64 {
+            sliding.insert(&["a"], i as f64).unwrap();
+        }
+        let (_, agg) = sliding.rotate().unwrap();
+        assert_eq!(agg.count(), 100.0);
+
+        // Non-moments backends are rejected at construction, before any
+        // row could be lost to a failed rotation.
+        let engine = DynEngine::new(
+            SketchSpec::tdigest(5.0),
+            &["host"],
+            EngineConfig::with_shards(2).batch_rows(8),
+        );
+        assert!(matches!(
+            SlidingEngine::new(engine, 2),
+            Err(EngineError::NonMomentsBackend)
+        ));
+    }
+
+    #[test]
+    fn empty_pane_is_an_error() {
+        let engine = DynEngine::new(
+            SketchSpec::moments(8),
+            &["host"],
+            EngineConfig::with_shards(1),
+        );
+        let mut sliding = SlidingEngine::new(engine, 2).unwrap();
+        assert!(matches!(sliding.rotate(), Err(EngineError::EmptyPane)));
+    }
+
+    type DynEngine = crate::DynShardedCube;
+}

@@ -3,6 +3,8 @@
 use moments_sketch::{
     CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
 };
+use msketch_cube::DataCube;
+use msketch_sketches::traits::SummaryFactory;
 use msketch_sketches::{MSketchSummary, Sketch};
 
 /// Query configuration mirroring the paper's MacroBase deployment.
@@ -44,6 +46,32 @@ pub struct SubpopulationReport {
     pub label: String,
     /// Points in the subpopulation.
     pub count: f64,
+}
+
+/// Why a cube-level search failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// Grouping or rolling up the cube failed.
+    Cube(msketch_cube::Error),
+    /// The global threshold estimate failed (degenerate all-data sketch).
+    Threshold(moments_sketch::Error),
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::Cube(e) => write!(f, "cube query failed: {e}"),
+            SearchError::Threshold(e) => write!(f, "global threshold failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<msketch_cube::Error> for SearchError {
+    fn from(e: msketch_cube::Error) -> Self {
+        SearchError::Cube(e)
+    }
 }
 
 /// The search engine; holds cascade state across queries.
@@ -121,6 +149,56 @@ impl MacroBaseEngine {
             }
         }
         out
+    }
+
+    /// Run the full outlier-rate search against a cube — or an engine
+    /// snapshot, which derefs to one — so the cascade runs unchanged
+    /// over concurrently built cubes.
+    ///
+    /// Computes the global threshold from the all-data roll-up, groups
+    /// cells by `group_dims`, and scans the groups with
+    /// [`Self::search_dyn`]'s dispatch (cascade for moments cells,
+    /// direct estimates otherwise). Labels are built from the cube's own
+    /// dictionaries as `name=value,name=value`. Groups are scanned in
+    /// sorted-key order, so reports and cascade statistics are
+    /// deterministic.
+    pub fn search_cube<F: SummaryFactory>(
+        &mut self,
+        cube: &DataCube<F>,
+        group_dims: &[usize],
+    ) -> Result<Vec<SubpopulationReport>, SearchError> {
+        let all = cube.rollup(&cube.no_filter())?;
+        let threshold = self
+            .global_threshold_dyn(&all)
+            .map_err(SearchError::Threshold)?;
+        let groups = cube.group_by(group_dims, &cube.no_filter())?;
+        let mut entries: Vec<(Vec<u32>, F::Summary)> = groups.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let phi = self.config.subpopulation_phi();
+        let mut out = Vec::new();
+        for (key, summary) in &entries {
+            if msketch_sketches::threshold_dyn(&mut self.evaluator, summary, threshold, phi) {
+                let label = key
+                    .iter()
+                    .zip(group_dims)
+                    .map(|(&id, &d)| {
+                        let name = &cube.dim_names()[d];
+                        let value = cube
+                            .dictionary(d)
+                            .ok()
+                            .and_then(|dict| dict.decode(id))
+                            .unwrap_or("?");
+                        format!("{name}={value}")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push(SubpopulationReport {
+                    label,
+                    count: summary.count() as f64,
+                });
+            }
+        }
+        Ok(out)
     }
 
     /// Cascade statistics accumulated so far.
@@ -260,6 +338,40 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].label, "anomalous");
         assert_eq!(engine.stats().total, 0, "no cascade for non-moments cells");
+    }
+
+    #[test]
+    fn search_cube_flags_the_anomalous_subpopulation() {
+        use msketch_sketches::api::SketchSpec;
+
+        // A runtime-backed cube with one anomalous (app, hw) cell; the
+        // cube-level search must find it and label it from the cube's
+        // dictionaries.
+        let mut cube = msketch_cube::DynCube::from_spec(SketchSpec::moments(10), &["app", "hw"]);
+        for g in 0..50u64 {
+            let app = format!("app-{g}");
+            for i in 0..2000u64 {
+                let base = ((i * 13 + g * 7) % 100) as f64 + 1.0;
+                let metric = if g == 7 && i % 5 < 2 {
+                    base + 1000.0
+                } else {
+                    base
+                };
+                cube.insert(&[&app, "hw-0"], metric).unwrap();
+            }
+        }
+        let mut engine = MacroBaseEngine::new(MacroBaseConfig::default());
+        let hits = engine.search_cube(&cube, &[0]).unwrap();
+        assert_eq!(hits.len(), 1, "hits: {hits:?}");
+        assert_eq!(hits[0].label, "app=app-7");
+        assert_eq!(hits[0].count, 2000.0);
+        assert_eq!(engine.stats().total, 50, "moments cells use the cascade");
+        // Empty cube: a clean error, not a panic.
+        let empty = msketch_cube::DynCube::from_spec(SketchSpec::moments(10), &["app"]);
+        assert!(matches!(
+            engine.search_cube(&empty, &[0]),
+            Err(SearchError::Cube(msketch_cube::Error::EmptyResult))
+        ));
     }
 
     #[test]

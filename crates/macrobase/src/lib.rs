@@ -18,4 +18,4 @@ pub mod alert;
 pub mod engine;
 
 pub use alert::{scan_windows, WindowAlert};
-pub use engine::{MacroBaseConfig, MacroBaseEngine, SubpopulationReport};
+pub use engine::{MacroBaseConfig, MacroBaseEngine, SearchError, SubpopulationReport};

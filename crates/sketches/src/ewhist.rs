@@ -120,6 +120,28 @@ impl Sketch for EwHist {
         }
     }
 
+    fn accumulate_all(&mut self, xs: &[f64]) {
+        // Batched bucket loop. Bin width is a power of two, so division
+        // rounds identically whether hoisted or not, and bin counts are
+        // integers — the result is identical to pointwise accumulation.
+        // Points landing inside the already-populated range (the common
+        // case once the histogram warms up) take the three-instruction
+        // fast path; range growth and coarsening fall back to
+        // `accumulate`.
+        for &x in xs {
+            let bin = self.bin_of(x);
+            let idx = bin - self.start;
+            if !self.counts.is_empty() && idx >= 0 && (idx as usize) < self.counts.len() {
+                self.min = self.min.min(x);
+                self.max = self.max.max(x);
+                self.n += 1;
+                self.counts[idx as usize] += 1;
+            } else {
+                self.accumulate(x);
+            }
+        }
+    }
+
     fn quantile(&self, phi: f64) -> f64 {
         if self.n == 0 {
             return f64::NAN;

@@ -60,6 +60,12 @@ impl Sketch for ExactQuantiles {
         self.dirty.push(x);
     }
 
+    fn accumulate_all(&mut self, xs: &[f64]) {
+        // Bulk extend: one memcpy-style append per batch instead of one
+        // push (and, for boxed cells, one virtual call) per point.
+        self.dirty.extend_from_slice(xs);
+    }
+
     fn quantile(&self, phi: f64) -> f64 {
         let mut me = self.clone();
         me.ensure_sorted();

@@ -48,7 +48,7 @@ pub use ewhist::EwHist;
 pub use exact::{avg_quantile_error, quantile_error, ExactQuantiles};
 pub use gk::GkSummary;
 pub use merge12::Merge12;
-pub use msketch::{threshold_dyn, MSketchSummary};
+pub use msketch::{threshold_dyn, MSketchSummary, MomentsBacked};
 pub use randomw::RandomW;
 pub use sampling::ReservoirSample;
 pub use shist::SHist;

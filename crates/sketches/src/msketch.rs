@@ -47,6 +47,13 @@ impl Sketch for MSketchSummary {
         self.sketch.accumulate(x);
     }
 
+    fn accumulate_all(&mut self, xs: &[f64]) {
+        // Batched power-sum loop: bit-identical to pointwise accumulation
+        // (see `MomentsSketch::accumulate_all`), one virtual call per
+        // batch instead of one per point when cells are boxed.
+        self.sketch.accumulate_all(xs);
+    }
+
     fn quantile(&self, phi: f64) -> f64 {
         match moments_sketch::solve_robust(&self.sketch, &self.config) {
             Ok(sol) => sol.quantile(phi).unwrap_or(f64::NAN),
@@ -99,6 +106,31 @@ impl WireCodec for MSketchSummary {
         let config = solver_config_from_bytes(r.bytes()?)?;
         let sketch = LowPrecisionCodec::decode(r.bytes()?)?;
         Ok(MSketchSummary { sketch, config })
+    }
+}
+
+/// Access to the raw moments sketch behind a summary, when there is one.
+///
+/// The sliding-window engine folds retired panes into
+/// [`moments_sketch::MomentsSketch`] aggregates (turnstile updates need
+/// the raw power sums); this trait lets it do so uniformly over typed
+/// [`MSketchSummary`] cells and runtime-chosen boxed cells.
+pub trait MomentsBacked {
+    /// The underlying moments sketch, or `None` for other backends.
+    fn as_moments(&self) -> Option<&MomentsSketch>;
+}
+
+impl MomentsBacked for MSketchSummary {
+    fn as_moments(&self) -> Option<&MomentsSketch> {
+        Some(&self.sketch)
+    }
+}
+
+impl MomentsBacked for Box<dyn Sketch> {
+    fn as_moments(&self) -> Option<&MomentsSketch> {
+        self.as_any()
+            .downcast_ref::<MSketchSummary>()
+            .map(|ms| &ms.sketch)
     }
 }
 

@@ -54,6 +54,27 @@ impl Sketch for ReservoirSample {
         }
     }
 
+    fn accumulate_all(&mut self, xs: &[f64]) {
+        // Bulk fill while the reservoir is below capacity (no RNG draws
+        // there, so this consumes the exact same random stream as
+        // pointwise accumulation), then the usual Algorithm R replacement
+        // loop for the remainder.
+        let mut rest = xs;
+        if self.items.len() < self.capacity {
+            let take = (self.capacity - self.items.len()).min(xs.len());
+            self.items.extend_from_slice(&xs[..take]);
+            self.n += take as u64;
+            rest = &xs[take..];
+        }
+        for &x in rest {
+            self.n += 1;
+            let j = self.rng.below(self.n);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = x;
+            }
+        }
+    }
+
     fn quantile(&self, phi: f64) -> f64 {
         if self.items.is_empty() {
             return f64::NAN;

@@ -9,6 +9,8 @@
 //! * [`sketches`] — the baseline mergeable quantile summaries;
 //! * [`datasets`] — calibrated synthetic evaluation datasets;
 //! * [`cube`] — the Druid-like pre-aggregation engine;
+//! * [`engine`] — the sharded concurrent ingestion engine (batched
+//!   shard-local cubes, epoch snapshots, sliding-window serving);
 //! * [`macrobase`] — the MacroBase-like threshold-search engine;
 //! * [`numerics`] — the numerical substrate.
 //!
@@ -35,6 +37,7 @@
 pub use moments_sketch as core;
 pub use msketch_cube as cube;
 pub use msketch_datasets as datasets;
+pub use msketch_engine as engine;
 pub use msketch_macrobase as macrobase;
 pub use msketch_sketches as sketches;
 pub use numerics;
@@ -47,11 +50,17 @@ pub mod prelude {
     pub use moments_sketch::{
         solve_robust, CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
     };
-    pub use msketch_cube::{DataCube, DynCube, GroupThresholdQuery, QueryEngine};
+    pub use msketch_cube::{
+        ColumnarBatch, DataCube, DynCube, GroupThresholdQuery, QueryEngine, TurnstileWindow,
+    };
+    pub use msketch_engine::{
+        DynShardedCube, EngineConfig, EngineSnapshot, ShardWriter, ShardedCube, SlidingEngine,
+    };
     pub use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
     pub use msketch_sketches::api::{
         from_bytes as sketch_from_bytes_typed, sketch_from_bytes, SketchError, SketchKind,
         SketchSpec,
     };
     pub use msketch_sketches::traits::{QuantileSummary, Sketch, SummaryFactory};
+    pub use msketch_sketches::MomentsBacked;
 }
