@@ -1,0 +1,129 @@
+//! A minimal blocking HTTP/1.1 client: one-shot helpers plus a
+//! keep-alive connection for request streams (integration tests, the
+//! serving example, and the latency bench all drive the server through
+//! this).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How long a response may take before the client gives up.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One-shot GET. Returns `(status, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    Conn::connect(addr)?.get(path)
+}
+
+/// One-shot POST with a JSON body. Returns `(status, body)`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    Conn::connect(addr)?.post(path, body)
+}
+
+/// A persistent (keep-alive) client connection.
+pub struct Conn {
+    stream: TcpStream,
+    /// Bytes read past the previous response.
+    leftover: Vec<u8>,
+}
+
+impl Conn {
+    /// Open a connection to the server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            leftover: Vec::new(),
+        })
+    }
+
+    /// Issue a GET and read the full response.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    /// Issue a POST with a JSON body and read the full response.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: msketch\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let mut buf = std::mem::take(&mut self.leftover);
+        let mut chunk = [0u8; 8192];
+        let head_end = loop {
+            if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break end;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+            })?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        // Interim 100 Continue responses carry no body; skip to the real one.
+        if status == 100 {
+            buf.drain(..head_end + 4);
+            self.leftover = buf;
+            return self.read_response();
+        }
+        let body_start = head_end + 4;
+        while buf.len() < body_start + content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let body =
+            String::from_utf8_lossy(&buf[body_start..body_start + content_length]).to_string();
+        buf.drain(..body_start + content_length);
+        self.leftover = buf;
+        Ok((status, body))
+    }
+}

@@ -67,7 +67,7 @@ impl CascadeConfig {
 }
 
 /// Per-stage resolution counters for a sequence of threshold queries.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CascadeStats {
     /// Queries answered.
     pub total: u64,

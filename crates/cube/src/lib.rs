@@ -34,7 +34,7 @@ pub mod window;
 pub use batch::ColumnarBatch;
 pub use cube::{CellRef, DataCube};
 pub use dictionary::Dictionary;
-pub use query::{GroupThresholdQuery, QueryEngine};
+pub use query::{GroupReport, GroupThresholdQuery, QuantileReport, QueryEngine, ThresholdReport};
 pub use serde::DynCube;
 pub use window::{sliding_windows_remerge, sliding_windows_turnstile, TurnstileWindow};
 

@@ -6,9 +6,50 @@ use crate::Result;
 use moments_sketch::{
     CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
 };
-use msketch_sketches::traits::{Sketch, SummaryFactory};
+use msketch_sketches::traits::{QuantileSummary, Sketch, SummaryFactory};
 use msketch_sketches::{MSketchSummary, SketchSpec};
+use serde::Serialize;
 use std::collections::HashMap;
+
+/// A multi-quantile roll-up answer in wire-friendly form: plain decoded
+/// fields, no summary handles — what the HTTP serving layer renders to
+/// JSON and what harnesses can log directly.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QuantileReport {
+    /// The quantile fractions queried, as given.
+    pub phis: Vec<f64>,
+    /// One estimate per entry of `phis`.
+    pub values: Vec<f64>,
+    /// Points in the merged population.
+    pub count: f64,
+    /// Cells merged to answer — `n_merge` of the paper's cost model.
+    pub cells_merged: usize,
+}
+
+/// One group of a group-by quantile query, with its key decoded to
+/// dimension values.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GroupReport {
+    /// Decoded group key, aligned with the queried group dimensions.
+    pub key: Vec<String>,
+    /// Points in the group.
+    pub count: f64,
+    /// One estimate per requested quantile fraction.
+    pub values: Vec<f64>,
+}
+
+/// A threshold (HAVING) query answer with decoded keys plus the cascade
+/// statistics that resolved it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ThresholdReport {
+    /// Decoded keys of the groups whose quantile exceeded the threshold,
+    /// in sorted order.
+    pub hits: Vec<Vec<String>>,
+    /// Groups evaluated.
+    pub groups: usize,
+    /// Per-stage cascade resolution counters.
+    pub stats: CascadeStats,
+}
 
 /// Convenience wrapper answering the paper's two query classes against a
 /// cube of arbitrary summaries.
@@ -23,6 +64,62 @@ impl QueryEngine {
         phi: f64,
     ) -> Result<f64> {
         Ok(cube.rollup(filter)?.quantile(phi))
+    }
+
+    /// Multi-quantile roll-up in decoded, wire-friendly form.
+    ///
+    /// Merges exactly as [`DataCube::rollup`] does (deterministic
+    /// decoded-tuple order), so the values are bit-identical to separate
+    /// [`QueryEngine::quantile`] calls on the same cube.
+    pub fn quantiles<F: SummaryFactory>(
+        cube: &DataCube<F>,
+        filter: &[Option<u32>],
+        phis: &[f64],
+    ) -> Result<QuantileReport> {
+        // One pass over the cells: fold the same deterministic order
+        // rollup() uses, taking n_merge from the list we already have.
+        let matching = cube.matching_sorted(filter);
+        let cells_merged = matching.len();
+        let mut acc: Option<F::Summary> = None;
+        for (_, summary) in matching {
+            match &mut acc {
+                None => acc = Some(summary.clone()),
+                Some(a) => a.merge_from(summary),
+            }
+        }
+        let merged = acc.ok_or(crate::Error::EmptyResult)?;
+        Ok(QuantileReport {
+            phis: phis.to_vec(),
+            values: phis.iter().map(|&phi| merged.quantile(phi)).collect(),
+            count: merged.count() as f64,
+            cells_merged,
+        })
+    }
+
+    /// Group-by quantiles with decoded keys, sorted by key — the
+    /// deterministic, wire-friendly form of [`Self::group_quantiles`].
+    pub fn group_quantiles_decoded<F: SummaryFactory>(
+        cube: &DataCube<F>,
+        group_dims: &[usize],
+        filter: &[Option<u32>],
+        phis: &[f64],
+    ) -> Result<Vec<GroupReport>> {
+        let groups = cube.group_by(group_dims, filter)?;
+        let mut out: Vec<GroupReport> = groups
+            .into_iter()
+            .map(|(key, summary)| {
+                let key = decode_group_key(cube, group_dims, &key);
+                GroupReport {
+                    key,
+                    count: summary.count() as f64,
+                    values: phis.iter().map(|&phi| summary.quantile(phi)).collect(),
+                }
+            })
+            .collect();
+        // Decoded keys depend only on the data, never on dictionary id
+        // assignment, so the order is stable across ingest paths.
+        out.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        Ok(out)
     }
 
     /// Group-by quantiles: one estimate per group (Equation 3's cost
@@ -110,17 +207,59 @@ impl GroupThresholdQuery {
         group_dims: &[usize],
         filter: &[Option<u32>],
     ) -> Result<(Vec<Vec<u32>>, CascadeStats)> {
+        let entries = Self::sorted_groups(cube, group_dims, filter)?;
+        Ok(self.run_entries(&entries))
+    }
+
+    /// Matching groups in sorted-key order — the deterministic
+    /// evaluation order shared by [`Self::run_cube`] and
+    /// [`Self::run_cube_decoded`].
+    fn sorted_groups<F: SummaryFactory>(
+        cube: &DataCube<F>,
+        group_dims: &[usize],
+        filter: &[Option<u32>],
+    ) -> Result<Vec<(Vec<u32>, F::Summary)>> {
         let groups = cube.group_by(group_dims, filter)?;
         let mut entries: Vec<(Vec<u32>, F::Summary)> = groups.into_iter().collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(entries)
+    }
+
+    /// Threshold pre-grouped entries (moments cells via the cascade,
+    /// other backends by direct estimate).
+    fn run_entries<S: Sketch>(&self, entries: &[(Vec<u32>, S)]) -> (Vec<Vec<u32>>, CascadeStats) {
         let mut evaluator = ThresholdEvaluator::new(self.cascade);
         let mut hits = Vec::new();
-        for (key, summary) in &entries {
+        for (key, summary) in entries {
             if msketch_sketches::threshold_dyn(&mut evaluator, summary, self.t, self.phi) {
                 hits.push(key.clone());
             }
         }
-        Ok((hits, evaluator.stats()))
+        (hits, evaluator.stats())
+    }
+
+    /// Like [`Self::run_cube`], but with hits decoded to dimension
+    /// values and sorted — the deterministic, wire-friendly form served
+    /// over HTTP.
+    pub fn run_cube_decoded<F: SummaryFactory>(
+        &self,
+        cube: &DataCube<F>,
+        group_dims: &[usize],
+        filter: &[Option<u32>],
+    ) -> Result<ThresholdReport> {
+        let entries = Self::sorted_groups(cube, group_dims, filter)?;
+        let groups = entries.len();
+        let (hits, stats) = self.run_entries(&entries);
+        let mut hits: Vec<Vec<String>> = hits
+            .iter()
+            .map(|key| decode_group_key(cube, group_dims, key))
+            .collect();
+        hits.sort_unstable();
+        Ok(ThresholdReport {
+            hits,
+            groups,
+            stats,
+        })
     }
 
     /// Run directly against raw sketches.
@@ -137,6 +276,26 @@ impl GroupThresholdQuery {
         }
         (hits, evaluator.stats())
     }
+}
+
+/// Decode a group key's ids into their dimension values; ids unknown to
+/// a dictionary (impossible for keys drawn from the cube's own cells)
+/// decode as `"?"`.
+fn decode_group_key<F: SummaryFactory>(
+    cube: &DataCube<F>,
+    group_dims: &[usize],
+    key: &[u32],
+) -> Vec<String> {
+    key.iter()
+        .zip(group_dims)
+        .map(|(&id, &d)| {
+            cube.dictionary(d)
+                .ok()
+                .and_then(|dict| dict.decode(id))
+                .unwrap_or("?")
+                .to_string()
+        })
+        .collect()
 }
 
 /// Build a moments-sketch cube factory with order `k` and a solver
@@ -267,6 +426,57 @@ mod tests {
             .run_cube(&dynamic, &[0], &dynamic.no_filter())
             .unwrap();
         assert!(hits.len() <= 2);
+    }
+
+    #[test]
+    fn quantile_report_is_bit_exact_vs_scalar_queries() {
+        let cube = cube_with_hot_group();
+        let phis = [0.1, 0.5, 0.9, 0.99];
+        let report = QueryEngine::quantiles(&cube, &cube.no_filter(), &phis).unwrap();
+        assert_eq!(report.phis, phis);
+        assert_eq!(report.count, 9000.0);
+        assert_eq!(report.cells_merged, 6);
+        for (phi, value) in phis.iter().zip(&report.values) {
+            let scalar = QueryEngine::quantile(&cube, &cube.no_filter(), *phi).unwrap();
+            assert_eq!(value.to_bits(), scalar.to_bits(), "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn group_reports_decode_and_sort_keys() {
+        let cube = cube_with_hot_group();
+        let rows =
+            QueryEngine::group_quantiles_decoded(&cube, &[0], &cube.no_filter(), &[0.5, 0.9])
+                .unwrap();
+        let keys: Vec<&[String]> = rows.iter().map(|r| r.key.as_slice()).collect();
+        assert_eq!(keys, [["a1"], ["a2"], ["a3"]]);
+        for row in &rows {
+            assert_eq!(row.count, 3000.0);
+            assert_eq!(row.values.len(), 2);
+        }
+    }
+
+    #[test]
+    fn threshold_report_matches_run_cube() {
+        let cube = cube_with_hot_group();
+        let query = GroupThresholdQuery::new(0.9, 250.0);
+        let report = query
+            .run_cube_decoded(&cube, &[0], &cube.no_filter())
+            .unwrap();
+        assert_eq!(report.hits, [["a3"]]);
+        assert_eq!(report.groups, 3);
+        assert_eq!(report.stats.total, 3);
+        // A filter keeps the group universe honest.
+        let h1 = cube.dictionary(1).unwrap().lookup("h1").unwrap();
+        let filtered = query
+            .run_cube_decoded(&cube, &[0], &[None, Some(h1)])
+            .unwrap();
+        assert_eq!(filtered.groups, 3);
+        assert_eq!(filtered.hits, [["a3"]]);
+        // Bad group dimension surfaces as an error, not a panic.
+        assert!(query
+            .run_cube_decoded(&cube, &[9], &cube.no_filter())
+            .is_err());
     }
 
     #[test]

@@ -62,6 +62,10 @@ enum ShardMsg<F: SummaryFactory> {
     Snapshot(Sender<DataCube<F>>),
     /// Reply with the shard-local cube, replacing it with a fresh one.
     Rotate(Sender<DataCube<F>>),
+    /// Stop the worker thread, even while other writers still hold
+    /// senders. Batches already queued ahead of this marker are ingested
+    /// first (per-sender FIFO); anything arriving after it is dropped.
+    Shutdown,
 }
 
 /// An ingest handle: routes rows to shards and buffers them into
@@ -257,6 +261,20 @@ where
         self.epoch
     }
 
+    /// The engine's current epoch — the epoch the *next* snapshot will
+    /// carry, minus one. Comparing this against a served
+    /// [`EngineSnapshot::epoch`](crate::EngineSnapshot::epoch) yields the
+    /// snapshot's staleness in epochs (the serving layer's `epoch_lag`).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Has [`Self::shutdown`] already run (or the engine been torn
+    /// down)?
+    pub fn is_shut_down(&self) -> bool {
+        self.workers.is_empty()
+    }
+
     /// Ingest one row through the engine's own writer.
     pub fn insert(&mut self, dim_values: &[&str], metric: f64) -> Result<()> {
         self.writer.insert(dim_values, metric)
@@ -327,6 +345,49 @@ where
         self.epoch += 1;
         Ok(EngineSnapshot::new(self.epoch, merged))
     }
+
+    /// Stop every shard worker and join its thread.
+    ///
+    /// Flushes this handle's buffered rows first, then sends each shard
+    /// a shutdown marker; per-sender FIFO guarantees every batch this
+    /// handle shipped is ingested before the worker exits. Unlike
+    /// relying on channel disconnection, the marker stops workers even
+    /// while extra [`ShardWriter`]s still hold senders — those writers'
+    /// subsequent sends fail with [`EngineError::Disconnected`] rather
+    /// than leaving a parked worker behind on exit (the server Ctrl-C
+    /// path). Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) -> Result<()> {
+        if self.workers.is_empty() {
+            return Ok(());
+        }
+        // Keep going even if a shard already died: the remaining workers
+        // still need their marker and join.
+        let flush_result = self.writer.flush();
+        for sender in &self.writer.senders {
+            let _ = sender.send(ShardMsg::Shutdown);
+        }
+        let mut panicked = false;
+        for worker in self.workers.drain(..) {
+            panicked |= worker.join().is_err();
+        }
+        if panicked {
+            return Err(EngineError::Disconnected);
+        }
+        flush_result
+    }
+}
+
+impl<F> Drop for ShardedCube<F>
+where
+    F: SummaryFactory + Clone + Send + 'static,
+    F::Summary: Send,
+{
+    fn drop(&mut self) {
+        // Join rather than detach: a dropped engine (or a server torn
+        // down by Ctrl-C) must not leak parked worker threads. The
+        // embedded writer's own Drop then finds empty buffers.
+        let _ = self.shutdown();
+    }
 }
 
 fn worker_loop<F>(
@@ -355,6 +416,7 @@ fn worker_loop<F>(
                 let fresh = DataCube::new(factory.clone(), &names);
                 let _ = reply.send(std::mem::replace(&mut cube, fresh));
             }
+            ShardMsg::Shutdown => break,
         }
     }
 }
@@ -540,6 +602,48 @@ mod tests {
         assert_eq!(side.pending(), 0);
         let snap = engine.snapshot().unwrap();
         assert_eq!(snap.row_count(), 1);
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_later_calls_error() {
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(3).batch_rows(8),
+        );
+        let mut side = engine.writer();
+        for i in 0..100 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        assert!(!engine.is_shut_down());
+        // Shutdown stops workers even while `side` still holds senders —
+        // the leak the Drop-ordering fix exists to prevent.
+        engine.shutdown().unwrap();
+        assert!(engine.is_shut_down());
+        engine.shutdown().unwrap(); // idempotent
+        assert!(matches!(engine.snapshot(), Err(EngineError::Disconnected)));
+        let (dims, metric) = row(0);
+        side.insert(&dims, metric).unwrap(); // buffered locally
+        assert!(matches!(side.flush(), Err(EngineError::Disconnected)));
+    }
+
+    #[test]
+    fn shutdown_ingests_rows_queued_ahead_of_the_marker() {
+        // The shutdown marker is a FIFO barrier: rows flushed before it
+        // are never dropped. Observable via snapshot-before-shutdown.
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(2).batch_rows(4),
+        );
+        for i in 0..50 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.row_count(), 50);
+        engine.shutdown().unwrap();
     }
 
     #[test]

@@ -39,8 +39,9 @@ impl MacroBaseConfig {
     }
 }
 
-/// One flagged subpopulation.
-#[derive(Debug, Clone, PartialEq)]
+/// One flagged subpopulation — plain decoded fields, so the serving
+/// layer renders it to JSON directly.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SubpopulationReport {
     /// Caller-provided label (e.g. "app=v8,hw=x1").
     pub label: String,

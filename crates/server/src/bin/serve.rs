@@ -1,0 +1,107 @@
+//! `msketch-serve` — stand-alone HTTP serving daemon over the sharded
+//! ingestion engine.
+//!
+//! ```text
+//! msketch-serve [--addr 127.0.0.1:8080] [--spec moments:10]
+//!               [--dims app,region] [--threads 4] [--shards N]
+//!               [--refresh-ms 500]
+//! ```
+//!
+//! Prints one `listening on http://…` line once the socket is bound
+//! (the CI smoke test scrapes the ephemeral port from it), then serves
+//! until `quit` arrives on stdin — the graceful path: snapshot
+//! refresher stopped, HTTP pool drained, shard workers joined. A plain
+//! kill is also safe: every thread dies with the process.
+
+use msketch_server::{MsketchServer, ServeError, ServerConfig};
+use msketch_sketches::SketchSpec;
+use std::io::BufRead;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: msketch-serve [--addr HOST:PORT] [--spec KIND:PARAM] [--dims NAME,NAME…]\n\
+         \x20                    [--threads N] [--shards N] [--refresh-ms MS]\n\
+         defaults: --addr 127.0.0.1:8080 --spec moments:10 --dims app,region\n\
+         \x20         --threads 4 --shards <cores> --refresh-ms 500"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> Result<(), ServeError> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut spec_text = "moments:10".to_string();
+    let mut dims_text = "app,region".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--spec" => spec_text = value("--spec"),
+            "--dims" => dims_text = value("--dims"),
+            "--threads" => config.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--shards" => {
+                let shards: usize = value("--shards").parse().unwrap_or_else(|_| usage());
+                config.engine.shards = shards.max(1);
+            }
+            "--refresh-ms" => {
+                let ms: u64 = value("--refresh-ms").parse().unwrap_or_else(|_| usage());
+                config.refresh_interval = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    let spec = SketchSpec::parse(&spec_text).unwrap_or_else(|e| {
+        eprintln!("invalid --spec {spec_text:?}: {e}");
+        usage()
+    });
+    let dims: Vec<&str> = dims_text.split(',').filter(|d| !d.is_empty()).collect();
+    if dims.is_empty() {
+        eprintln!("--dims lists no dimension names");
+        usage();
+    }
+
+    let mut server = MsketchServer::start(spec, &dims, config)?;
+    println!(
+        "msketch-serve listening on http://{} (backend {spec_text}, dims {dims_text})",
+        server.local_addr()
+    );
+    println!("type 'quit' to shut down gracefully");
+
+    // Serve until an explicit quit (or Ctrl-D on a terminal). EOF on a
+    // *non-interactive* stdin (e.g. daemonized with </dev/null) parks
+    // instead of exiting, so backgrounding works.
+    let stdin = std::io::stdin();
+    let mut explicit_quit = false;
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => {
+                explicit_quit = true;
+                break;
+            }
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    if !explicit_quit && !std::io::IsTerminal::is_terminal(&std::io::stdin()) {
+        loop {
+            std::thread::park();
+        }
+    }
+    eprintln!("shutting down: draining HTTP pool and joining shard workers…");
+    server.shutdown();
+    eprintln!("bye");
+    Ok(())
+}

@@ -1,0 +1,675 @@
+//! HTTP/JSON serving layer over the sharded ingestion engine.
+//!
+//! The paper's use case is *interactive* quantile analytics over
+//! high-cardinality sub-populations; this crate is the serving surface
+//! that makes the engine reachable from anything that speaks HTTP —
+//! dashboards, curl, load generators. It is dependency-free: the HTTP
+//! listener is the hand-rolled thread-pool server in the `tiny_http`
+//! compat crate (no tokio in the build image), JSON is the `serde_json`
+//! compat module, and the snapshot slot is an `arc_swap`-style atomic
+//! `Arc` cell.
+//!
+//! ```text
+//!            POST /ingest ──▶ Mutex<DynShardedCube> (writers)
+//!                                   │ snapshot() every refresh_interval
+//!                                   ▼        (background refresher)
+//!            ArcSwap<EngineSnapshot> slot  ◀── POST /refresh (manual)
+//!                                   │ load() — never blocks writers
+//!                                   ▼
+//!   GET /quantile /groupby /threshold /search /stats   (reader pool)
+//! ```
+//!
+//! Reads are **snapshot-isolated**: every query runs against the epoch
+//! snapshot current when it arrived, never against live shards, so a
+//! burst of queries costs ingestion nothing and every response carries
+//! the `epoch` it answered from. Numbers render with shortest-round-trip
+//! float formatting, so a JSON response reproduces the in-process
+//! answer **bit-exactly** (see `examples/http_serve.rs`).
+//!
+//! Endpoints (details in the README's "Serving layer" section):
+//!
+//! | Route             | Meaning                                          |
+//! |-------------------|--------------------------------------------------|
+//! | `POST /ingest`    | columnar rows `{columns: [[..]..], metrics: [..]}` |
+//! | `POST /refresh`   | rotate a fresh snapshot now, return its epoch    |
+//! | `GET /quantile`   | `?q=0.5,0.99&dim=value…` roll-up quantiles       |
+//! | `GET /groupby`    | `?by=dim,dim&q=…` per-group quantiles            |
+//! | `GET /threshold`  | `?by=dim&q=0.9&t=500` HAVING via the cascade     |
+//! | `GET /search`     | `?by=dim` MacroBase outlier-rate search          |
+//! | `GET /stats`      | epochs, lag, rows, cells, shard/thread info      |
+
+#![warn(missing_docs)]
+
+use arc_swap::ArcSwap;
+use moments_sketch::CascadeStats;
+use msketch_cube::{GroupThresholdQuery, QueryEngine};
+use msketch_engine::{DynShardedCube, EngineConfig, EngineError, EngineSnapshot};
+use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
+use msketch_sketches::SketchSpec;
+use serde_json::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tiny_http::{Request, Response};
+
+// Re-exported so examples, tests, and load generators can speak to the
+// server without naming the compat crates directly.
+pub use serde_json as json;
+pub use tiny_http::client;
+
+/// A served snapshot: the engine's merged-cube snapshot type.
+pub type ServedSnapshot = EngineSnapshot<SketchSpec>;
+
+/// Tuning knobs for [`MsketchServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// HTTP worker threads answering requests.
+    pub threads: usize,
+    /// Background snapshot-refresh cadence. `Duration::ZERO` disables
+    /// the refresher; snapshots then rotate only via `POST /refresh` or
+    /// [`MsketchServer::refresh`].
+    pub refresh_interval: Duration,
+    /// Configuration of the wrapped ingestion engine.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            refresh_interval: Duration::from_millis(500),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Errors from starting or refreshing the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or socket setup failed.
+    Io(std::io::Error),
+    /// The wrapped engine failed.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server I/O failed: {e}"),
+            ServeError::Engine(e) => write!(f, "engine failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// Shared state behind every request handler.
+struct ServerState {
+    engine: Mutex<DynShardedCube>,
+    /// The currently served snapshot. Readers `load()` (an `Arc` clone);
+    /// the refresher `store()`s — queries in flight keep the snapshot
+    /// they started with alive until they finish.
+    snapshot: ArcSwap<ServedSnapshot>,
+    dims: Vec<String>,
+    backend: String,
+    threads: usize,
+    rows_accepted: AtomicU64,
+    /// `rows_accepted` as of the last snapshot, so the refresher can
+    /// skip epochs in which nothing arrived.
+    rows_at_refresh: AtomicU64,
+    started: Instant,
+}
+
+impl ServerState {
+    /// Rotate a fresh snapshot into the slot; returns its epoch.
+    fn refresh(&self) -> Result<u64, EngineError> {
+        let mut engine = self.engine.lock().expect("engine mutex poisoned");
+        let accepted = self.rows_accepted.load(Ordering::SeqCst);
+        let snapshot = engine.snapshot()?;
+        drop(engine);
+        let epoch = snapshot.epoch();
+        self.rows_at_refresh.store(accepted, Ordering::SeqCst);
+        self.snapshot.store(Arc::new(snapshot));
+        Ok(epoch)
+    }
+}
+
+/// The serving layer: a [`DynShardedCube`] plus an HTTP pool and a
+/// background snapshot refresher. See the crate docs for the endpoint
+/// table; construction is [`MsketchServer::start`].
+pub struct MsketchServer {
+    state: Arc<ServerState>,
+    http: Option<tiny_http::Server>,
+    refresher: Option<JoinHandle<()>>,
+    refresher_stop: Arc<AtomicBool>,
+}
+
+impl MsketchServer {
+    /// Build the engine, take the initial (epoch 1, empty) snapshot,
+    /// bind the listener, and spawn the worker pool and refresher.
+    pub fn start(
+        spec: SketchSpec,
+        dims: &[&str],
+        config: ServerConfig,
+    ) -> Result<MsketchServer, ServeError> {
+        let backend = format!("{}:{}", spec.kind(), spec.param());
+        let mut engine = DynShardedCube::new(spec, dims, config.engine);
+        // An initial snapshot means the slot is never empty: every read
+        // endpoint works from the first request on.
+        let initial = engine.snapshot()?;
+        let state = Arc::new(ServerState {
+            engine: Mutex::new(engine),
+            snapshot: ArcSwap::new(Arc::new(initial)),
+            dims: dims.iter().map(|s| s.to_string()).collect(),
+            backend,
+            threads: config.threads.max(1),
+            rows_accepted: AtomicU64::new(0),
+            rows_at_refresh: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let handler_state = Arc::clone(&state);
+        let http = tiny_http::Server::bind(&config.addr, config.threads, move |req: &Request| {
+            route(&handler_state, req)
+        })?;
+        let refresher_stop = Arc::new(AtomicBool::new(false));
+        let refresher = (config.refresh_interval > Duration::ZERO).then(|| {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&refresher_stop);
+            let interval = config.refresh_interval;
+            std::thread::Builder::new()
+                .name("msketch-refresher".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        // Sleep in slices so shutdown is prompt even at
+                        // long cadences.
+                        let deadline = Instant::now() + interval;
+                        while Instant::now() < deadline {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(20).min(interval));
+                        }
+                        // Skip the O(cells) fold when nothing arrived.
+                        let accepted = state.rows_accepted.load(Ordering::SeqCst);
+                        if accepted == state.rows_at_refresh.load(Ordering::SeqCst) {
+                            continue;
+                        }
+                        if state.refresh().is_err() {
+                            // Engine gone (shutdown race): stop quietly.
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn snapshot refresher")
+        });
+        Ok(MsketchServer {
+            state,
+            http: Some(http),
+            refresher,
+            refresher_stop,
+        })
+    }
+
+    /// The bound address (with the real port when configured with 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.http
+            .as_ref()
+            .expect("server not yet shut down")
+            .local_addr()
+    }
+
+    /// The snapshot queries are currently answered from. The same
+    /// handle a concurrent HTTP request would use — the in-process
+    /// ground truth for bit-exactness checks.
+    pub fn current_snapshot(&self) -> Arc<ServedSnapshot> {
+        self.state.snapshot.load()
+    }
+
+    /// Rotate a fresh snapshot now (what `POST /refresh` calls).
+    pub fn refresh(&self) -> Result<u64, EngineError> {
+        self.state.refresh()
+    }
+
+    /// Stop the refresher, drain and join the HTTP pool, and shut the
+    /// engine's shard workers down (joining their threads). Idempotent;
+    /// also runs on drop — dropping a server leaks nothing.
+    pub fn shutdown(&mut self) {
+        self.refresher_stop.store(true, Ordering::SeqCst);
+        if let Some(refresher) = self.refresher.take() {
+            let _ = refresher.join();
+        }
+        if let Some(mut http) = self.http.take() {
+            http.shutdown();
+        }
+        let _ = self
+            .state
+            .engine
+            .lock()
+            .expect("engine mutex poisoned")
+            .shutdown();
+    }
+}
+
+impl Drop for MsketchServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Query parameter names that are operators, not dimension filters.
+const RESERVED_PARAMS: &[&str] = &["q", "by", "t", "global_phi", "ratio"];
+
+fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/ingest") => handle_ingest(state, req),
+        ("POST", "/refresh") => handle_refresh(state),
+        ("GET", "/quantile") => handle_quantile(state, req),
+        ("GET", "/groupby") => handle_groupby(state, req),
+        ("GET", "/threshold") => handle_threshold(state, req),
+        ("GET", "/search") => handle_search(state, req),
+        ("GET", "/stats") => handle_stats(state),
+        (
+            _,
+            "/ingest" | "/refresh" | "/quantile" | "/groupby" | "/threshold" | "/search" | "/stats",
+        ) => error(405, "method not allowed for this route"),
+        _ => error(404, "no such route"),
+    }
+}
+
+fn error(status: u16, message: &str) -> Response {
+    let body = Value::object(vec![("error", Value::from(message))]);
+    Response::json(status, body.to_string())
+}
+
+fn ok(body: Value) -> Response {
+    Response::json(200, body.to_string())
+}
+
+/// `POST /ingest` — body `{"columns": [[v,…] per dimension], "metrics": [x,…]}`.
+///
+/// Columns are column-major (one array per dimension), mirroring
+/// [`msketch_cube::ColumnarBatch`]: each distinct value string appears
+/// once per JSON array slot, and rows become visible to queries at the
+/// next snapshot rotation.
+fn handle_ingest(state: &ServerState, req: &Request) -> Response {
+    let Some(body) = req.body_str() else {
+        return error(400, "body is not UTF-8");
+    };
+    let doc = match serde_json::from_str(body) {
+        Ok(doc) => doc,
+        Err(e) => return error(400, &format!("invalid JSON body: {e}")),
+    };
+    let Some(columns) = doc.get("columns").and_then(Value::as_array) else {
+        return error(400, "missing \"columns\": expected one array per dimension");
+    };
+    let Some(metrics) = doc.get("metrics").and_then(Value::as_array) else {
+        return error(400, "missing \"metrics\": expected an array of numbers");
+    };
+    if columns.len() != state.dims.len() {
+        return error(
+            400,
+            &format!(
+                "expected {} dimension columns ({}), got {}",
+                state.dims.len(),
+                state.dims.join(", "),
+                columns.len()
+            ),
+        );
+    }
+    let n = metrics.len();
+    let mut cols: Vec<&[Value]> = Vec::with_capacity(columns.len());
+    for column in columns {
+        let Some(values) = column.as_array() else {
+            return error(400, "each column must be an array of strings");
+        };
+        if values.len() != n {
+            return error(400, "ragged batch: column length != metrics length");
+        }
+        cols.push(values);
+    }
+    let mut metric_values = Vec::with_capacity(n);
+    for m in metrics {
+        let Some(x) = m.as_f64() else {
+            return error(400, "metrics must be numbers");
+        };
+        metric_values.push(x);
+    }
+    let mut engine = state.engine.lock().expect("engine mutex poisoned");
+    if engine.is_shut_down() {
+        // Single rows would otherwise sit in the writer buffer and
+        // report success against a dead engine.
+        return error(503, "engine is shut down");
+    }
+    let mut row: Vec<&str> = Vec::with_capacity(cols.len());
+    for (i, &metric) in metric_values.iter().enumerate() {
+        row.clear();
+        for col in &cols {
+            let Some(v) = col[i].as_str() else {
+                return error(400, "dimension values must be strings");
+            };
+            row.push(v);
+        }
+        if let Err(e) = engine.insert(&row, metric) {
+            return engine_error(&e);
+        }
+    }
+    drop(engine);
+    state.rows_accepted.fetch_add(n as u64, Ordering::SeqCst);
+    ok(Value::object(vec![
+        ("accepted", Value::from(n)),
+        (
+            "rows_accepted",
+            Value::from(state.rows_accepted.load(Ordering::SeqCst)),
+        ),
+    ]))
+}
+
+fn engine_error(e: &EngineError) -> Response {
+    match e {
+        EngineError::Disconnected => error(503, "engine is shut down"),
+        other => error(400, &format!("{other}")),
+    }
+}
+
+/// `POST /refresh` — rotate a fresh snapshot now.
+fn handle_refresh(state: &ServerState) -> Response {
+    match state.refresh() {
+        Ok(epoch) => ok(Value::object(vec![("epoch", Value::from(epoch))])),
+        Err(e) => engine_error(&e),
+    }
+}
+
+/// Parse `?q=0.5,0.99` (default `0.5`).
+fn parse_phis(req: &Request) -> Result<Vec<f64>, Response> {
+    let raw = req.query_param("q").unwrap_or("0.5");
+    let mut phis = Vec::new();
+    for part in raw.split(',').filter(|p| !p.is_empty()) {
+        match part.parse::<f64>() {
+            Ok(phi) if (0.0..=1.0).contains(&phi) => phis.push(phi),
+            _ => return Err(error(400, "q must be a comma list of fractions in [0, 1]")),
+        }
+    }
+    if phis.is_empty() {
+        return Err(error(400, "q lists no quantile fractions"));
+    }
+    Ok(phis)
+}
+
+/// Build a cell filter from `?dim=value` parameters. A value the
+/// dictionary has never seen filters to the empty selection (sentinel id
+/// that matches no cell) rather than erroring: "no rows" is an answer.
+fn parse_filter(
+    state: &ServerState,
+    snap: &ServedSnapshot,
+    req: &Request,
+) -> Result<Vec<Option<u32>>, Response> {
+    let mut filter = snap.no_filter();
+    for (name, value) in &req.query {
+        if RESERVED_PARAMS.contains(&name.as_str()) {
+            continue;
+        }
+        let Some(d) = state.dims.iter().position(|dim| dim == name) else {
+            return Err(error(
+                400,
+                &format!(
+                    "unknown parameter {name:?} (dimensions: {})",
+                    state.dims.join(", ")
+                ),
+            ));
+        };
+        let id = snap
+            .dictionary(d)
+            .ok()
+            .and_then(|dict| dict.lookup(value))
+            .unwrap_or(u32::MAX);
+        filter[d] = Some(id);
+    }
+    Ok(filter)
+}
+
+/// Parse `?by=dim,dim` into dimension indices.
+fn parse_group_dims(state: &ServerState, req: &Request) -> Result<Vec<usize>, Response> {
+    let Some(raw) = req.query_param("by") else {
+        return Err(error(400, "missing \"by\": comma list of dimension names"));
+    };
+    let mut dims = Vec::new();
+    for name in raw.split(',').filter(|p| !p.is_empty()) {
+        let Some(d) = state.dims.iter().position(|dim| dim == name) else {
+            return Err(error(
+                400,
+                &format!(
+                    "unknown dimension {name:?} (dimensions: {})",
+                    state.dims.join(", ")
+                ),
+            ));
+        };
+        dims.push(d);
+    }
+    if dims.is_empty() {
+        return Err(error(400, "\"by\" lists no dimensions"));
+    }
+    Ok(dims)
+}
+
+fn cube_error(e: &msketch_cube::Error) -> Response {
+    match e {
+        msketch_cube::Error::EmptyResult => error(404, "query matched no cells"),
+        other => error(400, &format!("{other}")),
+    }
+}
+
+/// `GET /quantile?q=0.5,0.99&dim=value…`
+fn handle_quantile(state: &ServerState, req: &Request) -> Response {
+    let snap = state.snapshot.load();
+    let phis = match parse_phis(req) {
+        Ok(phis) => phis,
+        Err(resp) => return resp,
+    };
+    let filter = match parse_filter(state, &snap, req) {
+        Ok(filter) => filter,
+        Err(resp) => return resp,
+    };
+    match QueryEngine::quantiles(snap.cube(), &filter, &phis) {
+        Ok(report) => ok(Value::object(vec![
+            ("epoch", Value::from(snap.epoch())),
+            ("count", Value::from(report.count)),
+            ("cells_merged", Value::from(report.cells_merged)),
+            ("phis", Value::array(report.phis)),
+            ("values", Value::array(report.values)),
+        ])),
+        Err(e) => cube_error(&e),
+    }
+}
+
+/// `GET /groupby?by=dim,dim&q=0.5,0.99&dim=value…`
+fn handle_groupby(state: &ServerState, req: &Request) -> Response {
+    let snap = state.snapshot.load();
+    let phis = match parse_phis(req) {
+        Ok(phis) => phis,
+        Err(resp) => return resp,
+    };
+    let group_dims = match parse_group_dims(state, req) {
+        Ok(dims) => dims,
+        Err(resp) => return resp,
+    };
+    let filter = match parse_filter(state, &snap, req) {
+        Ok(filter) => filter,
+        Err(resp) => return resp,
+    };
+    match QueryEngine::group_quantiles_decoded(snap.cube(), &group_dims, &filter, &phis) {
+        Ok(groups) => ok(Value::object(vec![
+            ("epoch", Value::from(snap.epoch())),
+            (
+                "by",
+                Value::array(group_dims.iter().map(|&d| state.dims[d].as_str())),
+            ),
+            ("phis", Value::array(phis)),
+            (
+                "groups",
+                Value::Array(
+                    groups
+                        .into_iter()
+                        .map(|g| {
+                            Value::object(vec![
+                                ("key", Value::array(g.key)),
+                                ("count", Value::from(g.count)),
+                                ("values", Value::array(g.values)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])),
+        Err(e) => cube_error(&e),
+    }
+}
+
+fn stats_value(stats: &CascadeStats) -> Value {
+    Value::object(vec![
+        ("total", Value::from(stats.total)),
+        ("simple_hits", Value::from(stats.simple_hits)),
+        ("markov_hits", Value::from(stats.markov_hits)),
+        ("rtt_hits", Value::from(stats.rtt_hits)),
+        ("maxent_evals", Value::from(stats.maxent_evals)),
+        ("maxent_failures", Value::from(stats.maxent_failures)),
+    ])
+}
+
+/// `GET /threshold?by=dim&q=0.9&t=500&dim=value…` — the paper's HAVING
+/// query, resolved with the threshold cascade.
+fn handle_threshold(state: &ServerState, req: &Request) -> Response {
+    let snap = state.snapshot.load();
+    let group_dims = match parse_group_dims(state, req) {
+        Ok(dims) => dims,
+        Err(resp) => return resp,
+    };
+    let phi = match req.query_param("q").unwrap_or("0.9").parse::<f64>() {
+        Ok(phi) if (0.0..=1.0).contains(&phi) => phi,
+        _ => return error(400, "q must be one fraction in [0, 1]"),
+    };
+    let Some(t) = req.query_param("t").and_then(|t| t.parse::<f64>().ok()) else {
+        return error(400, "missing or non-numeric threshold \"t\"");
+    };
+    let filter = match parse_filter(state, &snap, req) {
+        Ok(filter) => filter,
+        Err(resp) => return resp,
+    };
+    let query = GroupThresholdQuery::new(phi, t);
+    match query.run_cube_decoded(snap.cube(), &group_dims, &filter) {
+        Ok(report) => ok(Value::object(vec![
+            ("epoch", Value::from(snap.epoch())),
+            ("phi", Value::from(phi)),
+            ("t", Value::from(t)),
+            ("groups", Value::from(report.groups)),
+            (
+                "hits",
+                Value::Array(report.hits.into_iter().map(Value::array).collect()),
+            ),
+            ("stats", stats_value(&report.stats)),
+        ])),
+        Err(e) => cube_error(&e),
+    }
+}
+
+/// `GET /search?by=dim&global_phi=0.99&ratio=30` — MacroBase-style
+/// outlier-rate subpopulation search over the snapshot.
+fn handle_search(state: &ServerState, req: &Request) -> Response {
+    let snap = state.snapshot.load();
+    let group_dims = match parse_group_dims(state, req) {
+        Ok(dims) => dims,
+        Err(resp) => return resp,
+    };
+    let global_phi = match req
+        .query_param("global_phi")
+        .unwrap_or("0.99")
+        .parse::<f64>()
+    {
+        Ok(phi) if (0.0..1.0).contains(&phi) => phi,
+        _ => return error(400, "global_phi must be a fraction in [0, 1)"),
+    };
+    let ratio = match req.query_param("ratio").unwrap_or("30").parse::<f64>() {
+        Ok(r) if r >= 1.0 => r,
+        _ => return error(400, "ratio must be a number >= 1"),
+    };
+    let mut macrobase = MacroBaseEngine::new(MacroBaseConfig {
+        global_phi,
+        rate_ratio: ratio,
+        ..MacroBaseConfig::default()
+    });
+    match macrobase.search_cube(snap.cube(), &group_dims) {
+        Ok(reports) => ok(Value::object(vec![
+            ("epoch", Value::from(snap.epoch())),
+            ("global_phi", Value::from(global_phi)),
+            ("ratio", Value::from(ratio)),
+            (
+                "subpopulations",
+                Value::Array(
+                    reports
+                        .into_iter()
+                        .map(|r| {
+                            Value::object(vec![
+                                ("label", Value::from(r.label)),
+                                ("count", Value::from(r.count)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("stats", stats_value(&macrobase.stats())),
+        ])),
+        Err(msketch_macrobase::SearchError::Cube(e)) => cube_error(&e),
+        Err(e) => error(400, &format!("{e}")),
+    }
+}
+
+/// `GET /stats` — serving and staleness counters.
+fn handle_stats(state: &ServerState) -> Response {
+    let snap = state.snapshot.load();
+    let engine = state.engine.lock().expect("engine mutex poisoned");
+    let engine_epoch = engine.current_epoch();
+    let shards = engine.shard_count();
+    let shut_down = engine.is_shut_down();
+    drop(engine);
+    ok(Value::object(vec![
+        ("backend", Value::from(state.backend.as_str())),
+        ("dims", Value::array(state.dims.iter().map(String::as_str))),
+        ("shards", Value::from(shards)),
+        ("http_threads", Value::from(state.threads)),
+        ("engine_epoch", Value::from(engine_epoch)),
+        ("snapshot_epoch", Value::from(snap.epoch())),
+        (
+            "epoch_lag",
+            Value::from(engine_epoch.saturating_sub(snap.epoch())),
+        ),
+        ("snapshot_rows", Value::from(snap.row_count())),
+        ("snapshot_cells", Value::from(snap.cell_count())),
+        (
+            "rows_accepted",
+            Value::from(state.rows_accepted.load(Ordering::SeqCst)),
+        ),
+        ("shut_down", Value::from(shut_down)),
+        (
+            "uptime_ms",
+            Value::from(state.started.elapsed().as_millis() as u64),
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests;

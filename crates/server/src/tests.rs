@@ -1,0 +1,327 @@
+//! Router-level unit tests: drive `route()` with hand-built requests —
+//! no sockets — and check status codes, JSON shapes, and bit-exactness
+//! against the in-process snapshot.
+
+use super::*;
+
+fn test_server() -> MsketchServer {
+    MsketchServer::start(
+        SketchSpec::moments(8),
+        &["app", "region"],
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            // Manual refresh only: deterministic epochs.
+            refresh_interval: Duration::ZERO,
+            engine: EngineConfig::with_shards(2).batch_rows(64),
+        },
+    )
+    .expect("start server")
+}
+
+fn request(method: &str, path: &str, query: &[(&str, &str)], body: &str) -> Request {
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+fn call(server: &MsketchServer, req: &Request) -> (u16, Value) {
+    let response = route(&server.state, req);
+    let body = std::str::from_utf8(&response.body).expect("response body is UTF-8");
+    let doc =
+        serde_json::from_str(body).unwrap_or_else(|e| panic!("response not JSON ({e}): {body}"));
+    (response.status, doc)
+}
+
+fn ingest_demo_rows(server: &MsketchServer, rows: usize) {
+    // Two apps x two regions (app uncorrelated with region, so all four
+    // cells materialize); "slow" rows get a latency tail.
+    let mut apps = Vec::new();
+    let mut regions = Vec::new();
+    let mut metrics = Vec::new();
+    for i in 0..rows {
+        let slow = i % 8 < 2;
+        apps.push(if slow { "slow" } else { "fast" });
+        regions.push(if i % 2 == 0 { "eu" } else { "us" });
+        metrics.push(format!(
+            "{}",
+            (i % 100) as f64 + if slow { 900.0 } else { 0.0 }
+        ));
+    }
+    let body = format!(
+        "{{\"columns\": [[{}],[{}]], \"metrics\": [{}]}}",
+        apps.iter()
+            .map(|a| format!("{a:?}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        regions
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        metrics.join(","),
+    );
+    let (status, doc) = call(server, &request("POST", "/ingest", &[], &body));
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("accepted").unwrap().as_i64(), Some(rows as i64));
+}
+
+#[test]
+fn ingest_refresh_quantile_round_trip_is_bit_exact() {
+    let server = test_server();
+    ingest_demo_rows(&server, 4000);
+    let (status, doc) = call(&server, &request("POST", "/refresh", &[], ""));
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("epoch").unwrap().as_u64(), Some(2));
+
+    let (status, doc) = call(
+        &server,
+        &request("GET", "/quantile", &[("q", "0.1,0.5,0.99")], ""),
+    );
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("epoch").unwrap().as_u64(), Some(2));
+    assert_eq!(doc.get("count").unwrap().as_f64(), Some(4000.0));
+    assert_eq!(doc.get("cells_merged").unwrap().as_i64(), Some(4));
+
+    // The served values equal the in-process answer on the same
+    // snapshot, bit for bit — floats survive the JSON hop.
+    let snap = server.current_snapshot();
+    let expected =
+        QueryEngine::quantiles(snap.cube(), &snap.no_filter(), &[0.1, 0.5, 0.99]).unwrap();
+    let served = doc.get("values").unwrap().as_array().unwrap();
+    assert_eq!(served.len(), 3);
+    for (value, expect) in served.iter().zip(&expected.values) {
+        assert_eq!(value.as_f64().unwrap().to_bits(), expect.to_bits());
+    }
+}
+
+#[test]
+fn filters_select_subpopulations() {
+    let server = test_server();
+    ingest_demo_rows(&server, 2000);
+    server.refresh().unwrap();
+    let (status, all) = call(&server, &request("GET", "/quantile", &[], ""));
+    assert_eq!(status, 200);
+    let (status, slow) = call(
+        &server,
+        &request("GET", "/quantile", &[("app", "slow")], ""),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(slow.get("count").unwrap().as_f64(), Some(500.0));
+    assert!(
+        slow.get("values").unwrap().at(0).unwrap().as_f64().unwrap()
+            > all.get("values").unwrap().at(0).unwrap().as_f64().unwrap(),
+        "slow app median above global median"
+    );
+    // A value the dictionary has never seen is an empty selection.
+    let (status, doc) = call(
+        &server,
+        &request("GET", "/quantile", &[("app", "nonexistent")], ""),
+    );
+    assert_eq!(status, 404, "{doc}");
+}
+
+#[test]
+fn groupby_returns_sorted_decoded_groups() {
+    let server = test_server();
+    ingest_demo_rows(&server, 2000);
+    server.refresh().unwrap();
+    let (status, doc) = call(
+        &server,
+        &request(
+            "GET",
+            "/groupby",
+            &[("by", "app,region"), ("q", "0.5,0.9")],
+            "",
+        ),
+    );
+    assert_eq!(status, 200, "{doc}");
+    let groups = doc.get("groups").unwrap().as_array().unwrap();
+    assert_eq!(groups.len(), 4);
+    let keys: Vec<Vec<&str>> = groups
+        .iter()
+        .map(|g| {
+            g.get("key")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|k| k.as_str().unwrap())
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            ["fast", "eu"],
+            ["fast", "us"],
+            ["slow", "eu"],
+            ["slow", "us"]
+        ]
+    );
+}
+
+#[test]
+fn threshold_runs_the_cascade_and_flags_the_slow_app() {
+    let server = test_server();
+    ingest_demo_rows(&server, 4000);
+    server.refresh().unwrap();
+    let (status, doc) = call(
+        &server,
+        &request(
+            "GET",
+            "/threshold",
+            &[("by", "app"), ("q", "0.9"), ("t", "500")],
+            "",
+        ),
+    );
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("groups").unwrap().as_i64(), Some(2));
+    let hits = doc.get("hits").unwrap().as_array().unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].at(0).unwrap().as_str(), Some("slow"));
+    // Moments cells route through the cascade: stats are populated.
+    assert_eq!(
+        doc.get("stats").unwrap().get("total").unwrap().as_i64(),
+        Some(2)
+    );
+}
+
+#[test]
+fn search_agrees_with_in_process_macrobase() {
+    let server = test_server();
+    ingest_demo_rows(&server, 4000);
+    server.refresh().unwrap();
+    let (status, doc) = call(
+        &server,
+        &request("GET", "/search", &[("by", "app"), ("ratio", "2")], ""),
+    );
+    assert_eq!(status, 200, "{doc}");
+    // The serving contract: identical reports to in-process MacroBase
+    // over the same snapshot (whatever the statistics decide).
+    let snap = server.current_snapshot();
+    let mut macrobase = MacroBaseEngine::new(MacroBaseConfig {
+        rate_ratio: 2.0,
+        ..MacroBaseConfig::default()
+    });
+    let expected = macrobase.search_cube(snap.cube(), &[0]).unwrap();
+    let subs = doc.get("subpopulations").unwrap().as_array().unwrap();
+    assert_eq!(subs.len(), expected.len(), "{doc}");
+    for (sub, report) in subs.iter().zip(&expected) {
+        assert_eq!(
+            sub.get("label").unwrap().as_str(),
+            Some(report.label.as_str())
+        );
+        assert_eq!(sub.get("count").unwrap().as_f64(), Some(report.count));
+    }
+    assert_eq!(
+        doc.get("stats").unwrap().get("total").unwrap().as_u64(),
+        Some(macrobase.stats().total)
+    );
+}
+
+#[test]
+fn stats_report_epochs_and_lag() {
+    let server = test_server();
+    let (status, doc) = call(&server, &request("GET", "/stats", &[], ""));
+    assert_eq!(status, 200);
+    // The backend label round-trips through SketchSpec::parse.
+    assert_eq!(doc.get("backend").unwrap().as_str(), Some("M-Sketch:8"));
+    assert!(SketchSpec::parse(doc.get("backend").unwrap().as_str().unwrap()).is_ok());
+    assert_eq!(doc.get("snapshot_epoch").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("epoch_lag").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("snapshot_rows").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("shards").unwrap().as_i64(), Some(2));
+
+    // An in-process snapshot (not via the server) advances the engine
+    // epoch while the served snapshot stays — visible as epoch_lag.
+    ingest_demo_rows(&server, 100);
+    server.state.engine.lock().unwrap().snapshot().unwrap();
+    let (_, doc) = call(&server, &request("GET", "/stats", &[], ""));
+    assert_eq!(doc.get("engine_epoch").unwrap().as_u64(), Some(2));
+    assert_eq!(doc.get("snapshot_epoch").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("epoch_lag").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("rows_accepted").unwrap().as_u64(), Some(100));
+
+    server.refresh().unwrap();
+    let (_, doc) = call(&server, &request("GET", "/stats", &[], ""));
+    assert_eq!(doc.get("epoch_lag").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("snapshot_rows").unwrap().as_u64(), Some(100));
+}
+
+#[test]
+fn malformed_requests_get_specific_4xx() {
+    let server = test_server();
+    let cases: Vec<(Request, u16)> = vec![
+        (request("GET", "/nope", &[], ""), 404),
+        (request("DELETE", "/quantile", &[], ""), 405),
+        (request("GET", "/quantile", &[("q", "1.5")], ""), 400),
+        (request("GET", "/quantile", &[("q", "abc")], ""), 400),
+        (request("GET", "/quantile", &[("host", "x")], ""), 400),
+        (request("GET", "/groupby", &[], ""), 400),
+        (request("GET", "/groupby", &[("by", "host")], ""), 400),
+        (request("GET", "/threshold", &[("by", "app")], ""), 400),
+        (request("POST", "/ingest", &[], "not json"), 400),
+        (request("POST", "/ingest", &[], "{\"metrics\": [1]}"), 400),
+        (
+            request(
+                "POST",
+                "/ingest",
+                &[],
+                "{\"columns\": [[\"a\"]], \"metrics\": [1]}",
+            ),
+            400,
+        ),
+        (
+            request(
+                "POST",
+                "/ingest",
+                &[],
+                "{\"columns\": [[\"a\"],[\"b\",\"c\"]], \"metrics\": [1]}",
+            ),
+            400,
+        ),
+        (
+            request(
+                "POST",
+                "/ingest",
+                &[],
+                "{\"columns\": [[\"a\"],[1]], \"metrics\": [1]}",
+            ),
+            400,
+        ),
+    ];
+    for (req, expected) in cases {
+        let (status, doc) = call(&server, &req);
+        assert_eq!(status, expected, "{} {} -> {doc}", req.method, req.path);
+        assert!(doc.get("error").is_some(), "{doc}");
+    }
+}
+
+#[test]
+fn shutdown_turns_ingest_into_503_and_is_idempotent() {
+    let mut server = test_server();
+    ingest_demo_rows(&server, 10);
+    server.shutdown();
+    server.shutdown();
+    let (status, doc) = call(
+        &server,
+        &request(
+            "POST",
+            "/ingest",
+            &[],
+            "{\"columns\": [[\"a\"],[\"b\"]], \"metrics\": [1]}",
+        ),
+    );
+    assert_eq!(status, 503, "{doc}");
+    // Reads still work from the last served snapshot.
+    let (status, _) = call(&server, &request("GET", "/stats", &[], ""));
+    assert_eq!(status, 200);
+}

@@ -1,0 +1,150 @@
+//! Integration: quantile queries fired at a live server over real
+//! sockets while a writer thread streams ingest batches — snapshot
+//! isolation under concurrent load. Asserts every response is
+//! well-formed JSON, served epochs are monotone non-decreasing, and
+//! the final state matches what went in.
+
+use msketch_engine::EngineConfig;
+use msketch_server::{MsketchServer, ServerConfig};
+use msketch_sketches::SketchSpec;
+use std::time::Duration;
+use tiny_http::client;
+
+fn batch_body(batch: usize, rows_per_batch: usize) -> String {
+    let mut apps = Vec::new();
+    let mut regions = Vec::new();
+    let mut metrics = Vec::new();
+    for i in 0..rows_per_batch {
+        let n = batch * rows_per_batch + i;
+        apps.push(format!("{:?}", ["checkout", "search", "feed"][n % 3]));
+        regions.push(format!("{:?}", ["eu", "us"][n % 2]));
+        metrics.push(format!("{}", (n % 250) as f64 + 1.0));
+    }
+    format!(
+        "{{\"columns\": [[{}],[{}]], \"metrics\": [{}]}}",
+        apps.join(","),
+        regions.join(","),
+        metrics.join(","),
+    )
+}
+
+#[test]
+fn quantile_queries_against_a_live_server_under_ingest() {
+    const BATCHES: usize = 40;
+    const ROWS_PER_BATCH: usize = 500;
+
+    let mut server = MsketchServer::start(
+        SketchSpec::moments(8),
+        &["app", "region"],
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            // Fast cadence so the reader observes several epochs.
+            refresh_interval: Duration::from_millis(25),
+            engine: EngineConfig::with_shards(2).batch_rows(256),
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    let writer = std::thread::spawn(move || {
+        let mut conn = client::Conn::connect(addr).expect("writer connect");
+        for batch in 0..BATCHES {
+            let (status, body) = conn
+                .post("/ingest", &batch_body(batch, ROWS_PER_BATCH))
+                .expect("ingest request");
+            assert_eq!(status, 200, "{body}");
+            let doc = serde_json::from_str(&body).expect("ingest response JSON");
+            assert_eq!(
+                doc.get("accepted").and_then(|v| v.as_i64()),
+                Some(ROWS_PER_BATCH as i64),
+                "{body}"
+            );
+        }
+    });
+
+    // Readers hammer /quantile and /stats from two keep-alive
+    // connections while the writer streams.
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut conn = client::Conn::connect(addr).expect("reader connect");
+                let mut last_epoch = 0u64;
+                let mut epochs_seen = 0usize;
+                for i in 0..150 {
+                    let path = if i % 3 == 0 {
+                        "/stats"
+                    } else {
+                        "/quantile?q=0.5,0.99"
+                    };
+                    let (status, body) = conn.get(path).expect("read request");
+                    let doc = serde_json::from_str(&body)
+                        .unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"));
+                    if status == 404 {
+                        // Pre-first-refresh: the snapshot can be empty.
+                        assert!(doc.get("error").is_some(), "{body}");
+                        continue;
+                    }
+                    assert_eq!(status, 200, "{body}");
+                    let epoch_field = if path == "/stats" {
+                        "snapshot_epoch"
+                    } else {
+                        "epoch"
+                    };
+                    let epoch = doc
+                        .get(epoch_field)
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or_else(|| panic!("missing {epoch_field}: {body}"));
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch went backwards: {last_epoch} -> {epoch}"
+                    );
+                    if epoch > last_epoch {
+                        epochs_seen += 1;
+                    }
+                    last_epoch = epoch;
+                    if path != "/stats" {
+                        // Well-formed quantile payload with sane values.
+                        let values = doc.get("values").and_then(|v| v.as_array()).unwrap();
+                        assert_eq!(values.len(), 2);
+                        for v in values {
+                            let x = v.as_f64().unwrap();
+                            assert!((1.0..=250.0).contains(&x), "quantile {x} out of range");
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                epochs_seen
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer thread");
+    let epochs_seen: usize = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader thread"))
+        .sum();
+    assert!(
+        epochs_seen >= 2,
+        "readers should observe the snapshot advancing (saw {epochs_seen} advances)"
+    );
+
+    // Let the refresher fold the tail, then verify totals.
+    server.refresh().expect("final refresh");
+    let (status, body) = client::get(addr, "/stats").expect("final stats");
+    assert_eq!(status, 200);
+    let doc = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        doc.get("rows_accepted").and_then(|v| v.as_u64()),
+        Some((BATCHES * ROWS_PER_BATCH) as u64)
+    );
+    assert_eq!(
+        doc.get("snapshot_rows").and_then(|v| v.as_u64()),
+        Some((BATCHES * ROWS_PER_BATCH) as u64)
+    );
+    assert_eq!(doc.get("epoch_lag").and_then(|v| v.as_u64()), Some(0));
+
+    // Graceful teardown joins the HTTP pool, refresher, and shard
+    // workers; reads drain cleanly rather than hanging.
+    server.shutdown();
+}

@@ -11,6 +11,7 @@
 //! * [`cube`] — the Druid-like pre-aggregation engine;
 //! * [`engine`] — the sharded concurrent ingestion engine (batched
 //!   shard-local cubes, epoch snapshots, sliding-window serving);
+//! * [`server`] — the HTTP/JSON serving layer over engine snapshots;
 //! * [`macrobase`] — the MacroBase-like threshold-search engine;
 //! * [`numerics`] — the numerical substrate.
 //!
@@ -39,6 +40,7 @@ pub use msketch_cube as cube;
 pub use msketch_datasets as datasets;
 pub use msketch_engine as engine;
 pub use msketch_macrobase as macrobase;
+pub use msketch_server as server;
 pub use msketch_sketches as sketches;
 pub use numerics;
 
@@ -51,12 +53,14 @@ pub mod prelude {
         solve_robust, CascadeConfig, CascadeStats, MomentsSketch, SolverConfig, ThresholdEvaluator,
     };
     pub use msketch_cube::{
-        ColumnarBatch, DataCube, DynCube, GroupThresholdQuery, QueryEngine, TurnstileWindow,
+        ColumnarBatch, DataCube, DynCube, GroupReport, GroupThresholdQuery, QuantileReport,
+        QueryEngine, ThresholdReport, TurnstileWindow,
     };
     pub use msketch_engine::{
         DynShardedCube, EngineConfig, EngineSnapshot, ShardWriter, ShardedCube, SlidingEngine,
     };
     pub use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
+    pub use msketch_server::{MsketchServer, ServerConfig};
     pub use msketch_sketches::api::{
         from_bytes as sketch_from_bytes_typed, sketch_from_bytes, SketchError, SketchKind,
         SketchSpec,

@@ -150,3 +150,37 @@ fn facade_module_aliases_reachable() {
     let bound = msketch::core::bounds::markov_bound(&s, 1.0);
     assert!(bound.lower >= 0.0 && bound.upper <= 1.0 + 1e-12);
 }
+
+/// The serving layer is reachable through the facade: a server starts,
+/// answers an HTTP round trip, and shuts down joining every thread.
+#[test]
+fn facade_serving_layer_round_trip() {
+    use msketch::prelude::{EngineConfig, MsketchServer, ServerConfig};
+    use msketch::server::{client, json};
+
+    let mut server = MsketchServer::start(
+        SketchSpec::moments(8),
+        &["host"],
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            refresh_interval: std::time::Duration::ZERO,
+            engine: EngineConfig::with_shards(1).batch_rows(16),
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+    let (status, _) = client::post(
+        addr,
+        "/ingest",
+        "{\"columns\": [[\"h1\",\"h2\"]], \"metrics\": [1.0, 9.0]}",
+    )
+    .expect("ingest");
+    assert_eq!(status, 200);
+    server.refresh().expect("refresh");
+    let (status, body) = client::get(addr, "/quantile?q=0.5").expect("quantile");
+    assert_eq!(status, 200);
+    let doc = json::from_str(&body).expect("response parses");
+    assert_eq!(doc.get("count").and_then(|v| v.as_f64()), Some(2.0));
+    server.shutdown();
+}
