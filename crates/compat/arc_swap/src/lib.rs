@@ -18,7 +18,7 @@
 
 #![warn(missing_docs)]
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// An atomically replaceable shared `Arc<T>`.
 pub struct ArcSwap<T> {
@@ -41,20 +41,28 @@ impl<T> ArcSwap<T> {
     /// A handle to the current value. The handle stays valid (and keeps
     /// the value alive) across any number of subsequent [`store`]s.
     ///
+    /// Never panics: the critical sections here are an `Arc`
+    /// clone/assign, which cannot unwind, so a poisoned slot can only
+    /// mean a panic was injected from outside — recovering the guard is
+    /// always sound and keeps the serving layer's readers alive.
+    ///
     /// [`store`]: ArcSwap::store
     pub fn load(&self) -> Arc<T> {
-        self.slot.lock().expect("arc_swap slot poisoned").clone()
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Replace the current value.
     pub fn store(&self, value: Arc<T>) {
-        *self.slot.lock().expect("arc_swap slot poisoned") = value;
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = value;
     }
 
     /// Replace the current value, returning the previous one.
     pub fn swap(&self, value: Arc<T>) -> Arc<T> {
         std::mem::replace(
-            &mut self.slot.lock().expect("arc_swap slot poisoned"),
+            &mut self.slot.lock().unwrap_or_else(PoisonError::into_inner),
             value,
         )
     }

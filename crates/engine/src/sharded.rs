@@ -227,6 +227,10 @@ where
                 std::thread::Builder::new()
                     .name(format!("msketch-shard-{shard}"))
                     .spawn(move || worker_loop(rx, cube, factory, names))
+                    // lint:allow(panic): thread spawn fails only on OS
+                    // resource exhaustion during engine construction — no
+                    // channel peer exists yet to park, and no caller has
+                    // a meaningful recovery short of aborting.
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -401,10 +405,14 @@ fn worker_loop<F>(
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Batch(batch) => {
-                // Arity was checked at the writer; a failure here is a
-                // bug, and panicking surfaces it as Disconnected at the
-                // next engine call instead of silently dropping rows.
-                cube.insert_batch(&batch).expect("shard batch arity");
+                // Arity was checked at the writer, so a failure here is
+                // a pipeline bug. Exit the loop instead of panicking:
+                // dropping the receiver surfaces as `Disconnected` at
+                // the next engine call, without parking channel peers
+                // behind a dead worker the way an unwound stack would.
+                if cube.insert_batch(&batch).is_err() {
+                    break;
+                }
             }
             ShardMsg::Snapshot(reply) => {
                 // The engine may already have given up on this snapshot

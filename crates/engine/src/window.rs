@@ -83,7 +83,11 @@ where
                 Some(a) => a.merge(sketch),
             }
         }
-        let agg = agg.expect("non-empty cell list folds to a sketch");
+        // `cells` was checked non-empty, so the fold produced a sketch;
+        // spelled as a checked branch to keep the rotation panic-free.
+        let Some(agg) = agg else {
+            return Err(EngineError::EmptyPane);
+        };
         Ok((pane, self.window.push(agg)))
     }
 

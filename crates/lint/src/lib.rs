@@ -1,0 +1,292 @@
+//! `msketch-lint` — workspace static analysis for the moments-sketch
+//! repo.
+//!
+//! The workspace carries three load-bearing invariants that `cargo
+//! test` cannot see: wire tags must never move (`wire`), the concurrent
+//! core must never panic (`panic`, `channel`), and `unsafe` lives only
+//! in the reviewed compat stand-ins (`unsafe`). This crate
+//! machine-checks them — plus public-API doc coverage (`docs`) — with a
+//! dependency-free scanner over the tree (`std::fs` + a hand-rolled
+//! line scanner in [`scan`]).
+//!
+//! Run it with `cargo run -p msketch-lint`; see `lint/README.md` for
+//! each rule's rationale and the failure it prevents. The library
+//! surface exists so the self-test (`tests/lint_self.rs`) and the
+//! per-rule fixture tests can call the same code the binary runs.
+
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+
+use scan::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Where the `SketchKind` wire tags live.
+pub const API_PATH: &str = "crates/sketches/src/api.rs";
+/// The committed wire-tag registry the `wire` rule diffs against.
+pub const GOLDEN_PATH: &str = "lint/wire_tags.golden";
+
+/// One diagnostic, printed as `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule id (`wire`, `panic`, `unsafe`, `channel`, `docs`,
+    /// `lint-allow`).
+    pub rule: &'static str,
+    /// Human-readable explanation with a remediation hint.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding in the file a [`FileContext`] describes.
+    pub fn new(ctx: &FileContext, line: usize, rule: &'static str, message: String) -> Finding {
+        Finding::at(&ctx.path, line, rule, message)
+    }
+
+    /// A finding at an explicit path.
+    pub fn at(path: &str, line: usize, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+
+    /// Render as `file:line: rule: message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+
+    /// Render as a JSON object (hand-rolled; the linter has no deps).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.file),
+            self.line,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// What a file *is*, derived from its workspace-relative path; rules
+/// scope themselves with this.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Under `crates/compat/` — the only sanctioned home for `unsafe`,
+    /// exempt from panic/docs rules (stand-ins mirror foreign APIs).
+    pub compat: bool,
+    /// In the panic-freedom perimeter (`crates/engine`, `crates/server`).
+    pub panic_scope: bool,
+    /// Test-only code: integration tests, benches, examples, or a
+    /// `tests.rs` module file.
+    pub test_code: bool,
+    /// A `src/bin/` target (exempt from the docs rule: binaries have no
+    /// API consumers).
+    pub bin: bool,
+}
+
+impl FileContext {
+    /// Classify a workspace-relative path.
+    pub fn classify(path: &str) -> FileContext {
+        let compat = path.starts_with("crates/compat/");
+        let panic_scope =
+            path.starts_with("crates/engine/src/") || path.starts_with("crates/server/src/");
+        let test_code = path.starts_with("tests/")
+            || path.contains("/tests/")
+            || path.contains("/benches/")
+            || path.starts_with("examples/")
+            || path.contains("/examples/")
+            || path.ends_with("/tests.rs");
+        let bin = path.contains("/bin/");
+        FileContext {
+            path: path.to_string(),
+            compat,
+            panic_scope,
+            test_code,
+            bin,
+        }
+    }
+}
+
+/// Which rules run. Full runs (and the self-test) use [`RuleSet::all`],
+/// which includes the `lint-allow` hygiene rule policing the escape
+/// hatch itself; `--rule` narrows to exactly the named rules.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    enabled: Vec<&'static str>,
+}
+
+impl RuleSet {
+    /// Every rule.
+    pub fn all() -> RuleSet {
+        RuleSet {
+            enabled: rules::RULE_IDS.to_vec(),
+        }
+    }
+
+    /// Just the named rules. Unknown names are ignored here; the CLI
+    /// validates them first.
+    pub fn only(names: &[&str]) -> RuleSet {
+        RuleSet {
+            enabled: rules::RULE_IDS
+                .iter()
+                .filter(|id| names.contains(id))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Is `rule` enabled?
+    pub fn enabled(&self, rule: &str) -> bool {
+        self.enabled.contains(&rule)
+    }
+}
+
+/// Lint one in-memory source file (the unit-test entry point: fixture
+/// snippets use synthetic paths like `crates/server/src/lib.rs`).
+pub fn lint_source(path: &str, text: &str, ruleset: &RuleSet) -> Vec<Finding> {
+    let ctx = FileContext::classify(path);
+    let file = SourceFile::scan(text);
+    rules::check_file(&ctx, &file, ruleset)
+}
+
+/// Lint the workspace rooted at `root`: every tracked `.rs` file for
+/// the per-file rules, plus the wire-tag diff.
+pub fn lint_workspace(root: &Path, ruleset: &RuleSet) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let files = collect_rust_files(root)?;
+    if files.is_empty() {
+        // A root with no Rust sources is a mis-pointed --root, not a
+        // clean workspace; reporting "clean" here would pass vacuously.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no Rust sources found under {}", root.display()),
+        ));
+    }
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(lint_source(&rel, &text, ruleset));
+    }
+    if ruleset.enabled("wire") {
+        let api = std::fs::read_to_string(root.join(API_PATH))?;
+        match std::fs::read_to_string(root.join(GOLDEN_PATH)) {
+            Ok(golden) => findings.extend(rules::wire::check(
+                API_PATH,
+                &SourceFile::scan(&api),
+                GOLDEN_PATH,
+                &golden,
+            )),
+            Err(_) => findings.push(Finding::at(
+                GOLDEN_PATH,
+                1,
+                "wire",
+                "golden wire-tag registry is missing; restore it from version control".to_string(),
+            )),
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Workspace-relative paths of every `.rs` file under the source roots,
+/// sorted for deterministic output. `target/` and hidden directories
+/// are skipped.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative(&path, root));
+        }
+    }
+    Ok(())
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_the_layout() {
+        let compat = FileContext::classify("crates/compat/serde_json/src/lib.rs");
+        assert!(compat.compat && !compat.panic_scope);
+        let server = FileContext::classify("crates/server/src/lib.rs");
+        assert!(server.panic_scope && !server.test_code);
+        let module_tests = FileContext::classify("crates/server/src/tests.rs");
+        assert!(module_tests.test_code);
+        let integration = FileContext::classify("tests/lint_self.rs");
+        assert!(integration.test_code);
+        let bin = FileContext::classify("crates/server/src/bin/serve.rs");
+        assert!(bin.bin && bin.panic_scope);
+    }
+
+    #[test]
+    fn findings_render_stably() {
+        let f = Finding::at("a/b.rs", 7, "panic", "bad \"thing\"".to_string());
+        assert_eq!(f.render(), "a/b.rs:7: panic: bad \"thing\"");
+        assert_eq!(
+            f.render_json(),
+            "{\"file\":\"a/b.rs\",\"line\":7,\"rule\":\"panic\",\"message\":\"bad \\\"thing\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn rule_filtering_keeps_allow_hygiene_off_unless_requested() {
+        let only_panic = RuleSet::only(&["panic"]);
+        assert!(only_panic.enabled("panic"));
+        assert!(!only_panic.enabled("docs"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Rule `docs`: public API documentation coverage.
+//!
+//! Every `pub fn` / `pub struct` / `pub enum` in non-compat library
+//! code must carry a doc comment. Most workspace crates already enforce
+//! the broader `#![warn(missing_docs)]` (kept fatal by clippy's
+//! `-D warnings` in CI); this rule closes the gap for crates that have
+//! not opted in and for `pub` items in private modules, which
+//! `missing_docs` skips because they are not externally reachable —
+//! but the next maintainer still reads them.
+//!
+//! Recognized documentation: `///` lines directly above the item
+//! (attributes like `#[derive(…)]` or `#[inline]` may sit in between)
+//! or a `#[doc = …]` attribute. `pub(crate)` / `pub(super)` items are
+//! internal and exempt.
+
+use super::allowed;
+use crate::scan::SourceFile;
+use crate::{FileContext, Finding};
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileContext, file: &SourceFile, findings: &mut Vec<Finding>) {
+    if ctx.compat || ctx.test_code || ctx.bin {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(item) = pub_item(&line.code) else {
+            continue;
+        };
+        if !documented(file, idx) && !allowed(file, idx, "docs") {
+            findings.push(Finding::new(
+                ctx,
+                line.number,
+                "docs",
+                format!(
+                    "public {item} has no doc comment: say what it is for, not just what it is"
+                ),
+            ));
+        }
+    }
+}
+
+/// If the line declares a `pub fn` / `pub struct` / `pub enum`, the
+/// item kind and name for the diagnostic.
+fn pub_item(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let mut rest = trimmed.strip_prefix("pub ")?;
+    // Qualifiers between `pub` and the item keyword.
+    loop {
+        let mut advanced = false;
+        for q in ["const ", "async ", "unsafe ", "extern \"\" ", "extern "] {
+            if let Some(r) = rest.strip_prefix(q) {
+                rest = r;
+                advanced = true;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    for kw in ["fn ", "struct ", "enum "] {
+        if let Some(r) = rest.strip_prefix(kw) {
+            let name: String = r
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                return None;
+            }
+            return Some(format!("{} `{name}`", kw.trim_end()));
+        }
+    }
+    None
+}
+
+/// Walk upward over attributes (including multi-line ones) looking for
+/// a `///` doc line or `#[doc` attribute directly above the item.
+fn documented(file: &SourceFile, idx: usize) -> bool {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let line = &file.lines[j];
+        let code = line.code.trim();
+        if line.is_comment_only() {
+            return line.comment.trim_start().starts_with("///");
+        }
+        if code.starts_with("#[") || code.starts_with("#![") {
+            if code.contains("#[doc") {
+                return true;
+            }
+            continue;
+        }
+        if code.ends_with(']') && !code.is_empty() {
+            // Tail of a multi-line attribute: consume up to its `#[`.
+            while j > 0 && !file.lines[j].code.trim_start().starts_with("#[") {
+                j -= 1;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lint_source, RuleSet};
+
+    fn docs_rule() -> RuleSet {
+        RuleSet::only(&["docs"])
+    }
+
+    #[test]
+    fn undocumented_pub_items_are_flagged() {
+        let src = "pub fn run() {}\npub struct Config;\npub enum Mode { A }\n";
+        let findings = lint_source("crates/core/src/lib.rs", src, &docs_rule());
+        assert_eq!(findings.len(), 3, "{findings:?}");
+    }
+
+    #[test]
+    fn doc_comments_and_doc_attributes_satisfy() {
+        let src = r#"
+/// Runs the thing.
+pub fn run() {}
+
+/// Tuning knobs.
+#[derive(Debug, Clone)]
+pub struct Config;
+
+#[doc = "Operating mode."]
+pub enum Mode { A }
+"#;
+        assert!(lint_source("crates/core/src/lib.rs", src, &docs_rule()).is_empty());
+    }
+
+    #[test]
+    fn multiline_attribute_between_doc_and_item_is_skipped() {
+        let src = "/// Documented.\n#[derive(\n    Debug,\n    Clone,\n)]\npub struct Config;\n";
+        assert!(lint_source("crates/cube/src/cube.rs", src, &docs_rule()).is_empty());
+    }
+
+    #[test]
+    fn scoped_visibility_tests_compat_and_bins_are_exempt() {
+        let scoped = "pub(crate) fn internal() {}\npub(super) struct S;\n";
+        assert!(lint_source("crates/core/src/lib.rs", scoped, &docs_rule()).is_empty());
+        let undocumented = "pub fn run() {}\n";
+        assert!(
+            lint_source("crates/compat/serde/src/lib.rs", undocumented, &docs_rule()).is_empty()
+        );
+        assert!(
+            lint_source("crates/bench/src/bin/fig01.rs", undocumented, &docs_rule()).is_empty()
+        );
+        let in_test = "#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n";
+        assert!(lint_source("crates/core/src/lib.rs", in_test, &docs_rule()).is_empty());
+    }
+
+    #[test]
+    fn qualified_fns_are_recognized() {
+        let src = "pub const fn size() -> usize { 8 }\n";
+        let findings = lint_source("crates/sketches/src/api.rs", src, &docs_rule());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`size`"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Rule `panic`: panic-freedom in the concurrent core.
+//!
+//! A panicking shard worker parks every peer blocked on its bounded
+//! channel; a panicking request handler kills its connection and, under
+//! a poisoned mutex, can cascade into every later request. So in
+//! `crates/engine` and `crates/server` non-test code, constructs that
+//! can panic at runtime are denied:
+//!
+//! * `.unwrap()` / `.expect(…)`
+//! * `panic!(…)`, `todo!(…)`, `unimplemented!(…)`
+//! * `…[i].clone()` — indexing immediately followed by a clone, the
+//!   "grab a copy out of a collection" shape where a wrong index panics
+//!   before the clone can save you (use `.get(i)` and handle `None`).
+//!
+//! The escape hatch is `// lint:allow(panic): <justification>` on the
+//! offending line or the comment line above it; the justification is
+//! mandatory (enforced by the `lint-allow` rule).
+
+use super::allowed;
+use crate::scan::SourceFile;
+use crate::{FileContext, Finding};
+
+const PATTERNS: [(&str, &str); 6] = [
+    (
+        ".unwrap()",
+        "handle the failure or use `lint:allow(panic)` with a justification",
+    ),
+    (
+        ".expect(",
+        "return an error instead; a panicking worker parks its channel peers",
+    ),
+    ("panic!", "return an error instead of panicking"),
+    ("todo!", "unfinished code must not ship in the serving path"),
+    (
+        "unimplemented!",
+        "unfinished code must not ship in the serving path",
+    ),
+    (
+        "].clone()",
+        "indexing panics on a bad index before the clone; use `.get(i)`",
+    ),
+];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileContext, file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !ctx.panic_scope || ctx.test_code {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (pattern, hint) in PATTERNS {
+            if line.code.contains(pattern) && !allowed(file, idx, "panic") {
+                findings.push(Finding::new(
+                    ctx,
+                    line.number,
+                    "panic",
+                    format!("`{pattern}` can panic in non-test engine/server code: {hint}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lint_source, RuleSet};
+
+    fn panic_rule() -> RuleSet {
+        RuleSet::only(&["panic"])
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros_in_engine() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a == 0 { panic!("zero"); }
+    if b == 1 { todo!() }
+    unimplemented!()
+}
+"#;
+        let findings = lint_source("crates/engine/src/sharded.rs", src, &panic_rule());
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["panic"; 5], "{findings:?}");
+    }
+
+    #[test]
+    fn flags_index_then_clone() {
+        let src = "fn f(v: &[String]) -> String { v[0].clone() }\n";
+        let findings = lint_source("crates/server/src/lib.rs", src, &panic_rule());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains(".get(i)"));
+    }
+
+    #[test]
+    fn ignores_test_code_strings_and_other_crates() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source("crates/engine/src/lib.rs", in_test, &panic_rule()).is_empty());
+        let in_string = "fn f() { log(\"never .unwrap() here\"); }\n";
+        assert!(lint_source("crates/server/src/lib.rs", in_string, &panic_rule()).is_empty());
+        let other_crate = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_source("crates/core/src/solver.rs", other_crate, &panic_rule()).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n";
+        assert!(lint_source("crates/server/src/lib.rs", src, &panic_rule()).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_unjustified_does_not() {
+        let justified = "// lint:allow(panic): spawn fails only on OS exhaustion\nlet t = spawn().expect(\"spawn\");\n";
+        assert!(lint_source("crates/engine/src/sharded.rs", justified, &panic_rule()).is_empty());
+        let bare = "let t = spawn().expect(\"spawn\"); // lint:allow(panic)\n";
+        let findings = lint_source("crates/engine/src/sharded.rs", bare, &panic_rule());
+        assert_eq!(findings.len(), 1, "bare allow does not suppress");
+    }
+}

@@ -1,0 +1,129 @@
+//! Rule `unsafe`: unsafe containment.
+//!
+//! The hand-rolled compat crates (`crates/compat/`) are the only place
+//! `unsafe` is allowed — they are small, reviewed stand-ins for real
+//! crates, and the one spot where e.g. a validated-UTF-8 fast path pays
+//! for itself. Everywhere else the workspace builds with
+//! `unsafe_code = "deny"`, and this rule backs that up at the source
+//! level so a crate cannot quietly opt back in with
+//! `#![allow(unsafe_code)]`.
+//!
+//! Inside compat, every `unsafe` keyword must sit under a `// SAFETY:`
+//! comment (same line, or in the contiguous comment block directly
+//! above) spelling out the invariant the block relies on.
+
+use crate::scan::{contains_word, SourceFile};
+use crate::{FileContext, Finding};
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileContext, file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !ctx.compat && line.code.contains("allow(unsafe_code)") {
+            findings.push(Finding::new(
+                ctx,
+                line.number,
+                "unsafe",
+                "re-enabling `unsafe_code` outside crates/compat/ is forbidden".to_string(),
+            ));
+        }
+        if !contains_word(&line.code, "unsafe") {
+            continue;
+        }
+        if !ctx.compat {
+            findings.push(Finding::new(
+                ctx,
+                line.number,
+                "unsafe",
+                "`unsafe` is only permitted under crates/compat/; move the code there or find a safe formulation"
+                    .to_string(),
+            ));
+        } else if !has_safety_comment(file, idx) {
+            findings.push(Finding::new(
+                ctx,
+                line.number,
+                "unsafe",
+                "`unsafe` block without a `// SAFETY:` comment documenting the invariant it relies on"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// A `SAFETY:` marker on the line itself or in the contiguous
+/// comment-only block immediately above it.
+fn has_safety_comment(file: &SourceFile, idx: usize) -> bool {
+    if file.lines[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 && file.lines[j - 1].is_comment_only() {
+        j -= 1;
+        if file.lines[j].comment.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lint_source, RuleSet};
+
+    fn unsafe_rule() -> RuleSet {
+        RuleSet::only(&["unsafe"])
+    }
+
+    #[test]
+    fn unsafe_outside_compat_is_flagged_even_in_tests() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let findings = lint_source("crates/engine/src/sharded.rs", src, &unsafe_rule());
+        assert_eq!(findings.len(), 1);
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn t(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
+        assert_eq!(
+            lint_source("crates/core/src/lib.rs", in_test, &unsafe_rule()).len(),
+            1,
+            "containment applies to test code too"
+        );
+    }
+
+    #[test]
+    fn compat_unsafe_needs_a_safety_comment() {
+        let bare = "fn f(b: &[u8]) -> &str { unsafe { std::str::from_utf8_unchecked(b) } }\n";
+        let findings = lint_source("crates/compat/serde_json/src/lib.rs", bare, &unsafe_rule());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("SAFETY"));
+
+        let documented = "\
+// SAFETY: every byte was matched against b'0'..=b'9' above, so the
+// slice is ASCII and therefore valid UTF-8.
+fn f(b: &[u8]) -> &str { unsafe { std::str::from_utf8_unchecked(b) } }\n";
+        assert!(lint_source(
+            "crates/compat/serde_json/src/lib.rs",
+            documented,
+            &unsafe_rule()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn same_line_safety_comment_counts() {
+        let src =
+            "let s = unsafe { from_utf8_unchecked(b) }; // SAFETY: digits only, ASCII by scan\n";
+        assert!(lint_source("crates/compat/bytes/src/lib.rs", src, &unsafe_rule()).is_empty());
+    }
+
+    #[test]
+    fn allow_unsafe_code_outside_compat_is_flagged() {
+        let src = "#![allow(unsafe_code)]\nfn f() {}\n";
+        let findings = lint_source("crates/cube/src/lib.rs", src, &unsafe_rule());
+        assert_eq!(findings.len(), 1);
+        assert!(lint_source("crates/compat/serde_json/src/lib.rs", src, &unsafe_rule()).is_empty());
+    }
+
+    #[test]
+    fn the_word_unsafe_in_prose_or_identifiers_is_ignored() {
+        let src = "// this API is unsafe to misuse\nlet unsafe_looking = 1;\n";
+        assert!(lint_source("crates/core/src/lib.rs", src, &unsafe_rule()).is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! Rule `wire`: `SketchKind` wire-tag stability.
+//!
+//! The one-byte discriminants of `SketchKind` in
+//! `crates/sketches/src/api.rs` are the wire format's backend tags
+//! (PR 3): every serialized cube and sketch carries one, so a reused or
+//! renumbered tag silently decodes old bytes as the wrong backend. The
+//! committed registry `lint/wire_tags.golden` pins every tag ever
+//! shipped; against it, this rule fails on
+//!
+//! * **renumber** — a golden name now has a different code;
+//! * **removal** — a golden name no longer exists in the enum;
+//! * **reuse** — two enum entries share a code, or a new name takes a
+//!   code the registry already assigned to another name;
+//! * **implicit or unregistered tags** — every entry needs an explicit
+//!   `= N`, and a genuinely new backend must be *appended* to the
+//!   golden file (the one allowed evolution).
+
+use crate::scan::SourceFile;
+use crate::Finding;
+
+/// One `Name = code` tag entry, with the source line it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagEntry {
+    /// Variant name.
+    pub name: String,
+    /// One-byte wire tag.
+    pub code: u8,
+    /// 1-based source line (0 for golden entries).
+    pub line: usize,
+}
+
+/// Parse `enum SketchKind { … }` variants out of scanned api.rs source.
+/// `Err` carries findings for malformed entries (missing `= N`).
+pub fn parse_enum(api_path: &str, file: &SourceFile) -> Result<Vec<TagEntry>, Vec<Finding>> {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    let mut inside = false;
+    for line in &file.lines {
+        let code = line.code.trim();
+        if !inside {
+            if code.contains("enum SketchKind") {
+                inside = true;
+            }
+            continue;
+        }
+        // SketchKind variants are unit-with-discriminant, so the first
+        // closing brace at variant level ends the enum.
+        if code.starts_with('}') {
+            break;
+        }
+        // Variant lines look like `Name = N,`; attributes and the
+        // opening brace line are skipped.
+        let Some(first) = code.chars().next() else {
+            continue;
+        };
+        if !first.is_ascii_uppercase() {
+            continue;
+        }
+        let name: String = code
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let rest = code[name.len()..].trim().trim_end_matches(',').trim();
+        let Some(value) = rest.strip_prefix('=').map(str::trim) else {
+            findings.push(Finding::at(
+                api_path,
+                line.number,
+                "wire",
+                format!("SketchKind::{name} has no explicit discriminant; wire tags must be written `= N`"),
+            ));
+            continue;
+        };
+        match value.parse::<u8>() {
+            Ok(codepoint) => entries.push(TagEntry {
+                name,
+                code: codepoint,
+                line: line.number,
+            }),
+            Err(_) => findings.push(Finding::at(
+                api_path,
+                line.number,
+                "wire",
+                format!("SketchKind::{name} discriminant {value:?} is not a u8 literal"),
+            )),
+        }
+    }
+    if !inside {
+        findings.push(Finding::at(
+            api_path,
+            1,
+            "wire",
+            "no `enum SketchKind` found; the wire-tag registry has nothing to check".to_string(),
+        ));
+    }
+    if findings.is_empty() {
+        Ok(entries)
+    } else {
+        Err(findings)
+    }
+}
+
+/// Parse the golden registry (`Name = N` lines; `#` comments).
+pub fn parse_golden(golden_path: &str, text: &str) -> Result<Vec<TagEntry>, Vec<Finding>> {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = line.split_once('=').and_then(|(name, code)| {
+            let name = name.trim();
+            let ok_name = !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_');
+            match (ok_name, code.trim().parse::<u8>()) {
+                (true, Ok(code)) => Some((name.to_string(), code)),
+                _ => None,
+            }
+        });
+        match parsed {
+            Some((name, code)) => entries.push(TagEntry {
+                name,
+                code,
+                line: idx + 1,
+            }),
+            None => findings.push(Finding::at(
+                golden_path,
+                idx + 1,
+                "wire",
+                format!("malformed golden entry {line:?}; expected `Name = N`"),
+            )),
+        }
+    }
+    if findings.is_empty() {
+        Ok(entries)
+    } else {
+        Err(findings)
+    }
+}
+
+/// Diff enum source against the golden registry.
+pub fn check(
+    api_path: &str,
+    api: &SourceFile,
+    golden_path: &str,
+    golden_text: &str,
+) -> Vec<Finding> {
+    let source = match parse_enum(api_path, api) {
+        Ok(entries) => entries,
+        Err(findings) => return findings,
+    };
+    let golden = match parse_golden(golden_path, golden_text) {
+        Ok(entries) => entries,
+        Err(findings) => return findings,
+    };
+    let mut findings = Vec::new();
+    // Duplicate codes within the enum itself.
+    for (i, entry) in source.iter().enumerate() {
+        if let Some(first) = source[..i].iter().find(|e| e.code == entry.code) {
+            findings.push(Finding::at(
+                api_path,
+                entry.line,
+                "wire",
+                format!(
+                    "tag {} is reused: SketchKind::{} and SketchKind::{} share it",
+                    entry.code, first.name, entry.name
+                ),
+            ));
+        }
+    }
+    for pinned in &golden {
+        match source.iter().find(|e| e.name == pinned.name) {
+            None => findings.push(Finding::at(
+                api_path,
+                1,
+                "wire",
+                format!(
+                    "SketchKind::{} (tag {}) was removed; shipped tags must stay decodable forever",
+                    pinned.name, pinned.code
+                ),
+            )),
+            Some(entry) if entry.code != pinned.code => findings.push(Finding::at(
+                api_path,
+                entry.line,
+                "wire",
+                format!(
+                    "SketchKind::{} renumbered from pinned tag {} to {}; existing serialized data would decode as the wrong backend",
+                    entry.name, pinned.code, entry.code
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for entry in &source {
+        if golden.iter().any(|g| g.name == entry.name) {
+            continue;
+        }
+        if let Some(taken) = golden.iter().find(|g| g.code == entry.code) {
+            findings.push(Finding::at(
+                api_path,
+                entry.line,
+                "wire",
+                format!(
+                    "new SketchKind::{} reuses tag {}, which the registry pins to {}; pick the next free tag",
+                    entry.name, entry.code, taken.name
+                ),
+            ));
+        } else {
+            findings.push(Finding::at(
+                api_path,
+                entry.line,
+                "wire",
+                format!(
+                    "new SketchKind::{} (tag {}) is not in the registry; append `{} = {}` to {}",
+                    entry.name, entry.code, entry.name, entry.code, golden_path
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    const GOLDEN: &str = "# pinned\nMoments = 1\nMerge12 = 2\nExact = 9\n";
+
+    fn run(api_src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(api_src);
+        check(
+            "crates/sketches/src/api.rs",
+            &file,
+            "lint/wire_tags.golden",
+            GOLDEN,
+        )
+    }
+
+    #[test]
+    fn matching_enum_is_clean_and_append_is_allowed_once_registered() {
+        let clean =
+            "pub enum SketchKind {\n    Moments = 1,\n    Merge12 = 2,\n    Exact = 9,\n}\n";
+        assert!(run(clean).is_empty());
+        // A new tag appended to *both* the enum and the golden is clean.
+        let file = SourceFile::scan(
+            "pub enum SketchKind {\n    Moments = 1,\n    Merge12 = 2,\n    Exact = 9,\n    Kll = 10,\n}\n",
+        );
+        let golden = format!("{GOLDEN}Kll = 10\n");
+        assert!(check("api.rs", &file, "golden", &golden).is_empty());
+    }
+
+    #[test]
+    fn renumber_removal_reuse_and_unregistered_all_fail() {
+        let renumbered =
+            "pub enum SketchKind {\n    Moments = 4,\n    Merge12 = 2,\n    Exact = 9,\n}\n";
+        assert!(run(renumbered)[0].message.contains("renumbered"));
+
+        let removed = "pub enum SketchKind {\n    Moments = 1,\n    Exact = 9,\n}\n";
+        assert!(run(removed)[0].message.contains("removed"));
+
+        let duplicated =
+            "pub enum SketchKind {\n    Moments = 1,\n    Merge12 = 1,\n    Exact = 9,\n}\n";
+        assert!(run(duplicated).iter().any(|f| f.message.contains("reused")));
+
+        let retired_tag_taken =
+            "pub enum SketchKind {\n    Moments = 1,\n    Merge12 = 2,\n    Exact = 9,\n    Kll = 2,\n}\n";
+        assert!(run(retired_tag_taken)
+            .iter()
+            .any(|f| f.message.contains("pins to Merge12")));
+
+        let unregistered =
+            "pub enum SketchKind {\n    Moments = 1,\n    Merge12 = 2,\n    Exact = 9,\n    Kll = 10,\n}\n";
+        let findings = run(unregistered);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("append `Kll = 10`"));
+    }
+
+    #[test]
+    fn implicit_discriminants_fail() {
+        let implicit = "pub enum SketchKind {\n    Moments,\n    Merge12 = 2,\n    Exact = 9,\n}\n";
+        let findings = run(implicit);
+        assert!(findings[0].message.contains("no explicit discriminant"));
+    }
+
+    #[test]
+    fn doc_comments_and_attributes_inside_the_enum_are_skipped() {
+        let commented = "#[repr(u8)]\npub enum SketchKind {\n    /// The moments sketch.\n    Moments = 1,\n    #[allow(dead_code)]\n    Merge12 = 2,\n    Exact = 9,\n}\n";
+        assert!(run(commented).is_empty());
+    }
+}

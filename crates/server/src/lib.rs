@@ -48,7 +48,7 @@ use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
 use msketch_sketches::SketchSpec;
 use serde_json::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tiny_http::{Request, Response};
@@ -137,9 +137,18 @@ struct ServerState {
 }
 
 impl ServerState {
+    /// Lock the engine, shrugging off mutex poisoning. Handlers are
+    /// panic-free by construction (enforced by `msketch-lint`'s `panic`
+    /// rule), so poisoning can only come from a panic injected outside
+    /// this crate — and even then, one wrecked request must not cascade
+    /// a panic through every subsequent one.
+    fn lock_engine(&self) -> MutexGuard<'_, DynShardedCube> {
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Rotate a fresh snapshot into the slot; returns its epoch.
     fn refresh(&self) -> Result<u64, EngineError> {
-        let mut engine = self.engine.lock().expect("engine mutex poisoned");
+        let mut engine = self.lock_engine();
         let accepted = self.rows_accepted.load(Ordering::SeqCst);
         let snapshot = engine.snapshot()?;
         drop(engine);
@@ -156,6 +165,9 @@ impl ServerState {
 pub struct MsketchServer {
     state: Arc<ServerState>,
     http: Option<tiny_http::Server>,
+    /// Captured at bind time so it stays answerable after `shutdown()`
+    /// has torn the listener down.
+    addr: std::net::SocketAddr,
     refresher: Option<JoinHandle<()>>,
     refresher_stop: Arc<AtomicBool>,
 }
@@ -187,12 +199,15 @@ impl MsketchServer {
         let http = tiny_http::Server::bind(&config.addr, config.threads, move |req: &Request| {
             route(&handler_state, req)
         })?;
+        let addr = http.local_addr();
         let refresher_stop = Arc::new(AtomicBool::new(false));
-        let refresher = (config.refresh_interval > Duration::ZERO).then(|| {
+        let refresher = if config.refresh_interval > Duration::ZERO {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&refresher_stop);
             let interval = config.refresh_interval;
-            std::thread::Builder::new()
+            // A failed spawn is a startup error like a failed bind, not
+            // a panic: callers see it as `ServeError::Io`.
+            let handle = std::thread::Builder::new()
                 .name("msketch-refresher".to_string())
                 .spawn(move || {
                     while !stop.load(Ordering::SeqCst) {
@@ -215,12 +230,15 @@ impl MsketchServer {
                             return;
                         }
                     }
-                })
-                .expect("spawn snapshot refresher")
-        });
+                })?;
+            Some(handle)
+        } else {
+            None
+        };
         Ok(MsketchServer {
             state,
             http: Some(http),
+            addr,
             refresher,
             refresher_stop,
         })
@@ -228,10 +246,7 @@ impl MsketchServer {
 
     /// The bound address (with the real port when configured with 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
-        self.http
-            .as_ref()
-            .expect("server not yet shut down")
-            .local_addr()
+        self.addr
     }
 
     /// The snapshot queries are currently answered from. The same
@@ -257,12 +272,7 @@ impl MsketchServer {
         if let Some(mut http) = self.http.take() {
             http.shutdown();
         }
-        let _ = self
-            .state
-            .engine
-            .lock()
-            .expect("engine mutex poisoned")
-            .shutdown();
+        let _ = self.state.lock_engine().shutdown();
     }
 }
 
@@ -350,7 +360,7 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Response {
         };
         metric_values.push(x);
     }
-    let mut engine = state.engine.lock().expect("engine mutex poisoned");
+    let mut engine = state.lock_engine();
     if engine.is_shut_down() {
         // Single rows would otherwise sit in the writer buffer and
         // report success against a dead engine.
@@ -641,7 +651,7 @@ fn handle_search(state: &ServerState, req: &Request) -> Response {
 /// `GET /stats` — serving and staleness counters.
 fn handle_stats(state: &ServerState) -> Response {
     let snap = state.snapshot.load();
-    let engine = state.engine.lock().expect("engine mutex poisoned");
+    let engine = state.lock_engine();
     let engine_epoch = engine.current_epoch();
     let shards = engine.shard_count();
     let shut_down = engine.is_shut_down();

@@ -1,0 +1,89 @@
+//! The workspace must pass its own static-analysis rules.
+//!
+//! This is the lint's primary acceptance test: `msketch-lint` run over
+//! the real tree reports zero findings. If this test fails, either a
+//! change introduced a genuine violation (fix it, or add a justified
+//! `lint:allow`), or a rule regressed into a false positive (fix the
+//! rule and cover the case in its fixture tests under
+//! `crates/lint/src/rules/`).
+
+use msketch_lint::{lint_workspace, rules::RULE_IDS, RuleSet};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // This integration test lives in the facade package at the
+    // workspace root, so the manifest dir *is* the root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = lint_workspace(workspace_root(), &RuleSet::all()).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "msketch-lint found {} violation(s) in the workspace:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_is_clean_in_isolation() {
+    // `--rule <id>` must agree with the full run: no rule hides
+    // findings that only surface when others are disabled.
+    for rule in RULE_IDS {
+        let findings =
+            lint_workspace(workspace_root(), &RuleSet::only(&[rule])).expect("walk workspace");
+        assert!(
+            findings.is_empty(),
+            "rule {rule:?} alone found violations:\n{}",
+            findings
+                .iter()
+                .map(|f| f.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn golden_registry_pins_all_shipped_tags() {
+    // The registry must stay append-only and cover every tag the wire
+    // format has ever shipped; as of PR 6 that is tags 1 through 9.
+    let golden = std::fs::read_to_string(workspace_root().join("lint/wire_tags.golden"))
+        .expect("read wire_tags.golden");
+    let entries = msketch_lint::rules::wire::parse_golden("lint/wire_tags.golden", &golden)
+        .expect("golden parses");
+    let mut codes: Vec<u8> = entries.iter().map(|e| e.code).collect();
+    codes.sort_unstable();
+    assert_eq!(
+        codes,
+        (1..=9).collect::<Vec<u8>>(),
+        "golden registry must pin tags 1..=9 exactly once each"
+    );
+}
+
+#[test]
+fn violations_are_actually_detected() {
+    // Guard against the lint silently matching nothing: a fixture with
+    // one violation per rule must produce findings for each.
+    let panicky = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let findings = msketch_lint::lint_source(
+        "crates/engine/src/bad.rs",
+        panicky,
+        &RuleSet::only(&["panic"]),
+    );
+    assert_eq!(findings.len(), 1, "panic rule must fire on fixtures");
+
+    let unsafety = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let findings = msketch_lint::lint_source(
+        "crates/server/src/bad.rs",
+        unsafety,
+        &RuleSet::only(&["unsafe"]),
+    );
+    assert_eq!(findings.len(), 1, "unsafe rule must fire on fixtures");
+}
