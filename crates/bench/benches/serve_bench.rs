@@ -33,6 +33,7 @@ fn start_loaded_server(http_threads: usize) -> MsketchServer {
             threads: http_threads,
             refresh_interval: Duration::ZERO,
             engine: EngineConfig::with_shards(2).batch_rows(8192),
+            ..ServerConfig::default()
         },
     )
     .expect("start server");

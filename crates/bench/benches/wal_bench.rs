@@ -1,0 +1,166 @@
+//! WAL durability-cost benchmark (the measurement behind
+//! `BENCH_wal.json`): what does crash recovery cost the ingest path,
+//! and how does the fsync cadence trade durability for throughput?
+//!
+//! Three measurements:
+//!
+//! * criterion `wal_append/*` times one framed pane append per
+//!   iteration under each [`FsyncPolicy`] — the raw device-sync cost
+//!   the cadence amortizes;
+//! * criterion `checkpoint/*` times a full engine checkpoint (ingest a
+//!   pane, collect it, append, merge, snapshot) with the WAL off vs on
+//!   — the end-to-end tax on the serving layer's refresh cadence;
+//! * in bench mode (`cargo bench`), a hand-rolled section replays logs
+//!   of growing segment counts and prints recovery time — the restart
+//!   cost the log buys down.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msketch_cube::DynCube;
+use msketch_engine::{DynShardedCube, EngineConfig, FsyncPolicy, Wal, WalConfig};
+use msketch_sketches::SketchSpec;
+use std::time::Instant;
+
+const PANE_ROWS: u64 = 4096;
+const CHECKPOINT_ROWS: u64 = 2000;
+
+/// A representative retired pane: two dimensions' worth of cells over
+/// `PANE_ROWS` rows, framed exactly as `checkpoint` frames it.
+fn pane_bytes() -> Vec<u8> {
+    let mut cube = DynCube::from_spec(SketchSpec::moments(10), &["app", "region"]);
+    for i in 0..PANE_ROWS {
+        cube.insert(
+            &[
+                ["checkout", "search", "feed"][(i % 3) as usize],
+                ["eu", "us"][(i % 2) as usize],
+            ],
+            i as f64,
+        )
+        .expect("insert");
+    }
+    cube.to_bytes()
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("msketch-wal-bench-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn policies() -> [(&'static str, FsyncPolicy); 3] {
+    [
+        ("always", FsyncPolicy::Always),
+        ("every8", FsyncPolicy::EveryN(8)),
+        ("never", FsyncPolicy::Never),
+    ]
+}
+
+fn bench_append(c: &mut Criterion) {
+    let payload = pane_bytes();
+    let mut group = c.benchmark_group("wal_append");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (id, fsync) in policies() {
+        let dir = scratch(&format!("append-{id}"));
+        let (mut wal, _, _) = Wal::open(&dir, WalConfig { fsync }).expect("open wal");
+        let mut epoch = 0u64;
+        let payload = payload.clone();
+        group.bench_function(id, move |b| {
+            b.iter(|| {
+                epoch += 1;
+                black_box(wal.append(epoch, &payload).expect("append"))
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let spec = SketchSpec::moments(10);
+    let dims = ["app", "region"];
+    let config = || EngineConfig::with_shards(2).batch_rows(1024);
+    let mut group = c.benchmark_group("checkpoint");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+
+    let ingest = |engine: &mut DynShardedCube, base: u64| {
+        for i in base..base + CHECKPOINT_ROWS {
+            engine
+                .insert(
+                    &[
+                        ["checkout", "search", "feed"][(i % 3) as usize],
+                        ["eu", "us"][(i % 2) as usize],
+                    ],
+                    i as f64,
+                )
+                .expect("insert");
+        }
+    };
+
+    // Baseline: the same collect/merge/snapshot cycle with no log.
+    let mut engine = DynShardedCube::new(spec.clone(), &dims, config());
+    let mut base = 0u64;
+    group.bench_function("no_wal", move |b| {
+        b.iter(|| {
+            ingest(&mut engine, base);
+            base += CHECKPOINT_ROWS;
+            black_box(engine.snapshot().expect("snapshot").row_count())
+        })
+    });
+
+    for (id, fsync) in policies() {
+        let dir = scratch(&format!("checkpoint-{id}"));
+        let (mut engine, _) =
+            DynShardedCube::recover(spec.clone(), &dims, config(), &dir, WalConfig { fsync })
+                .expect("recover");
+        let mut base = 0u64;
+        group.bench_function(format!("wal_{id}"), move |b| {
+            b.iter(|| {
+                ingest(&mut engine, base);
+                base += CHECKPOINT_ROWS;
+                black_box(engine.checkpoint().expect("checkpoint").row_count())
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // The replay table prints its own results; only run it under
+    // `cargo bench` (the criterion smoke under `cargo test` skips it).
+    if !std::env::args().any(|a| a == "--bench") {
+        let _ = c;
+        return;
+    }
+    let payload = pane_bytes();
+    println!("\nwal_recovery: replay time vs log length ({PANE_ROWS}-row panes)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "segments", "log_bytes", "rows", "replay_ms"
+    );
+    for segments in [8u64, 32, 128] {
+        let dir = scratch(&format!("recovery-{segments}"));
+        {
+            let (mut wal, _, _) = Wal::open(&dir, WalConfig::default()).expect("open wal");
+            for epoch in 1..=segments {
+                wal.append(epoch, &payload).expect("append");
+            }
+        }
+        let t0 = Instant::now();
+        let (wal, base, report) = Wal::open(&dir, WalConfig::default()).expect("reopen wal");
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.segments_replayed as u64, segments);
+        println!(
+            "{:>10} {:>12} {:>12} {:>14.2}",
+            segments,
+            report.valid_bytes,
+            base.map_or(0, |cube| cube.row_count()),
+            elapsed_ms
+        );
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group!(benches, bench_append, bench_checkpoint, bench_recovery);
+criterion_main!(benches);

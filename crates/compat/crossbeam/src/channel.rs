@@ -45,6 +45,20 @@ impl<T> Sender<T> {
             SenderKind::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
         }
     }
+
+    /// Non-blocking send: [`TrySendError::Full`] instead of waiting
+    /// when a bounded channel is at capacity (the admission-queue /
+    /// load-shedding primitive). On an unbounded channel this never
+    /// reports `Full`.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        match &self.inner {
+            SenderKind::Unbounded(tx) => tx.send(msg).map_err(|e| TrySendError::Disconnected(e.0)),
+            SenderKind::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            }),
+        }
+    }
 }
 
 /// Receiving half of a channel. Cloneable: clones share one queue, so
@@ -136,6 +150,24 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Why a [`Sender::try_send`] refused the message (returned inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
 /// An unbounded FIFO channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
@@ -217,6 +249,25 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         tx.send(42).unwrap();
         assert_eq!(parked.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn try_send_sheds_instead_of_blocking() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        // Unbounded channels never report Full.
+        let (tx, rx) = unbounded();
+        for i in 0..1000 {
+            tx.try_send(i).unwrap();
+        }
+        drop(rx);
+        assert_eq!(tx.try_send(0), Err(TrySendError::Disconnected(0)));
     }
 
     #[test]

@@ -10,6 +10,10 @@ use std::time::Duration;
 /// How long a response may take before the client gives up.
 const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// A fully parsed response: `(status, headers, body)`. Header names are
+/// lowercased, in wire order.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
 /// One-shot GET. Returns `(status, body)`.
 pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
     Conn::connect(addr)?.get(path)
@@ -18,6 +22,13 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
 /// One-shot POST with a JSON body. Returns `(status, body)`.
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
     Conn::connect(addr)?.post(path, body)
+}
+
+/// One-shot GET that also returns the response headers (lowercased
+/// names, in order): `(status, headers, body)`. The load-shedding tests
+/// use this to assert on `Retry-After`.
+pub fn get_full(addr: SocketAddr, path: &str) -> std::io::Result<FullResponse> {
+    Conn::connect(addr)?.get_full(path)
 }
 
 /// A persistent (keep-alive) client connection.
@@ -41,12 +52,19 @@ impl Conn {
 
     /// Issue a GET and read the full response.
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        let (status, _, body) = self.request("GET", path, None)?;
+        Ok((status, body))
+    }
+
+    /// Issue a GET and read the full response including headers.
+    pub fn get_full(&mut self, path: &str) -> std::io::Result<FullResponse> {
         self.request("GET", path, None)
     }
 
     /// Issue a POST with a JSON body and read the full response.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
-        self.request("POST", path, Some(body))
+        let (status, _, body) = self.request("POST", path, Some(body))?;
+        Ok((status, body))
     }
 
     fn request(
@@ -54,7 +72,7 @@ impl Conn {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> std::io::Result<(u16, String)> {
+    ) -> std::io::Result<FullResponse> {
         let body = body.unwrap_or("");
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: msketch\r\nContent-Type: application/json\r\n\
@@ -67,7 +85,7 @@ impl Conn {
         self.read_response()
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    fn read_response(&mut self) -> std::io::Result<FullResponse> {
         let mut buf = std::mem::take(&mut self.leftover);
         let mut chunk = [0u8; 8192];
         let head_end = loop {
@@ -94,13 +112,17 @@ impl Conn {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
             })?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
                         std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                     })?;
                 }
+                headers.push((name, value));
             }
         }
         // Interim 100 Continue responses carry no body; skip to the real one.
@@ -124,6 +146,6 @@ impl Conn {
             String::from_utf8_lossy(&buf[body_start..body_start + content_length]).to_string();
         buf.drain(..body_start + content_length);
         self.leftover = buf;
-        Ok((status, body))
+        Ok((status, headers, body))
     }
 }

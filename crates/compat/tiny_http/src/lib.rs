@@ -90,6 +90,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `Retry-After`), written verbatim
+    /// after the standard ones.
+    pub headers: Vec<(&'static str, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -100,6 +103,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -109,19 +113,33 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
     }
 
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
     fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
@@ -139,6 +157,7 @@ pub fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "",
@@ -155,7 +174,8 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
-    /// requests on `threads` pool workers with the given handler.
+    /// requests on `threads` pool workers with the given handler, with
+    /// an unbounded admission queue.
     ///
     /// The handler runs on worker threads; a panicking handler is caught
     /// and answered with a 500, and the worker keeps serving.
@@ -163,11 +183,38 @@ impl Server {
     where
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
+        Self::bind_with_queue(addr, threads, 0, 1, handler)
+    }
+
+    /// Like [`Self::bind`], but with a *bounded* admission queue of
+    /// `queue_cap` waiting connections (0 = unbounded).
+    ///
+    /// When every pool worker is busy and the queue is full, the
+    /// acceptor sheds the connection immediately: it answers
+    /// `429 Too Many Requests` with a `Retry-After: {retry_after_secs}`
+    /// header and closes, rather than letting the backlog (and every
+    /// client's latency) grow without bound. Shedding happens on the
+    /// acceptor thread with a short write timeout, so a slow client
+    /// cannot stall admission for everyone else.
+    pub fn bind_with_queue<H>(
+        addr: &str,
+        threads: usize,
+        queue_cap: usize,
+        retry_after_secs: u64,
+        handler: H,
+    ) -> std::io::Result<Server>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let handler: Arc<dyn Fn(&Request) -> Response + Send + Sync> = Arc::new(handler);
-        let (conn_tx, conn_rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let (conn_tx, conn_rx) = if queue_cap == 0 {
+            crossbeam::channel::unbounded::<TcpStream>()
+        } else {
+            crossbeam::channel::bounded::<TcpStream>(queue_cap)
+        };
         let workers = (0..threads.max(1))
             .map(|i| {
                 let rx = conn_rx.clone();
@@ -194,10 +241,13 @@ impl Server {
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        if let Ok(stream) = stream {
-                            if conn_tx.send(stream).is_err() {
-                                break;
+                        let Ok(stream) = stream else { continue };
+                        match conn_tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(crossbeam::channel::TrySendError::Full(stream)) => {
+                                shed_connection(stream, retry_after_secs);
                             }
+                            Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
                         }
                     }
                 })
@@ -286,6 +336,24 @@ fn serve_connection(
             }
         }
     }
+}
+
+/// Load-shed one connection: best-effort `429` + `Retry-After`, then
+/// close. Runs on the acceptor thread — the short write timeout bounds
+/// how long a slow (or hostile) client can hold admission hostage.
+fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let body = format!("{{\"error\":\"server overloaded\",\"retry_after\":{retry_after_secs}}}");
+    let head = format!(
+        "HTTP/1.1 429 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Retry-After: {retry_after_secs}\r\nConnection: close\r\n\r\n",
+        reason(429),
+        body.len(),
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush());
 }
 
 fn wants_keep_alive(request: &Request) -> bool {
@@ -567,6 +635,50 @@ mod tests {
                 s.read_to_end(&mut out).unwrap_or(0) == 0
             }
         );
+    }
+
+    #[test]
+    fn extra_headers_reach_the_client() {
+        let server = Server::bind("127.0.0.1:0", 1, |_req: &Request| {
+            Response::json(503, "{\"error\":\"warming up\"}".to_string())
+                .with_header("Retry-After", "3")
+        })
+        .unwrap();
+        let (status, headers, _body) = client::get_full(server.local_addr(), "/x").unwrap();
+        assert_eq!(status, 503);
+        let retry = headers.iter().find(|(k, _)| k == "retry-after");
+        assert_eq!(retry.map(|(_, v)| v.as_str()), Some("3"));
+    }
+
+    #[test]
+    fn full_admission_queue_sheds_with_429_and_retry_after() {
+        // One worker, one queue slot: pin the worker on a slow request,
+        // park a second connection in the queue, and the third must be
+        // shed at accept time with 429 + Retry-After.
+        let server = Server::bind_with_queue("127.0.0.1:0", 1, 1, 7, |req: &Request| {
+            if req.path == "/slow" {
+                std::thread::sleep(Duration::from_millis(800));
+            }
+            Response::text(200, "ok")
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let mut pin = client::Conn::connect(addr).unwrap();
+        let pinner = std::thread::spawn(move || pin.get("/slow"));
+        // Let the worker dequeue the pinned connection, then fill the
+        // one queue slot with an idle connection.
+        std::thread::sleep(Duration::from_millis(200));
+        let _queued = client::Conn::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let (status, headers, body) = client::get_full(addr, "/shed-me").unwrap();
+        assert_eq!(status, 429, "{body}");
+        let retry = headers.iter().find(|(k, _)| k == "retry-after");
+        assert_eq!(retry.map(|(_, v)| v.as_str()), Some("7"));
+        assert!(body.contains("overloaded"), "{body}");
+        // The pinned request still completes: shedding affected only
+        // the overflow connection.
+        let (status, _) = pinner.join().unwrap().unwrap();
+        assert_eq!(status, 200);
     }
 
     #[test]

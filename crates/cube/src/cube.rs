@@ -360,7 +360,11 @@ impl<F: SummaryFactory> DataCube<F> {
     /// property the concurrent engine's snapshot-equivalence guarantee
     /// (and test suite) rests on. The sort compares short string tuples;
     /// its cost is negligible next to the summary merges it orders.
-    pub(crate) fn matching_sorted(&self, filter: &[Option<u32>]) -> Vec<CellRef<'_, F::Summary>> {
+    ///
+    /// Public so callers that need *both* the fold and its inputs (the
+    /// serving layer's deadline-budgeted quantile path folds cell by
+    /// cell) can reuse the exact merge order of [`Self::rollup`].
+    pub fn matching_sorted(&self, filter: &[Option<u32>]) -> Vec<CellRef<'_, F::Summary>> {
         let mut matching: Vec<(Vec<&str>, CellRef<'_, F::Summary>)> = self
             .cells
             .iter()

@@ -28,6 +28,7 @@ pub mod cube;
 pub mod dictionary;
 pub mod hash;
 pub mod query;
+pub mod segment;
 pub mod serde;
 pub mod window;
 
@@ -35,6 +36,7 @@ pub use batch::ColumnarBatch;
 pub use cube::{CellRef, DataCube};
 pub use dictionary::Dictionary;
 pub use query::{GroupReport, GroupThresholdQuery, QuantileReport, QueryEngine, ThresholdReport};
+pub use segment::{frame_segment, unframe_segment, Segment, SegmentError};
 pub use serde::DynCube;
 pub use window::{sliding_windows_remerge, sliding_windows_turnstile, TurnstileWindow};
 

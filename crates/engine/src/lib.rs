@@ -36,10 +36,14 @@
 
 mod sharded;
 mod snapshot;
+mod supervisor;
+mod wal;
 mod window;
 
 pub use sharded::{DynShardedCube, EngineConfig, ShardWriter, ShardedCube};
 pub use snapshot::EngineSnapshot;
+pub use supervisor::EngineStats;
+pub use wal::{FsyncPolicy, RecoveryReport, Wal, WalConfig, WalError};
 pub use window::SlidingEngine;
 
 /// Errors from the concurrent engine.
@@ -55,6 +59,11 @@ pub enum EngineError {
     /// Sliding-window serving requires moments-backed cells (turnstile
     /// updates need raw power sums); the cube's backend is different.
     NonMomentsBackend,
+    /// The engine has been shut down: workers are joined and no further
+    /// ingest, snapshot, or shutdown call can succeed.
+    ShutDown,
+    /// Durable-log I/O or replay failed (see [`WalError`]).
+    Wal(WalError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -66,6 +75,8 @@ impl std::fmt::Display for EngineError {
             EngineError::NonMomentsBackend => {
                 f.write_str("sliding-window serving requires moments-backed cells")
             }
+            EngineError::ShutDown => f.write_str("the engine has been shut down"),
+            EngineError::Wal(e) => write!(f, "durable log failed: {e}"),
         }
     }
 }
@@ -75,6 +86,12 @@ impl std::error::Error for EngineError {}
 impl From<msketch_cube::Error> for EngineError {
     fn from(e: msketch_cube::Error) -> Self {
         EngineError::Cube(e)
+    }
+}
+
+impl From<WalError> for EngineError {
+    fn from(e: WalError) -> Self {
+        EngineError::Wal(e)
     }
 }
 

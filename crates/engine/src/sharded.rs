@@ -1,12 +1,16 @@
 //! The sharded write path: routing, per-shard channels, worker threads.
 
 use crate::snapshot::EngineSnapshot;
+use crate::supervisor::{worker_loop, EngineStats, SharedStats};
+use crate::wal::{RecoveryReport, Wal, WalConfig};
 use crate::{EngineError, Result};
 use crossbeam::channel::{self, Receiver, Sender};
 use msketch_cube::hash::route_hash;
-use msketch_cube::{ColumnarBatch, DataCube};
+use msketch_cube::{ColumnarBatch, DataCube, DynCube};
 use msketch_sketches::traits::SummaryFactory;
 use msketch_sketches::SketchSpec;
+use std::path::Path;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Tuning knobs for [`ShardedCube`].
@@ -55,7 +59,7 @@ impl EngineConfig {
 /// Control and data messages flowing to one shard worker. Channels are
 /// FIFO per sender, so a control message acts as a barrier: the reply
 /// reflects every batch the same sender shipped before it.
-enum ShardMsg<F: SummaryFactory> {
+pub(crate) enum ShardMsg<F: SummaryFactory> {
     /// Ingest a columnar batch.
     Batch(ColumnarBatch),
     /// Reply with a clone of the shard-local cube; keep ingesting.
@@ -201,6 +205,15 @@ where
     writer: ShardWriter<F>,
     workers: Vec<JoinHandle<()>>,
     epoch: u64,
+    /// Checkpointed history: the union of every pane retired through
+    /// [`Self::checkpoint`] (seeded from WAL replay after
+    /// [`Self::recover`]). Folded into full snapshots; panes are
+    /// disjoint row sets, so base + live shards never double-counts.
+    base: Option<DataCube<F>>,
+    /// Durable pane log, when attached via [`Self::recover`].
+    wal: Option<Wal>,
+    /// Supervision counters shared with the shard workers.
+    stats: Arc<SharedStats>,
 }
 
 /// A sharded engine over runtime-chosen (boxed) sketch cells; snapshots
@@ -216,6 +229,7 @@ where
     /// given dimension names.
     pub fn new(factory: F, dim_names: &[&str], config: EngineConfig) -> Self {
         let shards = config.shards.max(1);
+        let stats = Arc::new(SharedStats::default());
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -223,10 +237,11 @@ where
             let cube = DataCube::new(factory.clone(), dim_names);
             let factory = factory.clone();
             let names: Vec<String> = dim_names.iter().map(|s| s.to_string()).collect();
+            let stats = Arc::clone(&stats);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("msketch-shard-{shard}"))
-                    .spawn(move || worker_loop(rx, cube, factory, names))
+                    .spawn(move || worker_loop(rx, cube, factory, names, stats))
                     // lint:allow(panic): thread spawn fails only on OS
                     // resource exhaustion during engine construction — no
                     // channel peer exists yet to park, and no caller has
@@ -243,6 +258,9 @@ where
             writer,
             workers,
             epoch: 0,
+            base: None,
+            wal: None,
+            stats,
         }
     }
 
@@ -279,13 +297,46 @@ where
         self.workers.is_empty()
     }
 
+    /// Typed guard: every mutating entry point refuses with
+    /// [`EngineError::ShutDown`] once the workers are gone, instead of
+    /// surfacing the accidental-looking `Disconnected` a dead channel
+    /// would produce.
+    fn ensure_running(&self) -> Result<()> {
+        if self.is_shut_down() {
+            return Err(EngineError::ShutDown);
+        }
+        Ok(())
+    }
+
+    /// Supervision and durability counters: worker restarts, rows lost
+    /// to rollbacks, rows applied, WAL append totals.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            worker_restarts: self.stats.restarts(),
+            rows_lost: self.stats.rows_lost(),
+            rows_applied: self.stats.rows_applied(),
+            wal_segments: self.wal.as_ref().map_or(0, Wal::segments_appended),
+            wal_bytes: self.wal.as_ref().map_or(0, Wal::bytes_appended),
+            wal_append_errors: self.wal.as_ref().map_or(0, Wal::append_errors),
+            shut_down: self.is_shut_down(),
+        }
+    }
+
+    /// Is a durable pane log attached (engine built via
+    /// [`Self::recover`])?
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
     /// Ingest one row through the engine's own writer.
     pub fn insert(&mut self, dim_values: &[&str], metric: f64) -> Result<()> {
+        self.ensure_running()?;
         self.writer.insert(dim_values, metric)
     }
 
     /// Ship this handle's buffered rows to their shards.
     pub fn flush(&mut self) -> Result<()> {
+        self.ensure_running()?;
         self.writer.flush()
     }
 
@@ -321,7 +372,13 @@ where
         self.collect(true)
     }
 
+    fn empty_cube(&self) -> DataCube<F> {
+        let names: Vec<&str> = self.dim_names.iter().map(String::as_str).collect();
+        DataCube::new(self.factory.clone(), &names)
+    }
+
     fn collect(&mut self, rotate: bool) -> Result<EngineSnapshot<F>> {
+        self.ensure_running()?;
         self.writer.flush()?;
         // Ask every shard first, then await the replies: workers clone /
         // swap their cubes concurrently with each other.
@@ -336,8 +393,13 @@ where
             sender.send(msg).map_err(|_| EngineError::Disconnected)?;
             replies.push(rx);
         }
-        let names: Vec<&str> = self.dim_names.iter().map(String::as_str).collect();
-        let mut merged = DataCube::new(self.factory.clone(), &names);
+        // A full snapshot starts from the checkpointed base (the union
+        // of retired panes); a rotation holds only the live pane, so it
+        // starts empty. Base rows and live-shard rows are disjoint.
+        let mut merged = match (&self.base, rotate) {
+            (Some(base), false) => base.clone(),
+            _ => self.empty_cube(),
+        };
         // Fold in shard order: each cell lives on exactly one shard, so
         // every snapshot cell is built by one clone + per-shard-ordered
         // merges — equal ingest histories produce bit-identical
@@ -359,11 +421,14 @@ where
     /// while extra [`ShardWriter`]s still hold senders — those writers'
     /// subsequent sends fail with [`EngineError::Disconnected`] rather
     /// than leaving a parked worker behind on exit (the server Ctrl-C
-    /// path). Idempotent; also runs on drop.
+    /// path). Also runs on drop.
+    ///
+    /// Calling again after a shutdown returns
+    /// [`EngineError::ShutDown`] — as do `insert`, `flush`, `snapshot`
+    /// and `rotate_pane` — so a caller holding a stale handle sees a
+    /// typed "engine is gone" instead of a misleading channel error.
     pub fn shutdown(&mut self) -> Result<()> {
-        if self.workers.is_empty() {
-            return Ok(());
-        }
+        self.ensure_running()?;
         // Keep going even if a shard already died: the remaining workers
         // still need their marker and join.
         let flush_result = self.writer.flush();
@@ -394,38 +459,89 @@ where
     }
 }
 
-fn worker_loop<F>(
-    rx: Receiver<ShardMsg<F>>,
-    mut cube: DataCube<F>,
-    factory: F,
-    dim_names: Vec<String>,
-) where
-    F: SummaryFactory + Clone,
-{
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Batch(batch) => {
-                // Arity was checked at the writer, so a failure here is
-                // a pipeline bug. Exit the loop instead of panicking:
-                // dropping the receiver surfaces as `Disconnected` at
-                // the next engine call, without parking channel peers
-                // behind a dead worker the way an unwound stack would.
-                if cube.insert_batch(&batch).is_err() {
-                    break;
+impl DynShardedCube {
+    /// Open (or create) the durable pane WAL under `dir`, replay its
+    /// valid segment prefix into the engine's base cube, and return
+    /// the recovered engine plus a [`RecoveryReport`].
+    ///
+    /// This is "new with durability": on a fresh directory it returns
+    /// an empty engine with the WAL attached; after a crash it returns
+    /// an engine whose snapshots are *bit-exact* with the last
+    /// completed [`Self::checkpoint`] before the crash (replay folds
+    /// the same panes with the same `merge_cube` calls in the same
+    /// order). Torn tails are truncated, mid-log corruption shortens
+    /// the prefix and is surfaced in [`RecoveryReport::tail`] — replay
+    /// never panics and corruption never fails the open.
+    ///
+    /// The engine's epoch resumes from the last replayed segment's, so
+    /// segment epochs stay strictly increasing across restarts.
+    pub fn recover(
+        spec: SketchSpec,
+        dim_names: &[&str],
+        config: EngineConfig,
+        dir: impl AsRef<Path>,
+        wal_config: WalConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (wal, base, report) = Wal::open(dir.as_ref(), wal_config).map_err(EngineError::Wal)?;
+        if let Some(recovered) = &base {
+            // Eager schema/backend checks: a WAL from a different
+            // engine must fail loudly now, not at the first snapshot's
+            // merge.
+            if recovered.dim_names() != dim_names {
+                return Err(EngineError::Cube(msketch_cube::Error::SchemaMismatch {
+                    expected: dim_names.iter().map(|s| s.to_string()).collect(),
+                    got: recovered.dim_names().to_vec(),
+                }));
+            }
+            if recovered.spec().kind() != spec.kind() {
+                return Err(EngineError::Cube(msketch_cube::Error::BackendMismatch {
+                    expected: spec.build().name(),
+                    got: recovered.spec().build().name(),
+                }));
+            }
+        }
+        let mut engine = Self::new(spec, dim_names, config);
+        engine.epoch = report.last_epoch;
+        engine.base = base;
+        engine.wal = Some(wal);
+        Ok((engine, report))
+    }
+
+    /// Retire the current pane durably: rotate it out of the shards,
+    /// append it to the WAL (when attached), merge it into the base
+    /// cube, and return a full snapshot (base = every checkpointed row
+    /// so far).
+    ///
+    /// This is the serving layer's refresh primitive when durability
+    /// is on: each checkpoint logs only the rows since the previous
+    /// one, so WAL traffic is proportional to ingest, not to history.
+    /// A WAL append failure degrades durability for this pane only —
+    /// the pane is still merged into the in-memory base before the
+    /// error is returned, so queries stay consistent and a later
+    /// recovery simply replays one pane fewer.
+    pub fn checkpoint(&mut self) -> Result<EngineSnapshot<SketchSpec>> {
+        let pane = self.collect(true)?;
+        let epoch = pane.epoch();
+        let mut wal_failure = None;
+        if pane.row_count() > 0 {
+            if let Some(wal) = self.wal.as_mut() {
+                // Log before apply: a crash between the append and the
+                // merge replays the pane from disk instead of losing it.
+                if let Err(e) = wal.append(epoch, &pane.cube().to_bytes()) {
+                    wal_failure = Some(e);
                 }
             }
-            ShardMsg::Snapshot(reply) => {
-                // The engine may already have given up on this snapshot
-                // (send error elsewhere); dropping the reply is fine.
-                let _ = reply.send(cube.clone());
-            }
-            ShardMsg::Rotate(reply) => {
-                let names: Vec<&str> = dim_names.iter().map(String::as_str).collect();
-                let fresh = DataCube::new(factory.clone(), &names);
-                let _ = reply.send(std::mem::replace(&mut cube, fresh));
-            }
-            ShardMsg::Shutdown => break,
+            let names: Vec<&str> = self.dim_names.iter().map(String::as_str).collect();
+            let base = self
+                .base
+                .get_or_insert_with(|| DynCube::from_spec(self.factory.clone(), &names));
+            base.merge_cube(pane.cube())?;
         }
+        if let Some(e) = wal_failure {
+            return Err(EngineError::Wal(e));
+        }
+        let full = self.base.clone().unwrap_or_else(|| self.empty_cube());
+        Ok(EngineSnapshot::new(epoch, full))
     }
 }
 
@@ -629,11 +745,67 @@ mod tests {
         // the leak the Drop-ordering fix exists to prevent.
         engine.shutdown().unwrap();
         assert!(engine.is_shut_down());
-        engine.shutdown().unwrap(); // idempotent
-        assert!(matches!(engine.snapshot(), Err(EngineError::Disconnected)));
+        // Every later engine call reports the typed ShutDown error —
+        // including a second shutdown (regression: it used to succeed
+        // silently) and ingest (it used to buffer, then fail at flush
+        // with a misleading Disconnected).
+        assert!(matches!(engine.shutdown(), Err(EngineError::ShutDown)));
+        assert!(matches!(engine.snapshot(), Err(EngineError::ShutDown)));
+        assert!(matches!(engine.rotate_pane(), Err(EngineError::ShutDown)));
+        assert!(matches!(engine.flush(), Err(EngineError::ShutDown)));
         let (dims, metric) = row(0);
+        assert!(matches!(
+            engine.insert(&dims, metric),
+            Err(EngineError::ShutDown)
+        ));
+        assert!(engine.stats().shut_down);
+        // A detached writer has no engine handle to consult; its sends
+        // land on dead channels and surface as Disconnected.
         side.insert(&dims, metric).unwrap(); // buffered locally
         assert!(matches!(side.flush(), Err(EngineError::Disconnected)));
+    }
+
+    #[test]
+    fn checkpoint_accumulates_panes_into_full_snapshots() {
+        // No WAL attached: checkpoint still retires panes into the
+        // base cube and returns cumulative snapshots.
+        let mut engine = DynShardedCube::new(
+            SketchSpec::moments(8),
+            &["region"],
+            EngineConfig::with_shards(2).batch_rows(16),
+        );
+        assert!(!engine.wal_attached());
+        for i in 0..300u64 {
+            engine
+                .insert(&[["eu", "us"][(i % 2) as usize]], i as f64)
+                .unwrap();
+        }
+        let first = engine.checkpoint().unwrap();
+        assert_eq!(first.row_count(), 300);
+        for i in 300..500u64 {
+            engine
+                .insert(&[["eu", "us"][(i % 2) as usize]], i as f64)
+                .unwrap();
+        }
+        let second = engine.checkpoint().unwrap();
+        assert_eq!(second.row_count(), 500, "base accumulates both panes");
+        assert_eq!(second.epoch(), 2);
+        // A plain snapshot also sees the base plus (empty) live shards.
+        assert_eq!(engine.snapshot().unwrap().row_count(), 500);
+        // An empty checkpoint appends nothing and keeps the base.
+        let third = engine.checkpoint().unwrap();
+        assert_eq!(third.row_count(), 500);
+    }
+
+    #[test]
+    fn stats_start_clean() {
+        let engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(2),
+        );
+        let stats = engine.stats();
+        assert_eq!(stats, EngineStats::default());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Shard-worker supervision: panic containment, checkpoint rollback,
+//! and restart accounting.
+//!
+//! Each shard worker wraps its batch ingestion in `catch_unwind`. A
+//! panic mid-batch (a poisoned batch, a sketch-backend bug, or an armed
+//! `engine::worker_panic` failpoint) cannot be allowed to leave the
+//! shard cube half-mutated — a torn insert would silently skew every
+//! later snapshot. Instead the worker keeps a *checkpoint*: a clone of
+//! its cube taken at each epoch boundary (snapshot or rotate reply).
+//! On panic it rolls the cube back to the checkpoint, counts the rows
+//! discarded (everything applied since the boundary plus the poisoned
+//! batch), bumps the restart counter, and keeps draining its channel —
+//! the thread itself never dies, so per-sender FIFO ordering and the
+//! shutdown barrier survive any number of restarts.
+//!
+//! The trade: a restart rewinds the shard to its last epoch boundary,
+//! trading bounded, *accounted* data loss ([`EngineStats::rows_lost`])
+//! for a guaranteed-consistent cube. Engines that snapshot or
+//! checkpoint regularly keep the exposure window to one epoch.
+
+use crate::sharded::ShardMsg;
+use msketch_cube::DataCube;
+use msketch_sketches::traits::SummaryFactory;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock-free counters shared between shard workers and the engine
+/// handle; folded into [`EngineStats`] on demand.
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    pub(crate) restarts: AtomicU64,
+    pub(crate) rows_lost: AtomicU64,
+    pub(crate) rows_applied: AtomicU64,
+}
+
+/// A point-in-time view of the engine's health counters
+/// ([`ShardedCube::stats`](crate::ShardedCube::stats)); the serving
+/// layer surfaces these through `/health` and `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Times a shard worker panicked mid-batch and was rolled back to
+    /// its checkpoint. Zero in a healthy engine.
+    pub worker_restarts: u64,
+    /// Rows discarded by those rollbacks (rows applied since the last
+    /// epoch boundary plus the poisoned batch itself).
+    pub rows_lost: u64,
+    /// Rows successfully applied across all shard workers.
+    pub rows_applied: u64,
+    /// Segments appended to the WAL this process lifetime (0 when no
+    /// WAL is attached).
+    pub wal_segments: u64,
+    /// Bytes appended to the WAL this process lifetime.
+    pub wal_bytes: u64,
+    /// WAL appends that failed (durability degraded, memory intact).
+    pub wal_append_errors: u64,
+    /// Has the engine been shut down?
+    pub shut_down: bool,
+}
+
+impl SharedStats {
+    pub(crate) fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+    pub(crate) fn rows_lost(&self) -> u64 {
+        self.rows_lost.load(Ordering::Relaxed)
+    }
+    pub(crate) fn rows_applied(&self) -> u64 {
+        self.rows_applied.load(Ordering::Relaxed)
+    }
+}
+
+/// The supervised shard-worker loop. Runs on a dedicated thread owned
+/// by [`ShardedCube`](crate::ShardedCube); exits when a shutdown marker
+/// arrives or every sender is dropped.
+pub(crate) fn worker_loop<F>(
+    rx: crossbeam::channel::Receiver<ShardMsg<F>>,
+    mut cube: DataCube<F>,
+    factory: F,
+    dim_names: Vec<String>,
+    stats: Arc<SharedStats>,
+) where
+    F: SummaryFactory + Clone,
+{
+    // The rollback target: the cube as of the last epoch boundary.
+    // Cloning an empty cube is a few allocations, so starting with a
+    // checkpoint costs nothing until rows arrive.
+    let mut checkpoint = cube.clone();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(batch) => {
+                // Fault injection: a worker that vanishes without
+                // unwinding (models a killed thread / broken peer).
+                // Dropping the receiver surfaces as `Disconnected` at
+                // the next engine call.
+                if failpoint::fail_if("engine::worker_exit") {
+                    return;
+                }
+                let rows = batch.len() as u64;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    // `sleep_if` panics when the site is armed with
+                    // `panic` — the supervision tests' injection point —
+                    // and injects latency when armed with `sleep`.
+                    failpoint::sleep_if("engine::worker_panic");
+                    cube.insert_batch(&batch)
+                }));
+                match outcome {
+                    Ok(Ok(())) => {
+                        stats.rows_applied.fetch_add(rows, Ordering::Relaxed);
+                    }
+                    // Arity was checked at the writer, so a typed error
+                    // here is a pipeline bug. Exit the loop instead of
+                    // panicking: dropping the receiver surfaces as
+                    // `Disconnected` at the next engine call, without
+                    // parking channel peers behind a dead worker.
+                    Ok(Err(_)) => return,
+                    Err(_) => {
+                        // Panic mid-batch: the cube may hold a torn
+                        // insert. Roll back to the checkpoint and
+                        // account for everything discarded — rows that
+                        // had landed since the boundary plus the batch
+                        // that blew up.
+                        let discarded = cube
+                            .row_count()
+                            .saturating_sub(checkpoint.row_count())
+                            .saturating_add(rows);
+                        cube = checkpoint.clone();
+                        stats.rows_lost.fetch_add(discarded, Ordering::Relaxed);
+                        stats.restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            ShardMsg::Snapshot(reply) => {
+                // Epoch boundary: refresh the rollback target, then
+                // answer. The engine may already have given up on this
+                // snapshot (send error elsewhere); dropping the reply
+                // is fine.
+                checkpoint = cube.clone();
+                let _ = reply.send(checkpoint.clone());
+            }
+            ShardMsg::Rotate(reply) => {
+                let names: Vec<&str> = dim_names.iter().map(String::as_str).collect();
+                let fresh = DataCube::new(factory.clone(), &names);
+                let retired = std::mem::replace(&mut cube, fresh);
+                // The new pane starts empty; so does its checkpoint.
+                checkpoint = cube.clone();
+                let _ = reply.send(retired);
+            }
+            ShardMsg::Shutdown => return,
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Durable pane WAL: crash recovery for the sharded engine.
+//!
+//! The moments sketch makes durability unusually cheap: a retired pane
+//! is an immutable mergeable cube, and merging panes back together is
+//! bit-exact ([`DataCube::merge_cube`](msketch_cube::DataCube::merge_cube)
+//! folds cells in decoded-value order). So the log never records rows —
+//! it records *panes*: each [`ShardedCube::checkpoint`] appends the
+//! retired pane's [`DynCube`] wire image as one CRC-framed segment
+//! ([`msketch_cube::segment`]), and recovery is nothing more than
+//! "replay the valid segment prefix, merging as you go".
+//!
+//! ```text
+//! segments.wal:  [frame epoch=1][frame epoch=2]...[frame epoch=k][torn tail?]
+//!                 └──────────────── replayed ─────────────────┘ └ truncated ┘
+//! ```
+//!
+//! Crash-consistency contract:
+//!
+//! * an interrupted append leaves a *torn tail* — recovery truncates it
+//!   and reports the bytes dropped, it never fails the open;
+//! * mid-log corruption (a bad CRC or magic before the tail) also ends
+//!   the valid prefix, but is surfaced in
+//!   [`RecoveryReport::tail`] so operators can distinguish "normal
+//!   crash" from "disk ate my log";
+//! * replay is panic-free on arbitrary bytes (property-tested in
+//!   `tests/wal_recovery.rs`);
+//! * a failed [`Wal::append`] degrades durability for that pane only —
+//!   the pane is still merged into the in-memory base cube, so queries
+//!   stay consistent and the error is reported to the caller.
+//!
+//! Fsync cadence is the throughput knob ([`FsyncPolicy`]); the
+//! `wal_bench` benchmark records the sweep in `BENCH_wal.json`.
+
+use msketch_cube::segment::{frame_segment, unframe_segment, SegmentError};
+use msketch_cube::DynCube;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// How often appends reach the disk platter, from safest to fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: a completed [`checkpoint`] is
+    /// durable against power loss, not just process crash.
+    ///
+    /// [`checkpoint`]: crate::ShardedCube::checkpoint
+    Always,
+    /// `fsync` once per N appends: bounds the power-loss exposure to
+    /// the last N panes while amortizing the sync cost.
+    EveryN(u64),
+    /// Never `fsync` explicitly: appends survive process crashes (the
+    /// kernel holds the pages) but not power loss. The right choice
+    /// when the WAL is a warm-restart convenience, not an audit log.
+    Never,
+}
+
+/// Configuration for [`Wal::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Fsync cadence; defaults to [`FsyncPolicy::Always`].
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// Why WAL I/O or replay failed.
+///
+/// `std::io::Error` is neither `Clone` nor `PartialEq`, so I/O failures
+/// carry their rendered message — [`EngineError`](crate::EngineError)
+/// derives both and WAL errors must nest inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// Filesystem operation failed (open, read, write, sync, truncate).
+    Io(String),
+    /// A log frame failed to parse; recovery ends the valid prefix at
+    /// the reported offset.
+    Segment(SegmentError),
+    /// A frame's CRC checked out but its payload is not a decodable
+    /// cube — corruption the checksum happened to miss, or a foreign
+    /// file. Ends the valid prefix.
+    Decode {
+        /// Stream offset of the undecodable frame.
+        offset: usize,
+        /// The cube decoder's rendered error.
+        detail: String,
+    },
+    /// A decoded segment does not merge with the segments before it
+    /// (schema or backend mismatch — logs from different engines were
+    /// mixed). Ends the valid prefix.
+    Merge {
+        /// Stream offset of the unmergeable frame.
+        offset: usize,
+        /// The cube merge's rendered error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o: {e}"),
+            WalError::Segment(e) => write!(f, "wal frame: {e}"),
+            WalError::Decode { offset, detail } => {
+                write!(f, "wal segment at byte {offset} does not decode: {detail}")
+            }
+            WalError::Merge { offset, detail } => {
+                write!(f, "wal segment at byte {offset} does not merge: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<SegmentError> for WalError {
+    fn from(e: SegmentError) -> Self {
+        WalError::Segment(e)
+    }
+}
+
+fn io_err(context: &str, e: std::io::Error) -> WalError {
+    WalError::Io(format!("{context}: {e}"))
+}
+
+/// What [`Wal::open`] found and did while replaying an existing log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Valid segments replayed into the recovered base cube.
+    pub segments_replayed: usize,
+    /// Total rows in the recovered base cube.
+    pub rows_recovered: u64,
+    /// Bytes of valid segment prefix kept.
+    pub valid_bytes: u64,
+    /// Bytes truncated off the tail (torn or corrupt).
+    pub truncated_bytes: u64,
+    /// Epoch of the last replayed segment (0 when none).
+    pub last_epoch: u64,
+    /// Why replay stopped before the end of the file, when it did:
+    /// `Some(Segment(Torn ..))` is the expected shape after a crash
+    /// mid-append; anything else means mid-log corruption.
+    pub tail: Option<WalError>,
+}
+
+/// An open, replayed segment log: the append handle the engine holds.
+///
+/// One file, `segments.wal`, inside the directory handed to
+/// [`Wal::open`]; segments are framed by [`msketch_cube::segment`] and
+/// appended strictly in epoch order by
+/// [`ShardedCube::checkpoint`](crate::ShardedCube::checkpoint).
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    fsync: FsyncPolicy,
+    appends_since_sync: u64,
+    segments_appended: u64,
+    bytes_appended: u64,
+    append_errors: u64,
+}
+
+impl Wal {
+    /// File name of the segment log inside the WAL directory.
+    pub const LOG_FILE: &'static str = "segments.wal";
+
+    /// Open (creating if absent) the segment log under `dir`, replay
+    /// its valid prefix into a base cube, and truncate any invalid
+    /// tail.
+    ///
+    /// Returns the append handle, the recovered cube (`None` when the
+    /// log held no segments), and a [`RecoveryReport`]. Corruption
+    /// never fails the open — it shortens the valid prefix and is
+    /// reported in [`RecoveryReport::tail`]. Only real I/O failures
+    /// return `Err`.
+    pub fn open(
+        dir: &Path,
+        config: WalConfig,
+    ) -> Result<(Wal, Option<DynCube>, RecoveryReport), WalError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create wal dir", e))?;
+        let path = dir.join(Self::LOG_FILE);
+        let stream = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read wal", e)),
+        };
+
+        let (base, report) = replay(&stream);
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open wal", e))?;
+        if report.truncated_bytes > 0 {
+            // Drop the torn/corrupt tail so the next append starts at a
+            // frame boundary; without this, replay after the next crash
+            // would stop at the old damage and lose the new segments.
+            file.set_len(report.valid_bytes)
+                .map_err(|e| io_err("truncate wal tail", e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek wal end", e))?;
+
+        Ok((
+            Wal {
+                path,
+                file,
+                fsync: config.fsync,
+                appends_since_sync: 0,
+                segments_appended: 0,
+                bytes_appended: 0,
+                append_errors: 0,
+            },
+            base,
+            report,
+        ))
+    }
+
+    /// Append one segment (a `DynCube` wire image) under `epoch`,
+    /// syncing per the configured [`FsyncPolicy`]. Returns the frame
+    /// size written.
+    pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<u64, WalError> {
+        let frame = frame_segment(epoch, payload);
+        // Fault injection: crash mid-append. Writing exactly half the
+        // frame leaves the torn-tail shape a real crash leaves; the
+        // error models the process dying before the write completed.
+        if failpoint::fail_if("engine::wal_torn_append") {
+            let half = &frame[..frame.len() / 2];
+            self.file
+                .write_all(half)
+                .and_then(|()| self.file.sync_data())
+                .map_err(|e| io_err("append wal (injected torn write)", e))?;
+            self.append_errors += 1;
+            return Err(WalError::Io("injected torn append".to_string()));
+        }
+        if let Err(e) = self.write_frame(&frame) {
+            self.append_errors += 1;
+            return Err(e);
+        }
+        self.segments_appended += 1;
+        self.bytes_appended += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    fn write_frame(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        self.file
+            .write_all(frame)
+            .map_err(|e| io_err("append wal", e))?;
+        self.appends_since_sync += 1;
+        let due = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force buffered appends to disk regardless of policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data().map_err(|e| io_err("sync wal", e))?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Path of the segment log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Segments appended through this handle (excludes replayed ones).
+    pub fn segments_appended(&self) -> u64 {
+        self.segments_appended
+    }
+
+    /// Bytes appended through this handle (excludes replayed ones).
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Appends that failed through this handle.
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors
+    }
+}
+
+/// Replay a log byte stream: fold the longest usable segment prefix
+/// into a base cube, exactly as the live engine folds retired panes
+/// (empty cube, then `merge_cube` per pane in epoch order — bit-exact
+/// with the never-crashed path). Panic-free on arbitrary input.
+fn replay(stream: &[u8]) -> (Option<DynCube>, RecoveryReport) {
+    let mut report = RecoveryReport::default();
+    let mut base: Option<DynCube> = None;
+    let mut offset = 0usize;
+    loop {
+        match unframe_segment(stream, offset) {
+            Ok(None) => break,
+            Err(e) => {
+                report.tail = Some(WalError::Segment(e));
+                break;
+            }
+            Ok(Some(seg)) => {
+                let pane = match DynCube::from_bytes(seg.payload) {
+                    Ok(pane) => pane,
+                    Err(e) => {
+                        report.tail = Some(WalError::Decode {
+                            offset,
+                            detail: e.to_string(),
+                        });
+                        break;
+                    }
+                };
+                // Same fold the live checkpoint path performs: create
+                // the base empty on the first pane, then merge. Merge
+                // failure means mixed logs; the prefix before this
+                // frame is still usable.
+                let dst = base.get_or_insert_with(|| {
+                    let names: Vec<&str> = pane.dim_names().iter().map(String::as_str).collect();
+                    DynCube::from_spec(pane.spec().clone(), &names)
+                });
+                if let Err(e) = dst.merge_cube(&pane) {
+                    report.tail = Some(WalError::Merge {
+                        offset,
+                        detail: e.to_string(),
+                    });
+                    break;
+                }
+                report.segments_replayed += 1;
+                report.last_epoch = report.last_epoch.max(seg.epoch);
+                offset += seg.frame_len;
+            }
+        }
+    }
+    report.valid_bytes = offset as u64;
+    report.truncated_bytes = (stream.len() - offset) as u64;
+    report.rows_recovered = base.as_ref().map_or(0, |b| b.row_count());
+    if report.segments_replayed == 0 {
+        base = None;
+    }
+    (base, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msketch_sketches::SketchSpec;
+
+    fn pane(rows: std::ops::Range<u64>) -> DynCube {
+        let mut cube = DynCube::from_spec(SketchSpec::moments(8), &["region"]);
+        for i in rows {
+            cube.insert(&[["eu", "us"][(i % 2) as usize]], i as f64)
+                .unwrap();
+        }
+        cube
+    }
+
+    #[test]
+    fn fresh_dir_opens_empty() {
+        let dir = std::env::temp_dir().join("msketch-wal-test-fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (wal, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert!(base.is_none());
+        assert_eq!(report, RecoveryReport::default());
+        assert!(wal.path().ends_with(Wal::LOG_FILE));
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_reopen_replays_merged_panes() {
+        let dir = std::env::temp_dir().join("msketch-wal-test-replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut wal, _, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append(1, &pane(0..100).to_bytes()).unwrap();
+            wal.append(2, &pane(100..250).to_bytes()).unwrap();
+            assert_eq!(wal.segments_appended(), 2);
+        }
+        let (_, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.segments_replayed, 2);
+        assert_eq!(report.last_epoch, 2);
+        assert_eq!(report.rows_recovered, 250);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.tail, None);
+        let base = base.unwrap();
+        assert_eq!(base.row_count(), 250);
+        // Bit-exact with merging the panes directly.
+        let mut direct = pane(0..100);
+        direct.merge_cube(&pane(100..250)).unwrap();
+        let a = base.rollup(&base.no_filter()).unwrap().quantile(0.5);
+        let b = direct.rollup(&direct.no_filter()).unwrap().quantile(0.5);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = std::env::temp_dir().join("msketch-wal-test-torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        let full_len;
+        {
+            let (mut wal, _, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append(1, &pane(0..50).to_bytes()).unwrap();
+            full_len = wal.bytes_appended();
+            // Simulate a crash mid-second-append: write half a frame.
+            failpoint::cfg("engine::wal_torn_append", "1*return").unwrap();
+            let err = wal.append(2, &pane(50..80).to_bytes()).unwrap_err();
+            assert!(matches!(err, WalError::Io(_)));
+            assert_eq!(wal.append_errors(), 1);
+        }
+        failpoint::teardown();
+        let (mut wal, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.segments_replayed, 1);
+        assert_eq!(report.rows_recovered, 50);
+        assert_eq!(report.valid_bytes, full_len);
+        assert!(report.truncated_bytes > 0);
+        assert!(matches!(
+            report.tail,
+            Some(WalError::Segment(SegmentError::Torn { .. }))
+        ));
+        assert_eq!(base.unwrap().row_count(), 50);
+        // The tail was truncated: appending now works and a third open
+        // sees both segments.
+        wal.append(2, &pane(50..80).to_bytes()).unwrap();
+        drop(wal);
+        let (_, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.segments_replayed, 2);
+        assert_eq!(base.unwrap().row_count(), 80);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_ends_the_prefix_and_reports() {
+        let dir = std::env::temp_dir().join("msketch-wal-test-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let first_len;
+        {
+            let (mut wal, _, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            first_len = wal.append(1, &pane(0..40).to_bytes()).unwrap();
+            wal.append(2, &pane(40..90).to_bytes()).unwrap();
+        }
+        // Flip a byte inside the second frame's payload.
+        let path = dir.join(Wal::LOG_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = first_len as usize + 30;
+        bytes[victim] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.segments_replayed, 1);
+        assert_eq!(
+            report.tail,
+            Some(WalError::Segment(SegmentError::BadCrc {
+                offset: first_len as usize
+            }))
+        );
+        assert_eq!(base.unwrap().row_count(), 40);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), first_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_cadence_policies_all_land_appends() {
+        for fsync in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(4),
+            FsyncPolicy::Never,
+        ] {
+            let dir = std::env::temp_dir().join(format!("msketch-wal-test-sync-{fsync:?}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            {
+                let (mut wal, _, _) = Wal::open(&dir, WalConfig { fsync }).unwrap();
+                for epoch in 1..=6u64 {
+                    let lo = (epoch - 1) * 10;
+                    wal.append(epoch, &pane(lo..lo + 10).to_bytes()).unwrap();
+                }
+            }
+            let (_, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
+            assert_eq!(report.segments_replayed, 6, "{fsync:?}");
+            assert_eq!(base.unwrap().row_count(), 60, "{fsync:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn foreign_file_replays_as_empty_with_bad_magic_tail() {
+        let dir = std::env::temp_dir().join("msketch-wal-test-foreign");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(Wal::LOG_FILE), b"this is not a segment log at all").unwrap();
+        let (_, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert!(base.is_none());
+        assert_eq!(report.segments_replayed, 0);
+        assert!(matches!(
+            report.tail,
+            Some(WalError::Segment(SegmentError::BadMagic { offset: 0 }))
+        ));
+        assert!(report.truncated_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,11 +1,13 @@
 //! `msketch-lint` — workspace static analysis for the moments-sketch
 //! repo.
 //!
-//! The workspace carries three load-bearing invariants that `cargo
+//! The workspace carries four load-bearing invariants that `cargo
 //! test` cannot see: wire tags must never move (`wire`), the concurrent
-//! core must never panic (`panic`, `channel`), and `unsafe` lives only
-//! in the reviewed compat stand-ins (`unsafe`). This crate
-//! machine-checks them — plus public-API doc coverage (`docs`) — with a
+//! core must never panic (`panic`, `channel`), `unsafe` lives only
+//! in the reviewed compat stand-ins (`unsafe`), and every
+//! fault-injection site stays pinned in the registry CI arms by name
+//! (`failpoint`). This crate machine-checks them — plus public-API doc
+//! coverage (`docs`) — with a
 //! dependency-free scanner over the tree (`std::fs` + a hand-rolled
 //! line scanner in [`scan`]).
 //!
@@ -26,6 +28,9 @@ use std::path::{Path, PathBuf};
 pub const API_PATH: &str = "crates/sketches/src/api.rs";
 /// The committed wire-tag registry the `wire` rule diffs against.
 pub const GOLDEN_PATH: &str = "lint/wire_tags.golden";
+/// The committed fault-injection site registry the `failpoint` rule
+/// diffs against.
+pub const FAILPOINTS_GOLDEN_PATH: &str = "lint/failpoints.golden";
 
 /// One diagnostic, printed as `file:line: rule: message`.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +40,7 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     /// Stable rule id (`wire`, `panic`, `unsafe`, `channel`, `docs`,
-    /// `lint-allow`).
+    /// `failpoint`, `lint-allow`).
     pub rule: &'static str,
     /// Human-readable explanation with a remediation hint.
     pub message: String,
@@ -189,9 +194,30 @@ pub fn lint_workspace(root: &Path, ruleset: &RuleSet) -> std::io::Result<Vec<Fin
             format!("no Rust sources found under {}", root.display()),
         ));
     }
+    let mut failpoint_sites = Vec::new();
     for rel in files {
         let text = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(lint_source(&rel, &text, ruleset));
+        let ctx = FileContext::classify(&rel);
+        let file = SourceFile::scan(&text);
+        findings.extend(rules::check_file(&ctx, &file, ruleset));
+        if ruleset.enabled("failpoint") {
+            rules::failpoints::collect(&ctx, &file, &text, &mut failpoint_sites, &mut findings);
+        }
+    }
+    if ruleset.enabled("failpoint") {
+        match std::fs::read_to_string(root.join(FAILPOINTS_GOLDEN_PATH)) {
+            Ok(golden) => findings.extend(rules::failpoints::check(
+                FAILPOINTS_GOLDEN_PATH,
+                &golden,
+                &failpoint_sites,
+            )),
+            Err(_) => findings.push(Finding::at(
+                FAILPOINTS_GOLDEN_PATH,
+                1,
+                "failpoint",
+                "golden failpoint registry is missing; restore it from version control".to_string(),
+            )),
+        }
     }
     if ruleset.enabled("wire") {
         let api = std::fs::read_to_string(root.join(API_PATH))?;

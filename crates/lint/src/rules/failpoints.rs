@@ -1,0 +1,244 @@
+//! Rule `failpoint`: fault-injection site registry.
+//!
+//! The fault harness (PR 7) arms failpoints *by name*, from outside the
+//! process: the CI `fault-injection` step and the crash-recovery smoke
+//! pass `FAILPOINTS=name=spec;…`, and the integration suites call
+//! `failpoint::cfg("name", …)`. A site that is renamed, deleted, or
+//! spelled dynamically silently turns those runs into no-ops — the
+//! harness still passes, it just stops injecting anything. The
+//! committed registry `lint/failpoints.golden` pins every site shipped
+//! in product code; against it, this rule fails on
+//!
+//! * **unregistered sites** — a `fail_if` / `sleep_if` / `eval` call in
+//!   non-test, non-compat code whose name the registry does not list;
+//! * **orphaned entries** — a registered name with no remaining call
+//!   site (the armed spec would never fire);
+//! * **dynamic names** — a site whose name is not a string literal, so
+//!   no registry can see it.
+
+use crate::scan::SourceFile;
+use crate::{FileContext, Finding};
+
+/// One fault-injection call site found in product code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// The site name (first string-literal argument).
+    pub name: String,
+}
+
+/// The evaluation entry points whose first argument is a site name.
+const CALLS: [&str; 3] = [
+    "failpoint::fail_if(",
+    "failpoint::sleep_if(",
+    "failpoint::eval(",
+];
+
+/// Collect fault-injection sites from one scanned file into `sites`,
+/// reporting dynamic (non-literal) names directly into `findings`.
+///
+/// `raw` is the unscanned source: the scanner hollows string literals
+/// out of [`crate::scan::Line::code`], so the call is *detected* on the
+/// scanned line (comments and strings can't fake one) and the name is
+/// *read* from the raw line. Compat crates (the registry shim itself)
+/// and test code (which arms sites, never defines them) are out of
+/// scope.
+pub fn collect(
+    ctx: &FileContext,
+    file: &SourceFile,
+    raw: &str,
+    sites: &mut Vec<Site>,
+    findings: &mut Vec<Finding>,
+) {
+    if ctx.compat || ctx.test_code {
+        return;
+    }
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for call in CALLS {
+            let Some(at) = line.code.find(call) else {
+                continue;
+            };
+            // Hollowed literals survive as `""`, so a literal first
+            // argument scans as `name(""` exactly.
+            if !line.code[at..].starts_with(&format!("{call}\"\"")) {
+                findings.push(Finding::new(
+                    ctx,
+                    line.number,
+                    "failpoint",
+                    format!(
+                        "{}…) takes a non-literal site name; failpoint names must be string \
+                         literals so lint/failpoints.golden can pin them",
+                        call
+                    ),
+                ));
+                continue;
+            }
+            let raw_line = raw_lines.get(line.number - 1).copied().unwrap_or("");
+            if let Some(name) = raw_line
+                .split_once(&format!("{call}\""))
+                .and_then(|(_, rest)| rest.split('"').next())
+            {
+                sites.push(Site {
+                    file: ctx.path.clone(),
+                    line: line.number,
+                    name: name.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Parse the golden registry: one site name per line, `#` comments.
+pub fn parse_golden(golden_path: &str, text: &str) -> Result<Vec<(String, usize)>, Vec<Finding>> {
+    let mut entries: Vec<(String, usize)> = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Names are `crate::site` paths: the prefix scopes them, which
+        // is what keeps `FAILPOINTS=engine::x` from colliding across
+        // subsystems.
+        let well_formed = line.contains("::")
+            && line
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !well_formed {
+            findings.push(Finding::at(
+                golden_path,
+                idx + 1,
+                "failpoint",
+                format!("malformed registry entry {line:?}; expected `crate::site_name`"),
+            ));
+        } else if let Some((_, first)) = entries.iter().find(|(name, _)| name == line) {
+            findings.push(Finding::at(
+                golden_path,
+                idx + 1,
+                "failpoint",
+                format!("duplicate registry entry {line:?} (first at line {first})"),
+            ));
+        } else {
+            entries.push((line.to_string(), idx + 1));
+        }
+    }
+    if findings.is_empty() {
+        Ok(entries)
+    } else {
+        Err(findings)
+    }
+}
+
+/// Diff collected sites against the golden registry.
+pub fn check(golden_path: &str, golden_text: &str, sites: &[Site]) -> Vec<Finding> {
+    let golden = match parse_golden(golden_path, golden_text) {
+        Ok(entries) => entries,
+        Err(findings) => return findings,
+    };
+    let mut findings = Vec::new();
+    for site in sites {
+        if !golden.iter().any(|(name, _)| *name == site.name) {
+            findings.push(Finding::at(
+                &site.file,
+                site.line,
+                "failpoint",
+                format!(
+                    "failpoint {:?} is not registered; append it to {} so the fault-injection \
+                     CI step and suites can arm it",
+                    site.name, golden_path
+                ),
+            ));
+        }
+    }
+    for (name, line) in &golden {
+        if !sites.iter().any(|site| site.name == *name) {
+            findings.push(Finding::at(
+                golden_path,
+                *line,
+                "failpoint",
+                format!(
+                    "registered failpoint {name:?} has no call site; anything arming it is a \
+                     silent no-op — restore the site or retire the entry"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+    use crate::FileContext;
+
+    const GOLDEN: &str = "# registry\nengine::worker_panic\nserver::quantile_slow\n";
+
+    fn run(path: &str, src: &str, golden: &str) -> Vec<Finding> {
+        let ctx = FileContext::classify(path);
+        let file = SourceFile::scan(src);
+        let mut sites = Vec::new();
+        let mut findings = Vec::new();
+        collect(&ctx, &file, src, &mut sites, &mut findings);
+        findings.extend(check("lint/failpoints.golden", golden, &sites));
+        findings
+    }
+
+    #[test]
+    fn registered_sites_are_clean() {
+        let src = "fn f() {\n    failpoint::sleep_if(\"engine::worker_panic\");\n    if failpoint::fail_if(\"server::quantile_slow\") { return; }\n}\n";
+        assert!(run("crates/engine/src/supervisor.rs", src, GOLDEN).is_empty());
+    }
+
+    #[test]
+    fn unregistered_and_orphaned_sites_both_fail() {
+        let src = "fn f() {\n    failpoint::sleep_if(\"engine::worker_panic\");\n    failpoint::sleep_if(\"engine::unpinned\");\n}\n";
+        let findings = run("crates/engine/src/supervisor.rs", src, GOLDEN);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0]
+            .message
+            .contains("\"engine::unpinned\" is not registered"));
+        assert!(findings[1]
+            .message
+            .contains("\"server::quantile_slow\" has no call site"));
+    }
+
+    #[test]
+    fn dynamic_names_fail_and_strings_or_comments_cannot_fake_a_site() {
+        let dynamic = "fn f(name: &str) {\n    failpoint::sleep_if(name);\n}\n";
+        let findings = run("crates/engine/src/wal.rs", dynamic, "# empty\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("non-literal"));
+
+        // A comment or string mentioning the call shape is not a site.
+        let prose = "// like `failpoint::fail_if(\"engine::x\")` does\nconst HELP: &str = \"failpoint::sleep_if(\\\"engine::y\\\")\";\n";
+        assert!(run("crates/engine/src/wal.rs", prose, "# empty\n").is_empty());
+    }
+
+    #[test]
+    fn compat_and_test_code_are_out_of_scope() {
+        // An unregistered name in compat or test code must not fire
+        // (empty golden keeps the orphan check out of the picture).
+        let src = "fn f() {\n    failpoint::sleep_if(\"anything::goes\");\n}\n";
+        assert!(run("crates/compat/failpoint/src/lib.rs", src, "# empty\n").is_empty());
+        assert!(run("crates/engine/tests/fault_injection.rs", src, "# empty\n").is_empty());
+        let in_test_mod =
+            "#[cfg(test)]\nmod tests {\n    fn f() { failpoint::fail_if(\"ad::hoc\"); }\n}\n";
+        assert!(run("crates/engine/src/wal.rs", in_test_mod, "# empty\n").is_empty());
+    }
+
+    #[test]
+    fn golden_hygiene_is_enforced() {
+        let bad = "engine::ok\nno_separator\nengine::ok\n";
+        let findings = check("lint/failpoints.golden", bad, &[]);
+        assert!(findings[0].message.contains("malformed"));
+        assert!(findings[1].message.contains("duplicate"));
+    }
+}

@@ -1,10 +1,11 @@
-//! The five repo-specific rules. Each rule is a pure function from
+//! The six repo-specific rules. Each rule is a pure function from
 //! scanned source (plus file context) to findings, so unit tests drive
 //! them with inline fixture snippets and the binary drives them with
 //! the real tree — same code path either way.
 
 pub mod channels;
 pub mod docs;
+pub mod failpoints;
 pub mod panics;
 pub mod unsafety;
 pub mod wire;
@@ -14,12 +15,21 @@ use crate::{FileContext, Finding, RuleSet};
 
 /// Stable rule identifiers, as accepted by `--rule` and
 /// `lint:allow(<id>)`.
-pub const RULE_IDS: [&str; 6] = ["wire", "panic", "unsafe", "channel", "docs", "lint-allow"];
+pub const RULE_IDS: [&str; 7] = [
+    "wire",
+    "panic",
+    "unsafe",
+    "channel",
+    "docs",
+    "failpoint",
+    "lint-allow",
+];
 
 /// Run every per-file rule enabled in `rules` over one scanned file.
 ///
-/// The `wire` rule is workspace-level (it diffs one file against the
-/// golden registry) and runs separately — see [`wire::check`].
+/// The `wire` and `failpoint` rules are workspace-level (they diff
+/// collected state against a committed golden registry) and run
+/// separately — see [`wire::check`] and [`failpoints::check`].
 pub fn check_file(ctx: &FileContext, file: &SourceFile, rules: &RuleSet) -> Vec<Finding> {
     let mut findings = Vec::new();
     if rules.enabled("panic") {
@@ -51,7 +61,7 @@ fn check_allow_hygiene(ctx: &FileContext, file: &SourceFile, findings: &mut Vec<
                     ctx,
                     line.number,
                     "lint-allow",
-                    format!("unknown rule {rule:?} in lint:allow (known: wire, panic, unsafe, channel, docs)"),
+                    format!("unknown rule {rule:?} in lint:allow (known: wire, panic, unsafe, channel, docs, failpoint)"),
                 ));
             } else if !justified {
                 findings.push(Finding::new(

@@ -4,15 +4,22 @@
 //! ```text
 //! msketch-serve [--addr 127.0.0.1:8080] [--spec moments:10]
 //!               [--dims app,region] [--threads 4] [--shards N]
-//!               [--refresh-ms 500]
+//!               [--refresh-ms 500] [--wal-dir DIR] [--fsync POLICY]
+//!               [--queue-cap N] [--deadline-ms MS]
 //! ```
 //!
 //! Prints one `listening on http://…` line once the socket is bound
 //! (the CI smoke test scrapes the ephemeral port from it), then serves
 //! until `quit` arrives on stdin — the graceful path: snapshot
 //! refresher stopped, HTTP pool drained, shard workers joined. A plain
-//! kill is also safe: every thread dies with the process.
+//! kill is also safe: every thread dies with the process, and with
+//! `--wal-dir` set a restart replays every checkpointed pane bit-exactly
+//! (the kill-9 crash-recovery smoke in CI exercises exactly this).
+//!
+//! Fault-injection sites honor the `FAILPOINTS` environment variable
+//! (`name=spec;…`), wired through `failpoint::init_from_env()`.
 
+use msketch_engine::FsyncPolicy;
 use msketch_server::{MsketchServer, ServeError, ServerConfig};
 use msketch_sketches::SketchSpec;
 use std::io::BufRead;
@@ -22,10 +29,25 @@ fn usage() -> ! {
     eprintln!(
         "usage: msketch-serve [--addr HOST:PORT] [--spec KIND:PARAM] [--dims NAME,NAME…]\n\
          \x20                    [--threads N] [--shards N] [--refresh-ms MS]\n\
+         \x20                    [--wal-dir DIR] [--fsync always|every:N|never]\n\
+         \x20                    [--queue-cap N] [--deadline-ms MS]\n\
          defaults: --addr 127.0.0.1:8080 --spec moments:10 --dims app,region\n\
-         \x20         --threads 4 --shards <cores> --refresh-ms 500"
+         \x20         --threads 4 --shards <cores> --refresh-ms 500\n\
+         \x20         no WAL, --fsync always, unbounded queue, no deadline"
     );
     std::process::exit(2);
+}
+
+/// Parse `--fsync always|every:N|never`.
+fn parse_fsync(text: &str) -> Option<FsyncPolicy> {
+    match text {
+        "always" => Some(FsyncPolicy::Always),
+        "never" => Some(FsyncPolicy::Never),
+        other => {
+            let n: u64 = other.strip_prefix("every:")?.parse().ok()?;
+            Some(FsyncPolicy::EveryN(n.max(1)))
+        }
+    }
 }
 
 fn main() -> Result<(), ServeError> {
@@ -56,6 +78,19 @@ fn main() -> Result<(), ServeError> {
                 let ms: u64 = value("--refresh-ms").parse().unwrap_or_else(|_| usage());
                 config.refresh_interval = Duration::from_millis(ms);
             }
+            "--wal-dir" => {
+                config.wal_dir = Some(std::path::PathBuf::from(value("--wal-dir")));
+            }
+            "--fsync" => {
+                config.fsync = parse_fsync(&value("--fsync")).unwrap_or_else(|| usage());
+            }
+            "--queue-cap" => {
+                config.queue_cap = value("--queue-cap").parse().unwrap_or_else(|_| usage());
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
+                config.quantile_deadline = Duration::from_millis(ms);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -73,7 +108,20 @@ fn main() -> Result<(), ServeError> {
         usage();
     }
 
+    // Deterministic fault injection (FAILPOINTS=name=spec;…) for the
+    // fault suite and the CI crash-recovery smoke.
+    failpoint::init_from_env();
+
     let mut server = MsketchServer::start(spec, &dims, config)?;
+    if let Some(report) = server.recovery_report() {
+        println!(
+            "msketch-serve recovered {} rows from {} WAL segments (last epoch {}, {} bytes truncated)",
+            report.rows_recovered,
+            report.segments_replayed,
+            report.last_epoch,
+            report.truncated_bytes
+        );
+    }
     println!(
         "msketch-serve listening on http://{} (backend {spec_text}, dims {dims_text})",
         server.local_addr()

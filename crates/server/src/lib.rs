@@ -11,8 +11,8 @@
 //!
 //! ```text
 //!            POST /ingest ──▶ Mutex<DynShardedCube> (writers)
-//!                                   │ snapshot() every refresh_interval
-//!                                   ▼        (background refresher)
+//!                                   │ snapshot()/checkpoint() every
+//!                                   ▼  refresh_interval (refresher)
 //!            ArcSwap<EngineSnapshot> slot  ◀── POST /refresh (manual)
 //!                                   │ load() — never blocks writers
 //!                                   ▼
@@ -26,6 +26,24 @@
 //! float formatting, so a JSON response reproduces the in-process
 //! answer **bit-exactly** (see `examples/http_serve.rs`).
 //!
+//! The server degrades before it collapses (README, "Fault tolerance &
+//! recovery"):
+//!
+//! * a bounded **admission queue** ([`ServerConfig::queue_cap`]) sheds
+//!   excess connections with `429` + `Retry-After` instead of letting
+//!   them pile up behind a saturated worker pool;
+//! * while no snapshot has been taken yet
+//!   ([`ServerConfig::defer_initial_snapshot`]), read endpoints answer
+//!   `503` + `Retry-After` rather than fabricating an empty answer;
+//! * `/quantile` honors a per-request **deadline**
+//!   ([`ServerConfig::quantile_deadline`]): once the budget is spent it
+//!   switches from max-entropy estimates to the paper's closed-form
+//!   moment *bounds* (midpoint of the Markov/RTT interval) and marks
+//!   the response `"degraded": true`;
+//! * with [`ServerConfig::wal_dir`] set, refreshes run through the
+//!   engine's durable pane WAL ([`msketch_engine::Wal`]) and a restart
+//!   replays every checkpointed row bit-exactly.
+//!
 //! Endpoints (details in the README's "Serving layer" section):
 //!
 //! | Route             | Meaning                                          |
@@ -37,16 +55,22 @@
 //! | `GET /threshold`  | `?by=dim&q=0.9&t=500` HAVING via the cascade     |
 //! | `GET /search`     | `?by=dim` MacroBase outlier-rate search          |
 //! | `GET /stats`      | epochs, lag, rows, cells, shard/thread info      |
+//! | `GET /health`     | liveness + readiness (200 ready / 503 not yet)   |
 
 #![warn(missing_docs)]
 
 use arc_swap::ArcSwap;
+use moments_sketch::bounds::quantile_interval;
 use moments_sketch::CascadeStats;
 use msketch_cube::{GroupThresholdQuery, QueryEngine};
-use msketch_engine::{DynShardedCube, EngineConfig, EngineError, EngineSnapshot};
+use msketch_engine::{
+    DynShardedCube, EngineConfig, EngineError, EngineSnapshot, FsyncPolicy, RecoveryReport,
+    WalConfig,
+};
 use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
-use msketch_sketches::SketchSpec;
+use msketch_sketches::{MomentsBacked, QuantileSummary, Sketch, SketchSpec};
 use serde_json::Value;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -61,6 +85,11 @@ pub use tiny_http::client;
 /// A served snapshot: the engine's merged-cube snapshot type.
 pub type ServedSnapshot = EngineSnapshot<SketchSpec>;
 
+/// Bisection steps when resolving a quantile from the moment *bounds*
+/// on the degraded path (same depth the estimator's own interval
+/// reporting uses).
+const BOUND_ITERS: usize = 60;
+
 /// Tuning knobs for [`MsketchServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -74,6 +103,30 @@ pub struct ServerConfig {
     pub refresh_interval: Duration,
     /// Configuration of the wrapped ingestion engine.
     pub engine: EngineConfig,
+    /// Admission-queue capacity: connections accepted but not yet
+    /// claimed by a worker. Once full, new connections are shed with
+    /// `429` + `Retry-After` instead of queueing unboundedly. `0`
+    /// keeps the queue unbounded (no shedding).
+    pub queue_cap: usize,
+    /// The `Retry-After` advice (seconds) attached to `429` and `503`
+    /// responses.
+    pub retry_after_secs: u64,
+    /// Per-request time budget for `/quantile` estimation. Once spent,
+    /// remaining quantiles fall back from max-entropy solves to the
+    /// closed-form moment-bound midpoint and the response is marked
+    /// `"degraded": true`. `Duration::ZERO` disables the deadline.
+    pub quantile_deadline: Duration,
+    /// Skip the initial empty snapshot: read endpoints answer `503` +
+    /// `Retry-After` until the first refresh lands. This is how a
+    /// recovering replica avoids serving an empty cube as truth.
+    pub defer_initial_snapshot: bool,
+    /// Directory for the engine's durable pane WAL. `Some(dir)` opens
+    /// (or recovers) the log there and routes every refresh through
+    /// [`DynShardedCube::checkpoint`]; `None` keeps the engine purely
+    /// in-memory.
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync cadence for the WAL (ignored without `wal_dir`).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +136,12 @@ impl Default for ServerConfig {
             threads: 4,
             refresh_interval: Duration::from_millis(500),
             engine: EngineConfig::default(),
+            queue_cap: 0,
+            retry_after_secs: 1,
+            quantile_deadline: Duration::ZERO,
+            defer_initial_snapshot: false,
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -122,10 +181,12 @@ impl From<EngineError> for ServeError {
 /// Shared state behind every request handler.
 struct ServerState {
     engine: Mutex<DynShardedCube>,
-    /// The currently served snapshot. Readers `load()` (an `Arc` clone);
-    /// the refresher `store()`s — queries in flight keep the snapshot
-    /// they started with alive until they finish.
-    snapshot: ArcSwap<ServedSnapshot>,
+    /// The currently served snapshot. Readers `load()` (an `Arc`
+    /// clone); the refresher `store()`s — queries in flight keep the
+    /// snapshot they started with alive until they finish. `None`
+    /// until the first refresh when the initial snapshot is deferred;
+    /// read endpoints answer `503` rather than inventing an answer.
+    snapshot: ArcSwap<Option<Arc<ServedSnapshot>>>,
     dims: Vec<String>,
     backend: String,
     threads: usize,
@@ -133,6 +194,14 @@ struct ServerState {
     /// `rows_accepted` as of the last snapshot, so the refresher can
     /// skip epochs in which nothing arrived.
     rows_at_refresh: AtomicU64,
+    /// Per-request `/quantile` time budget (`ZERO` = disabled).
+    quantile_deadline: Duration,
+    /// Advice attached to `429`/`503` responses.
+    retry_after_secs: u64,
+    /// `/quantile` responses that fell back to moment-bound midpoints.
+    degraded_served: AtomicU64,
+    /// Background refreshes that failed without being fatal.
+    refresh_errors: AtomicU64,
     started: Instant,
 }
 
@@ -146,15 +215,26 @@ impl ServerState {
         self.engine.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Rotate a fresh snapshot into the slot; returns its epoch.
+    /// The snapshot reads answer from right now, if one exists yet.
+    fn load_snapshot(&self) -> Option<Arc<ServedSnapshot>> {
+        self.snapshot.load().as_ref().clone()
+    }
+
+    /// Rotate a fresh snapshot into the slot; returns its epoch. With
+    /// a WAL attached this is a durable checkpoint: the retired pane
+    /// hits disk before the snapshot is published.
     fn refresh(&self) -> Result<u64, EngineError> {
         let mut engine = self.lock_engine();
         let accepted = self.rows_accepted.load(Ordering::SeqCst);
-        let snapshot = engine.snapshot()?;
+        let snapshot = if engine.wal_attached() {
+            engine.checkpoint()?
+        } else {
+            engine.snapshot()?
+        };
         drop(engine);
         let epoch = snapshot.epoch();
         self.rows_at_refresh.store(accepted, Ordering::SeqCst);
-        self.snapshot.store(Arc::new(snapshot));
+        self.snapshot.store(Arc::new(Some(Arc::new(snapshot))));
         Ok(epoch)
     }
 }
@@ -170,41 +250,74 @@ pub struct MsketchServer {
     addr: std::net::SocketAddr,
     refresher: Option<JoinHandle<()>>,
     refresher_stop: Arc<AtomicBool>,
+    /// What WAL replay recovered at startup (`None` without a WAL).
+    recovery: Option<RecoveryReport>,
 }
 
 impl MsketchServer {
-    /// Build the engine, take the initial (epoch 1, empty) snapshot,
-    /// bind the listener, and spawn the worker pool and refresher.
+    /// Build the engine (replaying the WAL when one is configured),
+    /// take the initial snapshot unless deferred, bind the listener,
+    /// and spawn the worker pool and refresher.
     pub fn start(
         spec: SketchSpec,
         dims: &[&str],
         config: ServerConfig,
     ) -> Result<MsketchServer, ServeError> {
+        let ServerConfig {
+            addr,
+            threads,
+            refresh_interval,
+            engine: engine_config,
+            queue_cap,
+            retry_after_secs,
+            quantile_deadline,
+            defer_initial_snapshot,
+            wal_dir,
+            fsync,
+        } = config;
         let backend = format!("{}:{}", spec.kind(), spec.param());
-        let mut engine = DynShardedCube::new(spec, dims, config.engine);
-        // An initial snapshot means the slot is never empty: every read
-        // endpoint works from the first request on.
-        let initial = engine.snapshot()?;
+        let (engine, recovery) = match &wal_dir {
+            Some(dir) => {
+                let (engine, report) =
+                    DynShardedCube::recover(spec, dims, engine_config, dir, WalConfig { fsync })?;
+                (engine, Some(report))
+            }
+            None => (DynShardedCube::new(spec, dims, engine_config), None),
+        };
         let state = Arc::new(ServerState {
             engine: Mutex::new(engine),
-            snapshot: ArcSwap::new(Arc::new(initial)),
+            snapshot: ArcSwap::new(Arc::new(None)),
             dims: dims.iter().map(|s| s.to_string()).collect(),
             backend,
-            threads: config.threads.max(1),
+            threads: threads.max(1),
             rows_accepted: AtomicU64::new(0),
             rows_at_refresh: AtomicU64::new(0),
+            quantile_deadline,
+            retry_after_secs,
+            degraded_served: AtomicU64::new(0),
+            refresh_errors: AtomicU64::new(0),
             started: Instant::now(),
         });
+        // An initial snapshot means the slot is never empty: every read
+        // endpoint works from the first request on. Deferring it makes
+        // readiness explicit instead (503 + /health until refreshed).
+        if !defer_initial_snapshot {
+            state.refresh()?;
+        }
         let handler_state = Arc::clone(&state);
-        let http = tiny_http::Server::bind(&config.addr, config.threads, move |req: &Request| {
-            route(&handler_state, req)
-        })?;
+        let http = tiny_http::Server::bind_with_queue(
+            &addr,
+            threads,
+            queue_cap,
+            retry_after_secs,
+            move |req: &Request| route(&handler_state, req),
+        )?;
         let addr = http.local_addr();
         let refresher_stop = Arc::new(AtomicBool::new(false));
-        let refresher = if config.refresh_interval > Duration::ZERO {
+        let refresher = if refresh_interval > Duration::ZERO {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&refresher_stop);
-            let interval = config.refresh_interval;
+            let interval = refresh_interval;
             // A failed spawn is a startup error like a failed bind, not
             // a panic: callers see it as `ServeError::Io`.
             let handle = std::thread::Builder::new()
@@ -220,14 +333,26 @@ impl MsketchServer {
                             }
                             std::thread::sleep(Duration::from_millis(20).min(interval));
                         }
-                        // Skip the O(cells) fold when nothing arrived.
+                        // Skip the O(cells) fold when nothing arrived —
+                        // unless the slot is still empty (deferred
+                        // initial snapshot): then refreshing is how the
+                        // server becomes ready.
                         let accepted = state.rows_accepted.load(Ordering::SeqCst);
-                        if accepted == state.rows_at_refresh.load(Ordering::SeqCst) {
+                        if accepted == state.rows_at_refresh.load(Ordering::SeqCst)
+                            && state.load_snapshot().is_some()
+                        {
                             continue;
                         }
-                        if state.refresh().is_err() {
-                            // Engine gone (shutdown race): stop quietly.
-                            return;
+                        match state.refresh() {
+                            Ok(_) => {}
+                            // The engine is gone for good (shutdown
+                            // race): stop quietly. Anything else —
+                            // e.g. a WAL append failure — is transient:
+                            // count it and keep refreshing.
+                            Err(EngineError::ShutDown) | Err(EngineError::Disconnected) => return,
+                            Err(_) => {
+                                state.refresh_errors.fetch_add(1, Ordering::SeqCst);
+                            }
                         }
                     }
                 })?;
@@ -241,6 +366,7 @@ impl MsketchServer {
             addr,
             refresher,
             refresher_stop,
+            recovery,
         })
     }
 
@@ -249,11 +375,18 @@ impl MsketchServer {
         self.addr
     }
 
-    /// The snapshot queries are currently answered from. The same
-    /// handle a concurrent HTTP request would use — the in-process
-    /// ground truth for bit-exactness checks.
-    pub fn current_snapshot(&self) -> Arc<ServedSnapshot> {
-        self.state.snapshot.load()
+    /// The snapshot queries are currently answered from — the same
+    /// handle a concurrent HTTP request would use, and the in-process
+    /// ground truth for bit-exactness checks. `None` while the server
+    /// has not refreshed yet (deferred initial snapshot).
+    pub fn current_snapshot(&self) -> Option<Arc<ServedSnapshot>> {
+        self.state.load_snapshot()
+    }
+
+    /// What WAL replay recovered at startup; `None` when the server
+    /// runs without a WAL.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Rotate a fresh snapshot now (what `POST /refresh` calls).
@@ -294,9 +427,11 @@ fn route(state: &ServerState, req: &Request) -> Response {
         ("GET", "/threshold") => handle_threshold(state, req),
         ("GET", "/search") => handle_search(state, req),
         ("GET", "/stats") => handle_stats(state),
+        ("GET", "/health") => handle_health(state),
         (
             _,
-            "/ingest" | "/refresh" | "/quantile" | "/groupby" | "/threshold" | "/search" | "/stats",
+            "/ingest" | "/refresh" | "/quantile" | "/groupby" | "/threshold" | "/search" | "/stats"
+            | "/health",
         ) => error(405, "method not allowed for this route"),
         _ => error(404, "no such route"),
     }
@@ -309,6 +444,11 @@ fn error(status: u16, message: &str) -> Response {
 
 fn ok(body: Value) -> Response {
     Response::json(200, body.to_string())
+}
+
+/// `503` + `Retry-After`: the server is up but cannot answer this yet.
+fn unavailable(state: &ServerState, message: &str) -> Response {
+    error(503, message).with_header("Retry-After", state.retry_after_secs.to_string())
 }
 
 /// `POST /ingest` — body `{"columns": [[v,…] per dimension], "metrics": [x,…]}`.
@@ -392,7 +532,7 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Response {
 
 fn engine_error(e: &EngineError) -> Response {
     match e {
-        EngineError::Disconnected => error(503, "engine is shut down"),
+        EngineError::Disconnected | EngineError::ShutDown => error(503, "engine is shut down"),
         other => error(400, &format!("{other}")),
     }
 }
@@ -485,8 +625,22 @@ fn cube_error(e: &msketch_cube::Error) -> Response {
 }
 
 /// `GET /quantile?q=0.5,0.99&dim=value…`
+///
+/// Folds the matching cells exactly as [`QueryEngine::quantiles`] does
+/// (same deterministic order, so the fast path stays bit-exact with the
+/// in-process answer), but meters the estimation loop against the
+/// server's per-request deadline: once the budget is spent, remaining
+/// quantiles come from the closed-form moment-bound interval midpoint
+/// instead of a max-entropy solve, and the response carries
+/// `"degraded": true`. Merging is never skipped — only estimation is
+/// downgraded, so `count`/`cells_merged` stay exact.
 fn handle_quantile(state: &ServerState, req: &Request) -> Response {
-    let snap = state.snapshot.load();
+    let Some(snap) = state.load_snapshot() else {
+        return unavailable(state, "no snapshot yet: refresh has not run");
+    };
+    let started = Instant::now();
+    // Deterministic slow-request injection point for the fault suite.
+    failpoint::sleep_if("server::quantile_slow");
     let phis = match parse_phis(req) {
         Ok(phis) => phis,
         Err(resp) => return resp,
@@ -495,21 +649,52 @@ fn handle_quantile(state: &ServerState, req: &Request) -> Response {
         Ok(filter) => filter,
         Err(resp) => return resp,
     };
-    match QueryEngine::quantiles(snap.cube(), &filter, &phis) {
-        Ok(report) => ok(Value::object(vec![
-            ("epoch", Value::from(snap.epoch())),
-            ("count", Value::from(report.count)),
-            ("cells_merged", Value::from(report.cells_merged)),
-            ("phis", Value::array(report.phis)),
-            ("values", Value::array(report.values)),
-        ])),
-        Err(e) => cube_error(&e),
+    let matching = snap.cube().matching_sorted(&filter);
+    let cells_merged = matching.len();
+    let mut acc: Option<Box<dyn Sketch>> = None;
+    for (_, summary) in matching {
+        match &mut acc {
+            None => acc = Some(summary.clone()),
+            Some(a) => a.merge_from(summary),
+        }
     }
+    let Some(merged) = acc else {
+        return error(404, "query matched no cells");
+    };
+    let deadline = state.quantile_deadline;
+    let mut values = Vec::with_capacity(phis.len());
+    let mut degraded = false;
+    for &phi in &phis {
+        degraded = degraded || (deadline > Duration::ZERO && started.elapsed() >= deadline);
+        if degraded {
+            if let Some(moments) = merged.as_moments() {
+                let interval = quantile_interval(moments, phi, BOUND_ITERS);
+                values.push(0.5 * (interval.lo + interval.hi));
+                continue;
+            }
+            // Non-moments backends have no cheaper fallback tier; their
+            // direct estimate is already the cheap path.
+        }
+        values.push(merged.quantile(phi));
+    }
+    if degraded {
+        state.degraded_served.fetch_add(1, Ordering::SeqCst);
+    }
+    ok(Value::object(vec![
+        ("epoch", Value::from(snap.epoch())),
+        ("count", Value::from(merged.count() as f64)),
+        ("cells_merged", Value::from(cells_merged)),
+        ("phis", Value::array(phis)),
+        ("values", Value::array(values)),
+        ("degraded", Value::from(degraded)),
+    ]))
 }
 
 /// `GET /groupby?by=dim,dim&q=0.5,0.99&dim=value…`
 fn handle_groupby(state: &ServerState, req: &Request) -> Response {
-    let snap = state.snapshot.load();
+    let Some(snap) = state.load_snapshot() else {
+        return unavailable(state, "no snapshot yet: refresh has not run");
+    };
     let phis = match parse_phis(req) {
         Ok(phis) => phis,
         Err(resp) => return resp,
@@ -564,7 +749,9 @@ fn stats_value(stats: &CascadeStats) -> Value {
 /// `GET /threshold?by=dim&q=0.9&t=500&dim=value…` — the paper's HAVING
 /// query, resolved with the threshold cascade.
 fn handle_threshold(state: &ServerState, req: &Request) -> Response {
-    let snap = state.snapshot.load();
+    let Some(snap) = state.load_snapshot() else {
+        return unavailable(state, "no snapshot yet: refresh has not run");
+    };
     let group_dims = match parse_group_dims(state, req) {
         Ok(dims) => dims,
         Err(resp) => return resp,
@@ -600,7 +787,9 @@ fn handle_threshold(state: &ServerState, req: &Request) -> Response {
 /// `GET /search?by=dim&global_phi=0.99&ratio=30` — MacroBase-style
 /// outlier-rate subpopulation search over the snapshot.
 fn handle_search(state: &ServerState, req: &Request) -> Response {
-    let snap = state.snapshot.load();
+    let Some(snap) = state.load_snapshot() else {
+        return unavailable(state, "no snapshot yet: refresh has not run");
+    };
     let group_dims = match parse_group_dims(state, req) {
         Ok(dims) => dims,
         Err(resp) => return resp,
@@ -648,37 +837,103 @@ fn handle_search(state: &ServerState, req: &Request) -> Response {
     }
 }
 
-/// `GET /stats` — serving and staleness counters.
+/// `GET /stats` — serving, staleness, and fault counters.
 fn handle_stats(state: &ServerState) -> Response {
-    let snap = state.snapshot.load();
+    let snap = state.load_snapshot();
     let engine = state.lock_engine();
     let engine_epoch = engine.current_epoch();
     let shards = engine.shard_count();
-    let shut_down = engine.is_shut_down();
+    let engine_stats = engine.stats();
+    let wal_attached = engine.wal_attached();
     drop(engine);
+    let (snapshot_epoch, snapshot_rows, snapshot_cells, epoch_lag) = match &snap {
+        Some(s) => (
+            Value::from(s.epoch()),
+            Value::from(s.row_count()),
+            Value::from(s.cell_count()),
+            Value::from(engine_epoch.saturating_sub(s.epoch())),
+        ),
+        // No snapshot yet: every engine epoch is unserved lag.
+        None => (
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::from(engine_epoch),
+        ),
+    };
     ok(Value::object(vec![
         ("backend", Value::from(state.backend.as_str())),
         ("dims", Value::array(state.dims.iter().map(String::as_str))),
         ("shards", Value::from(shards)),
         ("http_threads", Value::from(state.threads)),
         ("engine_epoch", Value::from(engine_epoch)),
-        ("snapshot_epoch", Value::from(snap.epoch())),
-        (
-            "epoch_lag",
-            Value::from(engine_epoch.saturating_sub(snap.epoch())),
-        ),
-        ("snapshot_rows", Value::from(snap.row_count())),
-        ("snapshot_cells", Value::from(snap.cell_count())),
+        ("snapshot_epoch", snapshot_epoch),
+        ("epoch_lag", epoch_lag),
+        ("snapshot_rows", snapshot_rows),
+        ("snapshot_cells", snapshot_cells),
         (
             "rows_accepted",
             Value::from(state.rows_accepted.load(Ordering::SeqCst)),
         ),
-        ("shut_down", Value::from(shut_down)),
+        ("worker_restarts", Value::from(engine_stats.worker_restarts)),
+        ("rows_lost", Value::from(engine_stats.rows_lost)),
+        ("wal_attached", Value::from(wal_attached)),
+        ("wal_segments", Value::from(engine_stats.wal_segments)),
+        ("wal_bytes", Value::from(engine_stats.wal_bytes)),
+        (
+            "wal_append_errors",
+            Value::from(engine_stats.wal_append_errors),
+        ),
+        (
+            "degraded_served",
+            Value::from(state.degraded_served.load(Ordering::SeqCst)),
+        ),
+        (
+            "refresh_errors",
+            Value::from(state.refresh_errors.load(Ordering::SeqCst)),
+        ),
+        ("shut_down", Value::from(engine_stats.shut_down)),
         (
             "uptime_ms",
             Value::from(state.started.elapsed().as_millis() as u64),
         ),
     ]))
+}
+
+/// `GET /health` — liveness and readiness in one probe.
+///
+/// Answering at all is liveness (`"live": true`). Readiness means a
+/// snapshot exists and the engine is up: `200` when ready, `503` +
+/// `Retry-After` when not — the shape load balancers and the CI smoke
+/// test poll. The body always carries the fault counters a supervisor
+/// would alert on.
+fn handle_health(state: &ServerState) -> Response {
+    let snap = state.load_snapshot();
+    let engine = state.lock_engine();
+    let engine_epoch = engine.current_epoch();
+    let engine_stats = engine.stats();
+    let wal_attached = engine.wal_attached();
+    drop(engine);
+    let ready = snap.is_some() && !engine_stats.shut_down;
+    let epoch_lag = match &snap {
+        Some(s) => engine_epoch.saturating_sub(s.epoch()),
+        None => engine_epoch,
+    };
+    let body = Value::object(vec![
+        ("live", Value::from(true)),
+        ("ready", Value::from(ready)),
+        ("epoch_lag", Value::from(epoch_lag)),
+        ("worker_restarts", Value::from(engine_stats.worker_restarts)),
+        ("rows_lost", Value::from(engine_stats.rows_lost)),
+        ("wal_attached", Value::from(wal_attached)),
+        ("shut_down", Value::from(engine_stats.shut_down)),
+    ]);
+    if ready {
+        ok(body)
+    } else {
+        Response::json(503, body.to_string())
+            .with_header("Retry-After", state.retry_after_secs.to_string())
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ fn test_server() -> MsketchServer {
             // Manual refresh only: deterministic epochs.
             refresh_interval: Duration::ZERO,
             engine: EngineConfig::with_shards(2).batch_rows(64),
+            ..ServerConfig::default()
         },
     )
     .expect("start server")
@@ -92,7 +93,7 @@ fn ingest_refresh_quantile_round_trip_is_bit_exact() {
 
     // The served values equal the in-process answer on the same
     // snapshot, bit for bit — floats survive the JSON hop.
-    let snap = server.current_snapshot();
+    let snap = server.current_snapshot().expect("snapshot");
     let expected =
         QueryEngine::quantiles(snap.cube(), &snap.no_filter(), &[0.1, 0.5, 0.99]).unwrap();
     let served = doc.get("values").unwrap().as_array().unwrap();
@@ -206,7 +207,7 @@ fn search_agrees_with_in_process_macrobase() {
     assert_eq!(status, 200, "{doc}");
     // The serving contract: identical reports to in-process MacroBase
     // over the same snapshot (whatever the statistics decide).
-    let snap = server.current_snapshot();
+    let snap = server.current_snapshot().expect("snapshot");
     let mut macrobase = MacroBaseEngine::new(MacroBaseConfig {
         rate_ratio: 2.0,
         ..MacroBaseConfig::default()
@@ -324,4 +325,122 @@ fn shutdown_turns_ingest_into_503_and_is_idempotent() {
     // Reads still work from the last served snapshot.
     let (status, _) = call(&server, &request("GET", "/stats", &[], ""));
     assert_eq!(status, 200);
+}
+
+#[test]
+fn deferred_snapshot_reads_are_503_with_retry_after_until_refresh() {
+    let server = MsketchServer::start(
+        SketchSpec::moments(8),
+        &["app", "region"],
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            refresh_interval: Duration::ZERO,
+            engine: EngineConfig::with_shards(2).batch_rows(64),
+            defer_initial_snapshot: true,
+            retry_after_secs: 7,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    assert!(server.current_snapshot().is_none());
+
+    // Every read endpoint refuses to invent an answer and advises when
+    // to come back; /stats and /health stay answerable (that's the
+    // point of a health probe).
+    for path in ["/quantile", "/groupby", "/threshold", "/search"] {
+        let response = route(&server.state, &request("GET", path, &[], ""));
+        assert_eq!(response.status, 503, "{path}");
+        assert!(
+            response
+                .headers
+                .iter()
+                .any(|(name, value)| *name == "Retry-After" && value == "7"),
+            "{path} missing Retry-After: {:?}",
+            response.headers
+        );
+    }
+    let (status, doc) = call(&server, &request("GET", "/stats", &[], ""));
+    assert_eq!(status, 200);
+    assert!(matches!(doc.get("snapshot_epoch"), Some(Value::Null)));
+    // With nothing served yet, every engine epoch is unserved lag.
+    assert_eq!(doc.get("epoch_lag").unwrap().as_u64(), Some(0));
+
+    let response = route(&server.state, &request("GET", "/health", &[], ""));
+    assert_eq!(response.status, 503);
+    let doc = serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    assert_eq!(doc.get("live").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("ready").unwrap().as_bool(), Some(false));
+
+    // The first refresh makes the server ready.
+    ingest_demo_rows(&server, 100);
+    server.refresh().unwrap();
+    let (status, doc) = call(&server, &request("GET", "/quantile", &[], ""));
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("count").unwrap().as_f64(), Some(100.0));
+    let (status, doc) = call(&server, &request("GET", "/health", &[], ""));
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("ready").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn health_reports_not_ready_after_shutdown() {
+    let mut server = test_server();
+    let (status, doc) = call(&server, &request("GET", "/health", &[], ""));
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("ready").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("wal_attached").unwrap().as_bool(), Some(false));
+    server.shutdown();
+    let (status, doc) = call(&server, &request("GET", "/health", &[], ""));
+    assert_eq!(status, 503, "{doc}");
+    assert_eq!(doc.get("live").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("shut_down").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn expired_deadline_degrades_quantiles_to_bound_midpoints() {
+    let server = MsketchServer::start(
+        SketchSpec::moments(8),
+        &["app", "region"],
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            refresh_interval: Duration::ZERO,
+            engine: EngineConfig::with_shards(2).batch_rows(64),
+            quantile_deadline: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    ingest_demo_rows(&server, 2000);
+    server.refresh().unwrap();
+
+    // Under budget: the max-entropy fast path, not degraded.
+    let (status, doc) = call(&server, &request("GET", "/quantile", &[("q", "0.5")], ""));
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("degraded").unwrap().as_bool(), Some(false));
+
+    // Burn the budget before estimation starts: the response still
+    // answers (merge is never skipped) but switches to the closed-form
+    // moment-bound midpoint and says so.
+    failpoint::cfg("server::quantile_slow", "sleep(25)").unwrap();
+    let (status, doc) = call(&server, &request("GET", "/quantile", &[("q", "0.5")], ""));
+    failpoint::remove("server::quantile_slow");
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("degraded").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("count").unwrap().as_f64(), Some(2000.0));
+    assert_eq!(doc.get("cells_merged").unwrap().as_i64(), Some(4));
+
+    // Bit-exact with the interval midpoint computed in process.
+    let snap = server.current_snapshot().expect("snapshot");
+    let merged = snap.cube().rollup(&snap.no_filter()).unwrap();
+    let interval = quantile_interval(merged.as_moments().unwrap(), 0.5, 60);
+    let expected = 0.5 * (interval.lo + interval.hi);
+    let served = doc.get("values").unwrap().at(0).unwrap().as_f64().unwrap();
+    assert_eq!(served.to_bits(), expected.to_bits());
+    // The midpoint is a real estimate: inside the data range.
+    assert!((0.0..=999.0).contains(&served), "served {served}");
+
+    let (_, doc) = call(&server, &request("GET", "/stats", &[], ""));
+    assert_eq!(doc.get("degraded_served").unwrap().as_u64(), Some(1));
 }

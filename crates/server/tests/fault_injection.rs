@@ -1,0 +1,242 @@
+//! Fault-injection over real sockets: admission-queue shedding,
+//! not-ready 503s, deadline-degraded quantiles, WAL crash recovery
+//! through a server restart, and refresher/shutdown races — the
+//! server-level half of the deterministic fault harness.
+//!
+//! Failpoints are process-global, so every test that arms one holds
+//! [`FAILPOINT_LOCK`] for its whole body.
+
+use msketch_engine::EngineConfig;
+use msketch_server::{MsketchServer, ServerConfig};
+use msketch_sketches::SketchSpec;
+use std::sync::Mutex;
+use std::time::Duration;
+use tiny_http::client;
+
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+/// An ingest body over the single `app` dimension.
+fn ingest_body(rows: std::ops::Range<u64>) -> String {
+    let mut apps = Vec::new();
+    let mut metrics = Vec::new();
+    for i in rows {
+        apps.push(format!("{:?}", ["a", "b"][(i % 2) as usize]));
+        metrics.push(format!("{}", i as f64));
+    }
+    format!(
+        "{{\"columns\": [[{}]], \"metrics\": [{}]}}",
+        apps.join(","),
+        metrics.join(",")
+    )
+}
+
+fn start(config: ServerConfig) -> MsketchServer {
+    MsketchServer::start(SketchSpec::moments(8), &["app"], config).expect("start server")
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn full_admission_queue_sheds_quantile_requests_with_429() {
+    let _guard = FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // One worker, one queue slot: pin the worker on a slow /quantile
+    // (the failpoint stays armed — no count — so every evaluation
+    // sleeps), park one connection in the queue, and the third must
+    // be shed at accept time.
+    let mut server = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        queue_cap: 1,
+        retry_after_secs: 5,
+        refresh_interval: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    client::post(addr, "/ingest", &ingest_body(0..100)).unwrap();
+    server.refresh().unwrap();
+
+    failpoint::cfg("server::quantile_slow", "sleep(600)").unwrap();
+    let mut pin = client::Conn::connect(addr).unwrap();
+    let pinner = std::thread::spawn(move || pin.get("/quantile?q=0.5"));
+    // Let the worker dequeue the pinned connection, then occupy the
+    // single queue slot with an idle keep-alive connection.
+    std::thread::sleep(Duration::from_millis(150));
+    let _queued = client::Conn::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let (status, headers, body) = client::get_full(addr, "/quantile?q=0.5").unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert_eq!(header(&headers, "retry-after"), Some("5"), "{body}");
+    failpoint::remove("server::quantile_slow");
+
+    // The pinned request was delayed, not dropped.
+    let (status, body) = pinner.join().unwrap().unwrap();
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn reads_are_503_with_retry_after_until_the_first_snapshot() {
+    let mut server = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        defer_initial_snapshot: true,
+        retry_after_secs: 9,
+        refresh_interval: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Every read path sheds politely while there is nothing to serve.
+    for path in [
+        "/quantile?q=0.5",
+        "/groupby?dim=app&q=0.5",
+        "/threshold?q=0.9&t=1",
+        "/search?q=0.9&t=1",
+    ] {
+        let (status, headers, body) = client::get_full(addr, path).unwrap();
+        assert_eq!(status, 503, "{path}: {body}");
+        assert_eq!(header(&headers, "retry-after"), Some("9"), "{path}");
+    }
+    let (status, body) = client::get(addr, "/health").unwrap();
+    assert_eq!(status, 503, "{body}");
+    let doc = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc.get("live").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(doc.get("ready").and_then(|v| v.as_bool()), Some(false));
+
+    // Ingest works without a snapshot; once a refresh lands, every
+    // read path opens up.
+    let (status, body) = client::post(addr, "/ingest", &ingest_body(0..100)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    server.refresh().unwrap();
+    let (status, body) = client::get(addr, "/quantile?q=0.5").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc.get("count").and_then(|v| v.as_f64()), Some(100.0));
+    let (status, _) = client::get(addr, "/health").unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_serves_degraded_quantiles_over_http() {
+    let _guard = FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut server = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        quantile_deadline: Duration::from_millis(1),
+        refresh_interval: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    client::post(addr, "/ingest", &ingest_body(0..1000)).unwrap();
+    server.refresh().unwrap();
+
+    // Fast requests are exact.
+    let (status, body) = client::get(addr, "/quantile?q=0.5").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(false));
+
+    // A request that blows the deadline still answers — from the
+    // moment bounds — and says so.
+    failpoint::cfg("server::quantile_slow", "1*sleep(25)").unwrap();
+    let (status, body) = client::get(addr, "/quantile?q=0.5").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        doc.get("degraded").and_then(|v| v.as_bool()),
+        Some(true),
+        "{body}"
+    );
+    let value = doc.get("values").and_then(|v| v.as_array()).unwrap()[0]
+        .as_f64()
+        .unwrap();
+    assert!((0.0..=999.0).contains(&value), "degraded median {value}");
+
+    let (_, body) = client::get(addr, "/stats").unwrap();
+    let doc = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc.get("degraded_served").and_then(|v| v.as_u64()), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn wal_recovery_restores_served_answers_bit_exactly() {
+    let dir = std::env::temp_dir().join("msketch-server-fault-walrt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        refresh_interval: Duration::from_secs(3600),
+        wal_dir: Some(dir.clone()),
+        engine: EngineConfig::with_shards(2).batch_rows(128),
+        ..ServerConfig::default()
+    };
+
+    // First life: ingest, refresh (= durable checkpoint when a WAL is
+    // attached), record the served answers, go down.
+    let mut server = start(config());
+    let addr = server.local_addr();
+    let (status, body) = client::post(addr, "/ingest", &ingest_body(0..600)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    server.refresh().unwrap();
+    let (status, body) = client::get(addr, "/quantile?q=0.1,0.5,0.9").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let before = serde_json::from_str(&body).unwrap();
+    server.shutdown();
+
+    // Second life: replay the log and serve the same bits without a
+    // single row re-ingested.
+    let mut server = start(config());
+    let report = server.recovery_report().expect("recovery report");
+    assert_eq!(report.rows_recovered, 600);
+    assert!(report.segments_replayed >= 1);
+    let (status, body) = client::get(server.local_addr(), "/quantile?q=0.1,0.5,0.9").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let after = serde_json::from_str(&body).unwrap();
+    assert_eq!(after.get("count").and_then(|v| v.as_f64()), Some(600.0));
+    let bits = |doc: &serde_json::Value| -> Vec<u64> {
+        doc.get("values")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap().to_bits())
+            .collect()
+    };
+    assert_eq!(bits(&before), bits(&after), "{body}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_races_the_refresher_without_hanging() {
+    // A refresher ticking every millisecond against a WAL-backed
+    // engine maximizes the chance that shutdown lands mid-refresh;
+    // the refresher must observe the engine going down and exit, not
+    // wedge the join or panic the process.
+    for round in 0..3 {
+        let dir = std::env::temp_dir().join(format!("msketch-server-fault-race-{round}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut server = start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            refresh_interval: Duration::from_millis(1),
+            wal_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        client::post(addr, "/ingest", &ingest_body(0..200)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

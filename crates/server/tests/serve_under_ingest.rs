@@ -42,6 +42,7 @@ fn quantile_queries_against_a_live_server_under_ingest() {
             // Fast cadence so the reader observes several epochs.
             refresh_interval: Duration::from_millis(25),
             engine: EngineConfig::with_shards(2).batch_rows(256),
+            ..ServerConfig::default()
         },
     )
     .expect("start server");

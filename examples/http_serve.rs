@@ -38,6 +38,7 @@ fn main() {
             threads: 4,
             refresh_interval: std::time::Duration::ZERO,
             engine: EngineConfig::with_shards(4).batch_rows(4096),
+            ..ServerConfig::default()
         },
     )
     .expect("start server");
@@ -79,7 +80,7 @@ fn main() {
 
     // The in-process ground truth: the very snapshot the server now
     // answers from.
-    let snap = server.current_snapshot();
+    let snap = server.current_snapshot().expect("snapshot");
     assert_eq!(snap.epoch(), epoch);
     assert_eq!(snap.row_count() as usize, ROWS);
 

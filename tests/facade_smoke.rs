@@ -166,6 +166,7 @@ fn facade_serving_layer_round_trip() {
             threads: 1,
             refresh_interval: std::time::Duration::ZERO,
             engine: EngineConfig::with_shards(1).batch_rows(16),
+            ..ServerConfig::default()
         },
     )
     .expect("start server");
