@@ -518,7 +518,13 @@ impl DynShardedCube {
     /// A WAL append failure degrades durability for this pane only —
     /// the pane is still merged into the in-memory base before the
     /// error is returned, so queries stay consistent and a later
-    /// recovery simply replays one pane fewer.
+    /// recovery simply replays one pane fewer. The WAL handle itself
+    /// guarantees the failure stays *that* contained: it rewinds the
+    /// log to the last good frame boundary (or, failing that, poisons
+    /// itself and rejects every later append with
+    /// [`WalError::Poisoned`](crate::WalError::Poisoned)), so a
+    /// damaged tail can never silently swallow the checkpoints
+    /// appended after it.
     pub fn checkpoint(&mut self) -> Result<EngineSnapshot<SketchSpec>> {
         let pane = self.collect(true)?;
         let epoch = pane.epoch();

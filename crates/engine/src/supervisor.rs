@@ -42,10 +42,15 @@ pub struct EngineStats {
     /// Times a shard worker panicked mid-batch and was rolled back to
     /// its checkpoint. Zero in a healthy engine.
     pub worker_restarts: u64,
-    /// Rows discarded by those rollbacks (rows applied since the last
-    /// epoch boundary plus the poisoned batch itself).
+    /// Rows discarded by rollbacks (rows applied since the last epoch
+    /// boundary plus the poisoned batch itself) and by dying workers
+    /// (the in-flight batch plus everything queued behind the dead
+    /// receiver at exit time). `rows_applied + rows_lost` never
+    /// exceeds the rows accepted by the engine.
     pub rows_lost: u64,
-    /// Rows successfully applied across all shard workers.
+    /// Rows currently applied across all shard workers, net of
+    /// rollbacks — rows discarded by a rollback move from here to
+    /// [`rows_lost`](Self::rows_lost), they are never counted in both.
     pub rows_applied: u64,
     /// Segments appended to the WAL this process lifetime (0 when no
     /// WAL is attached).
@@ -94,6 +99,7 @@ pub(crate) fn worker_loop<F>(
                 // Dropping the receiver surfaces as `Disconnected` at
                 // the next engine call.
                 if failpoint::fail_if("engine::worker_exit") {
+                    abandon(&rx, batch.len() as u64, &stats);
                     return;
                 }
                 let rows = batch.len() as u64;
@@ -113,19 +119,25 @@ pub(crate) fn worker_loop<F>(
                     // panicking: dropping the receiver surfaces as
                     // `Disconnected` at the next engine call, without
                     // parking channel peers behind a dead worker.
-                    Ok(Err(_)) => return,
+                    Ok(Err(_)) => {
+                        abandon(&rx, rows, &stats);
+                        return;
+                    }
                     Err(_) => {
                         // Panic mid-batch: the cube may hold a torn
                         // insert. Roll back to the checkpoint and
                         // account for everything discarded — rows that
                         // had landed since the boundary plus the batch
-                        // that blew up.
-                        let discarded = cube
-                            .row_count()
-                            .saturating_sub(checkpoint.row_count())
-                            .saturating_add(rows);
+                        // that blew up. The rolled-back rows move from
+                        // rows_applied to rows_lost; counting them in
+                        // both would let applied + lost exceed the
+                        // rows the engine ever accepted.
+                        let rolled_back = cube.row_count().saturating_sub(checkpoint.row_count());
                         cube = checkpoint.clone();
-                        stats.rows_lost.fetch_add(discarded, Ordering::Relaxed);
+                        stats
+                            .rows_lost
+                            .fetch_add(rolled_back.saturating_add(rows), Ordering::Relaxed);
+                        stats.rows_applied.fetch_sub(rolled_back, Ordering::Relaxed);
                         stats.restarts.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -149,4 +161,28 @@ pub(crate) fn worker_loop<F>(
             ShardMsg::Shutdown => return,
         }
     }
+}
+
+/// A worker is abandoning its channel (hard exit, no restart): count
+/// the in-flight batch plus every batch already queued behind the
+/// dying receiver into `rows_lost`, so the loss shows up in `/health`
+/// and `/stats` immediately instead of staying invisible until a later
+/// engine call surfaces `Disconnected`. Rows sent *after* this drain
+/// are rejected at the engine's send, which has its own error path.
+fn abandon<F>(
+    rx: &crossbeam::channel::Receiver<ShardMsg<F>>,
+    in_flight_rows: u64,
+    stats: &SharedStats,
+) where
+    F: SummaryFactory + Clone,
+{
+    let mut lost = in_flight_rows;
+    while let Ok(msg) = rx.try_recv() {
+        if let ShardMsg::Batch(batch) = msg {
+            lost = lost.saturating_add(batch.len() as u64);
+        }
+        // Snapshot/Rotate replies drop here; their senders see the
+        // disconnect, same as when the receiver itself drops.
+    }
+    stats.rows_lost.fetch_add(lost, Ordering::Relaxed);
 }

@@ -26,7 +26,13 @@
 //!   `tests/wal_recovery.rs`);
 //! * a failed [`Wal::append`] degrades durability for that pane only —
 //!   the pane is still merged into the in-memory base cube, so queries
-//!   stay consistent and the error is reported to the caller.
+//!   stay consistent and the error is reported to the caller. The
+//!   handle rewinds the file to the last known-good frame boundary
+//!   before accepting another append (replay stops at the first
+//!   damaged frame, so appending past the damage would be silently
+//!   dropped by the next recovery); if the rewind itself fails, the
+//!   handle is *poisoned* and every later append returns
+//!   [`WalError::Poisoned`] instead of pretending to be durable.
 //!
 //! Fsync cadence is the throughput knob ([`FsyncPolicy`]); the
 //! `wal_bench` benchmark records the sweep in `BENCH_wal.json`.
@@ -99,6 +105,17 @@ pub enum WalError {
         /// The cube merge's rendered error.
         detail: String,
     },
+    /// The handle refuses to append: an earlier failure left damaged
+    /// bytes past the last known-good frame boundary and they could
+    /// not be rewound. Replay stops at the first damaged frame, so any
+    /// segment appended now would be silently dropped by the next
+    /// recovery — failing loudly here is what keeps that loss visible.
+    /// Reopen the log ([`Wal::open`]) to truncate the damage and
+    /// resume.
+    Poisoned {
+        /// The failure that poisoned the handle, rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -111,6 +128,13 @@ impl std::fmt::Display for WalError {
             }
             WalError::Merge { offset, detail } => {
                 write!(f, "wal segment at byte {offset} does not merge: {detail}")
+            }
+            WalError::Poisoned { detail } => {
+                write!(
+                    f,
+                    "wal poisoned by an unrewindable append failure ({detail}); \
+                     reopen the log to truncate the damage"
+                )
             }
         }
     }
@@ -161,6 +185,14 @@ pub struct Wal {
     segments_appended: u64,
     bytes_appended: u64,
     append_errors: u64,
+    /// File length as of the last fully-written frame: the rewind
+    /// target after a failed append, and the boundary replay would
+    /// stop at if we crashed right now.
+    committed_len: u64,
+    /// Set when a failed append could not be rewound; every later
+    /// append returns [`WalError::Poisoned`] until the log is
+    /// reopened.
+    poisoned: Option<String>,
 }
 
 impl Wal {
@@ -182,9 +214,9 @@ impl Wal {
     ) -> Result<(Wal, Option<DynCube>, RecoveryReport), WalError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("create wal dir", e))?;
         let path = dir.join(Self::LOG_FILE);
-        let stream = match std::fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        let (stream, created) = match std::fs::read(&path) {
+            Ok(bytes) => (bytes, false),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), true),
             Err(e) => return Err(io_err("read wal", e)),
         };
 
@@ -201,8 +233,20 @@ impl Wal {
             // Drop the torn/corrupt tail so the next append starts at a
             // frame boundary; without this, replay after the next crash
             // would stop at the old damage and lose the new segments.
+            // Sync the shorter length before appending over it — an
+            // unsynced truncation racing a crash could resurrect stale
+            // tail bytes past a fresh frame.
             file.set_len(report.valid_bytes)
                 .map_err(|e| io_err("truncate wal tail", e))?;
+            file.sync_data()
+                .map_err(|e| io_err("sync truncated wal", e))?;
+        }
+        if created {
+            // A new file's *directory entry* is not durable until the
+            // directory itself is synced; without this, power loss can
+            // vanish the whole log even though every later sync_data
+            // on the file succeeded.
+            sync_dir(dir)?;
         }
         file.seek(SeekFrom::End(0))
             .map_err(|e| io_err("seek wal end", e))?;
@@ -216,6 +260,8 @@ impl Wal {
                 segments_appended: 0,
                 bytes_appended: 0,
                 append_errors: 0,
+                committed_len: report.valid_bytes,
+                poisoned: None,
             },
             base,
             report,
@@ -225,11 +271,28 @@ impl Wal {
     /// Append one segment (a `DynCube` wire image) under `epoch`,
     /// syncing per the configured [`FsyncPolicy`]. Returns the frame
     /// size written.
+    ///
+    /// A failed append never leaves the log in a state where a *later*
+    /// append would be silently dropped by replay: the file is rewound
+    /// to the last fully-written frame before the error returns, and
+    /// if that rewind fails the handle poisons itself — every
+    /// subsequent call answers [`WalError::Poisoned`] until the log is
+    /// reopened.
     pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<u64, WalError> {
+        if let Some(detail) = &self.poisoned {
+            self.append_errors += 1;
+            return Err(WalError::Poisoned {
+                detail: detail.clone(),
+            });
+        }
         let frame = frame_segment(epoch, payload);
         // Fault injection: crash mid-append. Writing exactly half the
         // frame leaves the torn-tail shape a real crash leaves; the
-        // error models the process dying before the write completed.
+        // error models the process dying before the write completed,
+        // so the torn bytes stay on disk for recovery to truncate and
+        // the handle poisons itself — a crashed process cannot keep
+        // appending, and neither may we, or replay would silently drop
+        // everything we append past the tear.
         if failpoint::fail_if("engine::wal_torn_append") {
             let half = &frame[..frame.len() / 2];
             self.file
@@ -237,15 +300,50 @@ impl Wal {
                 .and_then(|()| self.file.sync_data())
                 .map_err(|e| io_err("append wal (injected torn write)", e))?;
             self.append_errors += 1;
+            self.poisoned = Some("injected torn append".to_string());
             return Err(WalError::Io("injected torn append".to_string()));
         }
-        if let Err(e) = self.write_frame(&frame) {
+        // Fault injection: a *transient* partial write (ENOSPC halfway
+        // through the frame, then the error returns to a live caller).
+        // Unlike the torn-append crash model above, the handle survives
+        // and must rewind so the next append lands on a frame boundary.
+        let outcome = if failpoint::fail_if("engine::wal_partial_append") {
+            self.file
+                .write_all(&frame[..frame.len() / 2])
+                .map_err(|e| io_err("append wal (injected partial write)", e))
+                .and(Err(WalError::Io("injected partial append".to_string())))
+        } else {
+            self.write_frame(&frame)
+        };
+        if let Err(e) = outcome {
             self.append_errors += 1;
+            // The frame may be partially on disk. Replay stops at the
+            // first damaged frame, so anything appended after it would
+            // be silently truncated by the next recovery. Rewind to
+            // the last known-good boundary; if even that fails, refuse
+            // all further appends rather than lose them silently.
+            if let Err(rewind) = self.rewind_to_committed() {
+                self.poisoned = Some(format!("{e}; rewind failed: {rewind}"));
+            }
             return Err(e);
         }
         self.segments_appended += 1;
         self.bytes_appended += frame.len() as u64;
+        self.committed_len += frame.len() as u64;
         Ok(frame.len() as u64)
+    }
+
+    /// Truncate the file back to the last fully-written frame and
+    /// reposition the cursor there, discarding any partial frame a
+    /// failed append left behind.
+    fn rewind_to_committed(&mut self) -> Result<(), WalError> {
+        self.file
+            .set_len(self.committed_len)
+            .map_err(|e| io_err("rewind wal to last good frame", e))?;
+        self.file
+            .seek(SeekFrom::Start(self.committed_len))
+            .map_err(|e| io_err("seek wal to last good frame", e))?;
+        Ok(())
     }
 
     fn write_frame(&mut self, frame: &[u8]) -> Result<(), WalError> {
@@ -290,6 +388,28 @@ impl Wal {
     pub fn append_errors(&self) -> u64 {
         self.append_errors
     }
+
+    /// Whether an unrewindable append failure has poisoned the handle
+    /// (every append now returns [`WalError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+}
+
+/// Make a directory's entries durable. A file created inside `dir` is
+/// only crash-safe once the directory itself has been fsynced.
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> Result<(), WalError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("sync wal dir", e))
+}
+
+/// Directories cannot be opened as files off unix; the log degrades to
+/// the platform's default metadata durability there.
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> Result<(), WalError> {
+    Ok(())
 }
 
 /// Replay a log byte stream: fold the longest usable segment prefix
@@ -353,6 +473,10 @@ mod tests {
     use super::*;
     use msketch_sketches::SketchSpec;
 
+    /// Failpoints are process-global; tests that arm one serialize so
+    /// a neighbor's `teardown()` can't disarm a site mid-test.
+    static FAILPOINT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     fn pane(rows: std::ops::Range<u64>) -> DynCube {
         let mut cube = DynCube::from_spec(SketchSpec::moments(8), &["region"]);
         for i in rows {
@@ -403,6 +527,9 @@ mod tests {
 
     #[test]
     fn torn_tail_is_truncated_not_fatal() {
+        let _guard = FAILPOINT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let dir = std::env::temp_dir().join("msketch-wal-test-torn");
         let _ = std::fs::remove_dir_all(&dir);
         let full_len;
@@ -415,6 +542,16 @@ mod tests {
             let err = wal.append(2, &pane(50..80).to_bytes()).unwrap_err();
             assert!(matches!(err, WalError::Io(_)));
             assert_eq!(wal.append_errors(), 1);
+            // The tear models a crash, so the handle is poisoned: an
+            // append past the torn bytes would be silently dropped by
+            // the next replay, and the handle refuses to let that
+            // loss be silent.
+            assert!(wal.is_poisoned());
+            assert!(matches!(
+                wal.append(3, &pane(80..90).to_bytes()),
+                Err(WalError::Poisoned { .. })
+            ));
+            assert_eq!(wal.append_errors(), 2);
         }
         failpoint::teardown();
         let (mut wal, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
@@ -434,6 +571,39 @@ mod tests {
         let (_, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
         assert_eq!(report.segments_replayed, 2);
         assert_eq!(base.unwrap().row_count(), 80);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_rewinds_so_later_segments_survive_replay() {
+        let _guard = FAILPOINT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir().join("msketch-wal-test-rewind");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut wal, _, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append(1, &pane(0..50).to_bytes()).unwrap();
+            // A transient partial write (ENOSPC mid-frame, caller
+            // survives): the error surfaces and the file rewinds to
+            // the last good frame boundary...
+            failpoint::cfg("engine::wal_partial_append", "1*return").unwrap();
+            let err = wal.append(2, &pane(50..80).to_bytes()).unwrap_err();
+            failpoint::remove("engine::wal_partial_append");
+            assert!(matches!(err, WalError::Io(_)));
+            assert_eq!(wal.append_errors(), 1);
+            assert!(!wal.is_poisoned());
+            // ...so the retry and every later append stay replayable
+            // instead of being silently truncated behind the damage.
+            wal.append(2, &pane(50..80).to_bytes()).unwrap();
+            wal.append(3, &pane(80..100).to_bytes()).unwrap();
+            assert_eq!(wal.segments_appended(), 3);
+        }
+        let (_, base, report) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.segments_replayed, 3);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.tail, None);
+        assert_eq!(base.unwrap().row_count(), 100);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

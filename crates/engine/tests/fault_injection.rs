@@ -7,7 +7,7 @@
 //! [`FAILPOINT_LOCK`] for its whole body — otherwise a `1*panic` armed
 //! here could fire inside a neighboring test's worker.
 
-use msketch_engine::{DynShardedCube, EngineConfig, EngineError, WalConfig};
+use msketch_engine::{DynShardedCube, EngineConfig, EngineError, WalConfig, WalError};
 use msketch_sketches::{Sketch, SketchSpec};
 use std::sync::Mutex;
 
@@ -95,6 +95,9 @@ fn worker_exit_surfaces_disconnected_and_shutdown_still_joins() {
     let mut engine = engine_1shard();
     ingest(&mut engine, 0..10);
     engine.flush().unwrap();
+    // Barrier: the first batch is applied before the failpoint arms,
+    // so exactly the second batch dies with the worker below.
+    assert_eq!(engine.snapshot().unwrap().row_count(), 10);
 
     // The worker exits its loop on the next batch (a hard crash the
     // supervisor cannot catch — the restart path doesn't apply). The
@@ -117,6 +120,13 @@ fn worker_exit_surfaces_disconnected_and_shutdown_still_joins() {
         Err(e) => assert_eq!(e, EngineError::Disconnected),
         Ok(_) => panic!("snapshot over a dead shard must fail"),
     }
+
+    // The loss is visible in stats immediately (the snapshot barrier
+    // above ordered us after the worker's exit): the in-flight batch
+    // the worker died on is accounted, not silently dropped.
+    let stats = engine.stats();
+    assert_eq!(stats.rows_lost, 10);
+    assert_eq!(stats.rows_applied, 10);
 
     // Shutdown never hangs and never panics: the exited thread joins
     // cleanly; the flush error (if any) is reported, not swallowed as
@@ -203,6 +213,20 @@ fn torn_append_degrades_durability_but_not_queries() {
         let snap = engine.snapshot().unwrap();
         assert_eq!(snap.row_count(), 500, "pane must not vanish in memory");
         assert_eq!(engine.stats().wal_append_errors, 1);
+
+        // The torn handle is poisoned: a later checkpoint must refuse
+        // the append with a typed error — were it to keep writing past
+        // the torn bytes, replay would silently drop every segment it
+        // "durably" fsynced back there. Memory stays consistent.
+        ingest(&mut engine, 500..600);
+        let result = engine.checkpoint();
+        assert!(matches!(
+            result,
+            Err(EngineError::Wal(WalError::Poisoned { .. }))
+        ));
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.row_count(), 600, "pane must not vanish in memory");
+        assert_eq!(engine.stats().wal_append_errors, 2);
     }
 
     // Recovery truncates the torn tail and replays the durable prefix.

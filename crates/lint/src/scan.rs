@@ -228,7 +228,11 @@ impl SourceFile {
                     comment.push(c);
                 }
                 Mode::Str => match c {
-                    '\\' => {
+                    // An escape consumes the next char — except a
+                    // `\<newline>` continuation, whose newline must
+                    // reach the line handler above or every later
+                    // line number shifts by one.
+                    '\\' if next != Some('\n') => {
                         i += 2;
                         continue;
                     }
@@ -354,6 +358,19 @@ mod tests {
         let file = SourceFile::scan(src);
         assert!(file.lines[0].code.contains("&'a str"));
         assert!(!file.lines[1].code.contains('n'));
+    }
+
+    #[test]
+    fn string_continuations_keep_line_numbers_aligned() {
+        // A `\`-continued string spans two source lines; the newline
+        // inside it must still advance the line counter, or every
+        // rule that maps scanned lines back to raw source drifts.
+        let src = "let s = \"first half \\\n    second half\";\nx.unwrap();\n";
+        let file = SourceFile::scan(src);
+        assert_eq!(file.lines.len(), 3);
+        assert_eq!(file.lines[2].number, 3);
+        assert!(file.lines[2].code.contains(".unwrap()"));
+        assert!(!file.lines[1].code.contains("second"));
     }
 
     #[test]

@@ -223,6 +223,16 @@ impl ServerState {
     /// Rotate a fresh snapshot into the slot; returns its epoch. With
     /// a WAL attached this is a durable checkpoint: the retired pane
     /// hits disk before the snapshot is published.
+    ///
+    /// The engine mutex is held across the whole checkpoint — with a
+    /// WAL and `FsyncPolicy::Always` that includes the segment write
+    /// and its fsync, so `/ingest` requests stall for the duration of
+    /// the sync once per refresh interval. That stall is the price of
+    /// the durability contract (the pane must be on disk before any
+    /// snapshot containing it is served); deployments that can't
+    /// afford it pick `every:N`/`never` fsync or a longer
+    /// `refresh_interval`, which bound the stall's frequency rather
+    /// than its ordering.
     fn refresh(&self) -> Result<u64, EngineError> {
         let mut engine = self.lock_engine();
         let accepted = self.rows_accepted.load(Ordering::SeqCst);
