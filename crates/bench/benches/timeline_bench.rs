@@ -1,0 +1,295 @@
+//! Timeline benchmark (the measurement behind `BENCH_timeline.json`):
+//! what does the hierarchical rollup buy an arbitrary-range quantile
+//! query, and what do compaction and the cell budget cost?
+//!
+//! Three measurements:
+//!
+//! * criterion `range_query/*` times `Timeline::range_cube` over a
+//!   fully compacted month of 1-minute buckets at widths from one
+//!   minute to 30 days — the O(log n) minimal-cover path;
+//! * in bench mode, a hand-rolled `range_vs_refold` table re-answers
+//!   the same ranges by loading and folding every base segment (what a
+//!   store without rollups must do) and prints the speedup;
+//! * bench-mode sections time one full compaction pass (segments
+//!   rolled per second) and tabulate segment count/size versus the
+//!   per-segment cell budget on a high-cardinality dimension.
+//!
+//! Under `cargo test` every body smoke-runs once over a scaled-down
+//! store (hours, not a month) to keep tier-1 fast.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msketch_cube::DynCube;
+use msketch_engine::FsyncPolicy;
+use msketch_sketches::SketchSpec;
+use msketch_timeline::{Timeline, TimelineConfig};
+use std::time::Instant;
+
+const MIN_MS: u64 = 60_000;
+const HOUR_MS: u64 = 60 * MIN_MS;
+const DAY_MS: u64 = 24 * HOUR_MS;
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("msketch-timeline-bench-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> TimelineConfig {
+    TimelineConfig::default()
+        .bucket_ms(MIN_MS)
+        .fanouts(&[60, 24])
+        .fsync(FsyncPolicy::Never)
+}
+
+/// Build a fully compacted store: `buckets` 1-minute buckets with
+/// `rows_per_bucket` rows each, checkpointed and rolled up to days.
+fn build_store(name: &str, buckets: u64, rows_per_bucket: u64) -> Timeline {
+    let dir = scratch(name);
+    let (mut timeline, _) =
+        Timeline::open(&dir, SketchSpec::moments(10), &["app", "region"], config())
+            .expect("open timeline");
+    for b in 0..buckets {
+        for i in 0..rows_per_bucket {
+            timeline
+                .insert(
+                    b * MIN_MS + i,
+                    &[
+                        ["checkout", "search", "feed"][((b + i) % 3) as usize],
+                        ["eu", "us"][(i % 2) as usize],
+                    ],
+                    (b + i) as f64,
+                )
+                .expect("insert");
+        }
+    }
+    timeline
+        .maintain(buckets * MIN_MS + DAY_MS)
+        .expect("maintain");
+    timeline
+}
+
+/// The no-rollup baseline: load and fold every base segment in
+/// `[t0, t1)`, as a store without the hierarchy would have to.
+fn raw_refold(timeline: &Timeline, t0: u64, t1: u64) -> (DynCube, usize) {
+    let dims: Vec<&str> = timeline.dim_names().iter().map(|s| s.as_str()).collect();
+    let mut cube = DynCube::from_spec(timeline.spec().clone(), &dims);
+    let store = timeline.store();
+    let mut read = 0usize;
+    for ((_, _), meta) in store.index().range((0u8, t0)..(0u8, t1)) {
+        let segment = store.load(meta).expect("load segment");
+        cube.merge_cube(&segment).expect("fold segment");
+        read += 1;
+    }
+    (cube, read)
+}
+
+/// Query widths: (label, width, offset of t0 into the store).
+fn widths(span_ms: u64) -> Vec<(&'static str, u64, u64)> {
+    [
+        ("1m", MIN_MS),
+        ("1h", HOUR_MS),
+        ("6h", 6 * HOUR_MS),
+        ("1d", DAY_MS),
+        ("7d", 7 * DAY_MS),
+        ("30d", 30 * DAY_MS),
+    ]
+    .into_iter()
+    .filter(|&(_, w)| w + 90 * MIN_MS <= span_ms)
+    // Offset by 90 minutes so covers pay real minute/hour edges.
+    .map(|(label, w)| (label, w, 90 * MIN_MS))
+    .collect()
+}
+
+fn bench_range_queries(c: &mut Criterion) {
+    // A month of minutes in bench mode; three hours in the smoke run.
+    let buckets = if bench_mode() { 31 * 24 * 60 } else { 3 * 60 };
+    let timeline = build_store("range", buckets, 4);
+    let span = buckets * MIN_MS;
+
+    let mut group = c.benchmark_group("range_query");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, width, offset) in widths(span) {
+        let timeline = &timeline;
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let answer = timeline
+                    .range_cube(offset, offset + width)
+                    .expect("range")
+                    .expect("non-empty");
+                black_box(answer.segments_read)
+            })
+        });
+    }
+    group.finish();
+
+    if !bench_mode() {
+        let _ = std::fs::remove_dir_all(timeline.store().dir());
+        return;
+    }
+
+    // Cover versus refold, same ranges, printed as a table. The refold
+    // is measured over few iterations — it reads thousands of files.
+    println!("\nrange_vs_refold: minimal cover vs folding every base segment");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "width", "cover_segs", "base_segs", "cover_ms", "refold_ms", "speedup"
+    );
+    for (label, width, offset) in widths(span) {
+        let (t0, t1) = (offset, offset + width);
+        let answer = timeline.range_cube(t0, t1).expect("range").expect("rows");
+        let (folded, base_segs) = raw_refold(&timeline, t0, t1);
+        assert_eq!(
+            answer.cube.row_count(),
+            folded.row_count(),
+            "cover and refold disagree"
+        );
+        let cover_ms = {
+            let runs = 20;
+            let start = Instant::now();
+            for _ in 0..runs {
+                black_box(timeline.range_cube(t0, t1).expect("range"));
+            }
+            start.elapsed().as_secs_f64() * 1e3 / f64::from(runs)
+        };
+        let refold_ms = {
+            let runs = 3;
+            let start = Instant::now();
+            for _ in 0..runs {
+                black_box(raw_refold(&timeline, t0, t1));
+            }
+            start.elapsed().as_secs_f64() * 1e3 / f64::from(runs)
+        };
+        println!(
+            "{:>6} {:>10} {:>10} {:>12.3} {:>12.3} {:>8.1}x",
+            label,
+            answer.segments_read,
+            base_segs,
+            cover_ms,
+            refold_ms,
+            refold_ms / cover_ms
+        );
+    }
+    let _ = std::fs::remove_dir_all(timeline.store().dir());
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    // Checkpoint-only store: compaction gets timed separately.
+    let buckets: u64 = if bench_mode() { 2 * 24 * 60 } else { 2 * 60 };
+    let dir = scratch("compact");
+    let (mut timeline, _) =
+        Timeline::open(&dir, SketchSpec::moments(10), &["app", "region"], config())
+            .expect("open timeline");
+    for b in 0..buckets {
+        for i in 0..4u64 {
+            timeline
+                .insert(
+                    b * MIN_MS + i,
+                    &[
+                        ["checkout", "search", "feed"][((b + i) % 3) as usize],
+                        ["eu", "us"][(i % 2) as usize],
+                    ],
+                    (b + i) as f64,
+                )
+                .expect("insert");
+        }
+    }
+    let now = buckets * MIN_MS + DAY_MS;
+    timeline.checkpoint(now).expect("checkpoint");
+
+    let base_segments = timeline.store().index().len();
+    let start = Instant::now();
+    let rollups = timeline.compact(now).expect("compact");
+    let elapsed = start.elapsed();
+
+    // Criterion entry so the number lands in the harness output too:
+    // an already-compacted pass (the steady-state maintenance cost).
+    let mut group = c.benchmark_group("compaction");
+    group.sample_size(20);
+    {
+        let timeline = &mut timeline;
+        group.bench_function("steady_state_noop", move |b| {
+            b.iter(|| black_box(timeline.compact(now).expect("noop compact")))
+        });
+    }
+    group.finish();
+
+    if bench_mode() {
+        let folded = timeline.stats().values_folded;
+        println!(
+            "\ncompaction: {base_segments} base segments -> {rollups} rollups in {:.1} ms \
+             ({:.0} segments/s folded, {folded} values)",
+            elapsed.as_secs_f64() * 1e3,
+            base_segments as f64 / elapsed.as_secs_f64()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_cell_budget(c: &mut Criterion) {
+    let _ = c;
+    if !bench_mode() {
+        return;
+    }
+    // A high-cardinality dimension (512 apps) over six hours of
+    // minutes: without a budget every rollup keeps every cell; with
+    // one, rare apps fold into `<other>` and segments stay bounded.
+    let buckets: u64 = 6 * 60;
+    println!("\ncell_budget: rollup segment size vs per-segment budget (512-value dimension)");
+    println!(
+        "{:>8} {:>9} {:>13} {:>13} {:>12}",
+        "budget", "segments", "rollup_cells", "max_cells", "store_bytes"
+    );
+    for budget in [0usize, 256, 64, 16] {
+        let dir = scratch(&format!("budget-{budget}"));
+        let (mut timeline, _) = Timeline::open(
+            &dir,
+            SketchSpec::moments(10),
+            &["app", "region"],
+            config().cell_budget(budget),
+        )
+        .expect("open timeline");
+        for b in 0..buckets {
+            for i in 0..32u64 {
+                let app = format!("app-{}", (b * 31 + i * 7) % 512);
+                timeline
+                    .insert(
+                        b * MIN_MS + i,
+                        &[&app, ["eu", "us"][(i % 2) as usize]],
+                        (b + i) as f64,
+                    )
+                    .expect("insert");
+            }
+        }
+        timeline
+            .maintain(buckets * MIN_MS + DAY_MS)
+            .expect("maintain");
+        let store = timeline.store();
+        let rollups: Vec<_> = store
+            .index()
+            .iter()
+            .filter(|((level, _), _)| *level > 0)
+            .map(|(_, meta)| meta.cells)
+            .collect();
+        println!(
+            "{:>8} {:>9} {:>13} {:>13} {:>12}",
+            budget,
+            store.index().len(),
+            rollups.iter().sum::<usize>(),
+            rollups.iter().max().copied().unwrap_or(0),
+            store.total_bytes()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_range_queries,
+    bench_compaction,
+    bench_cell_budget
+);
+criterion_main!(benches);

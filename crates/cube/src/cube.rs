@@ -480,6 +480,113 @@ impl<F: SummaryFactory> DataCube<F> {
         vec![None; self.dims.len()]
     }
 
+    /// Shrink the cube to at most `budget` cells by folding rare
+    /// dimension values into `other_label` — the cell-count guardrail
+    /// the timeline compactor applies before sealing a rolled-up
+    /// segment (high-cardinality dimensions would otherwise make
+    /// coarse segments grow toward the full cell product).
+    ///
+    /// One value folds per round: the (dimension, value) pair covering
+    /// the fewest rows, ties broken by dimension position then value
+    /// name, so the choice depends only on the cube's logical content —
+    /// two cubes holding the same cells fold identically no matter how
+    /// their dictionaries assigned ids. Folding rewrites every cell
+    /// holding the victim value to hold `other_label` instead and
+    /// merges colliding cells in decoded-tuple order (the same
+    /// determinism convention as [`Self::rollup`]). Total row count,
+    /// and therefore any whole-cube roll-up, is preserved; only
+    /// filters and group-bys that would have named a folded value lose
+    /// resolution, answering for `other_label` in aggregate instead.
+    ///
+    /// A `budget` of zero is treated as one (a non-empty cube cannot
+    /// hold fewer than one cell). Returns the number of values folded.
+    pub fn enforce_cell_budget(&mut self, budget: usize, other_label: &str) -> usize {
+        let budget = budget.max(1);
+        let mut folds = 0usize;
+        while self.cells.len() > budget {
+            match self.rarest_value(other_label) {
+                Some((dim, victim)) => {
+                    self.fold_value(dim, victim, other_label);
+                    folds += 1;
+                }
+                // Every live value is already `other_label`: at most one
+                // cell per dimension tuple remains, which fits any budget.
+                None => break,
+            }
+        }
+        folds
+    }
+
+    /// The (dimension, value id) pair covering the fewest rows, the
+    /// next victim for [`Self::enforce_cell_budget`]. Values already
+    /// named `other_label` are never candidates. Ties break by
+    /// dimension position, then decoded value name, so the pick is
+    /// independent of dictionary id assignment.
+    fn rarest_value(&self, other_label: &str) -> Option<(usize, u32)> {
+        let mut weights: Vec<FxHashMap<u32, u64>> =
+            self.dims.iter().map(|_| FxHashMap::default()).collect();
+        for (key, summary) in self.cells.iter() {
+            let rows = summary.count();
+            for (d, &id) in key.iter().enumerate() {
+                *weights[d].entry(id).or_insert(0) += rows;
+            }
+        }
+        let mut best: Option<(u64, usize, &str, u32)> = None;
+        for (d, per_value) in weights.iter().enumerate() {
+            for (&id, &rows) in per_value.iter() {
+                let name = self.dims[d].decode(id).unwrap_or("");
+                if name == other_label {
+                    continue;
+                }
+                let candidate = (rows, d, name, id);
+                let better = match &best {
+                    None => true,
+                    Some(b) => (candidate.0, candidate.1, candidate.2) < (b.0, b.1, b.2),
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.map(|(_, d, _, id)| (d, id))
+    }
+
+    /// Rewrite every cell whose `dim` component is `victim` to carry
+    /// `other_label`'s id instead, merging collisions in decoded-tuple
+    /// order of the pre-fold cells.
+    fn fold_value(&mut self, dim: usize, victim: u32, other_label: &str) {
+        let other = self.dims[dim].encode(other_label);
+        if other == victim {
+            return;
+        }
+        let old = std::mem::take(&mut self.cells);
+        let mut ordered: Vec<(Vec<String>, Vec<u32>, F::Summary)> = old
+            .into_iter()
+            .map(|(mut key, summary)| {
+                let names: Vec<String> = key
+                    .iter()
+                    .zip(&self.dims)
+                    .map(|(&id, dict)| dict.decode(id).unwrap_or("").to_string())
+                    .collect();
+                if key[dim] == victim {
+                    key[dim] = other;
+                }
+                (names, key, summary)
+            })
+            .collect();
+        ordered.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (_, key, summary) in ordered {
+            match self.cells.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge_from(&summary)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(summary);
+                }
+            }
+        }
+    }
+
     /// Materialize a roll-up cube over a subset of dimensions (a
     /// pre-computed view, as engines like Druid/Kodiak maintain for hot
     /// dimension combinations). Queries against the projected cube merge
@@ -748,6 +855,114 @@ mod tests {
             other => panic!("expected BackendMismatch, got {other:?}"),
         }
         assert_eq!(a.row_count(), 1, "failed merge must not mutate the cube");
+    }
+
+    #[test]
+    fn cell_budget_folds_rare_values_into_other() {
+        use msketch_sketches::SketchSpec;
+        let mut cube = crate::DynCube::from_spec(SketchSpec::moments(6), &["app", "host"]);
+        // "checkout" dominates; hosts h0..h9 are rare singletons.
+        for i in 0..1000 {
+            cube.insert(&["checkout", "h-hot"], i as f64).unwrap();
+        }
+        for i in 0..10 {
+            let host = format!("h{i}");
+            cube.insert(&["search", host.as_str()], i as f64).unwrap();
+        }
+        assert_eq!(cube.cell_count(), 11);
+        let before = cube.rollup(&cube.no_filter()).unwrap();
+        let folds = cube.enforce_cell_budget(2, "<other>");
+        assert!(folds > 0);
+        assert!(cube.cell_count() <= 2, "cells {}", cube.cell_count());
+        // Whole-cube aggregates survive the fold bit-exactly: folding
+        // only regroups cells, and the full roll-up merges them all in
+        // decoded order either way... but grouping changes the merge
+        // tree, so only the integer count is guaranteed exact.
+        let after = cube.rollup(&cube.no_filter()).unwrap();
+        assert_eq!(before.count(), after.count());
+        assert_eq!(cube.row_count(), 1010);
+        // The dominant cell survives untouched; rare hosts answer as
+        // `<other>` in aggregate.
+        let hot = cube.dictionary(1).unwrap().lookup("h-hot").unwrap();
+        assert_eq!(cube.rollup(&[None, Some(hot)]).unwrap().count(), 1000);
+        let other = cube.dictionary(1).unwrap().lookup("<other>").unwrap();
+        assert_eq!(cube.rollup(&[None, Some(other)]).unwrap().count(), 10);
+    }
+
+    #[test]
+    fn cell_budget_is_deterministic_across_build_orders() {
+        use msketch_sketches::SketchSpec;
+        // Same logical rows, interned in different orders → different
+        // dictionary ids. The fold must pick the same victims by name.
+        let rows: Vec<(String, String, f64)> = (0..500)
+            .map(|i| {
+                (
+                    format!("app{}", i % 7),
+                    format!("host{}", i % 13),
+                    (i % 97) as f64,
+                )
+            })
+            .collect();
+        let mut fwd = crate::DynCube::from_spec(SketchSpec::moments(6), &["app", "host"]);
+        let mut rev = crate::DynCube::from_spec(SketchSpec::moments(6), &["app", "host"]);
+        // Pre-intern values in opposite orders so dictionary ids
+        // disagree, then insert rows identically (per-cell accumulate
+        // order must match for bit comparison — only id assignment may
+        // differ).
+        let values: Vec<(String, String)> = rows
+            .iter()
+            .map(|(a, h, _)| (a.clone(), h.clone()))
+            .collect();
+        for (a, h) in &values {
+            fwd.encode_dims(&[a, h]).unwrap();
+        }
+        for (a, h) in values.iter().rev() {
+            rev.encode_dims(&[a, h]).unwrap();
+        }
+        for (a, h, m) in &rows {
+            fwd.insert(&[a, h], *m).unwrap();
+            rev.insert(&[a, h], *m).unwrap();
+        }
+        fwd.enforce_cell_budget(20, "<other>");
+        rev.enforce_cell_budget(20, "<other>");
+        assert_eq!(fwd.cell_count(), rev.cell_count());
+        // Every surviving cell matches by decoded name and answers with
+        // identical bits.
+        let fcells = fwd.cells_sorted();
+        let rcells = rev.cells_sorted();
+        for ((fk, fs), (rk, rs)) in fcells.iter().zip(&rcells) {
+            let fname: Vec<&str> = fk
+                .iter()
+                .zip(0..)
+                .map(|(&id, d)| fwd.dictionary(d).unwrap().decode(id).unwrap())
+                .collect();
+            let rname: Vec<&str> = rk
+                .iter()
+                .zip(0..)
+                .map(|(&id, d)| rev.dictionary(d).unwrap().decode(id).unwrap())
+                .collect();
+            assert_eq!(fname, rname);
+            assert_eq!(fs.count(), rs.count());
+            assert_eq!(fs.quantile(0.9).to_bits(), rs.quantile(0.9).to_bits());
+        }
+    }
+
+    #[test]
+    fn cell_budget_zero_and_generous_budgets() {
+        use msketch_sketches::SketchSpec;
+        let mut cube = crate::DynCube::from_spec(SketchSpec::moments(6), &["app"]);
+        for app in ["a", "b", "c"] {
+            cube.insert(&[app], 1.0).unwrap();
+        }
+        // Generous budget: nothing to do.
+        assert_eq!(cube.enforce_cell_budget(10, "<other>"), 0);
+        assert_eq!(cube.cell_count(), 3);
+        // Budget zero clamps to one cell; all rows fold into `<other>`.
+        cube.enforce_cell_budget(0, "<other>");
+        assert_eq!(cube.cell_count(), 1);
+        assert_eq!(cube.row_count(), 3);
+        let all = cube.rollup(&cube.no_filter()).unwrap();
+        assert_eq!(all.count(), 3);
     }
 
     #[test]

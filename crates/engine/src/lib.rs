@@ -55,6 +55,11 @@ pub enum EngineError {
     /// progress.
     Disconnected,
     /// Pane rotation found no rows to retire into the window.
+    ///
+    /// No longer produced by [`SlidingEngine::rotate`] — empty panes
+    /// now retire as zero-row sketches so quiet periods age data out
+    /// instead of failing the rotation. Kept for callers matching on
+    /// the variant.
     EmptyPane,
     /// Sliding-window serving requires moments-backed cells (turnstile
     /// updates need raw power sums); the cube's backend is different.

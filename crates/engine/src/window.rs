@@ -66,27 +66,37 @@ where
     /// Close the current pane: fold its cells into one all-data moments
     /// sketch, push it into the window, and return the retired pane
     /// snapshot alongside the up-to-date window aggregate.
+    ///
+    /// A pane that saw no rows retires as an *empty* sketch, not an
+    /// error: quiet periods are ordinary in time-windowed serving, and
+    /// an empty pane must still advance the turnstile (so old panes age
+    /// out on schedule) and keep the window aggregate well-defined —
+    /// queries over an all-empty window report zero rows rather than
+    /// failing.
     pub fn rotate(&mut self) -> Result<(EngineSnapshot<F>, &MomentsSketch)> {
         let pane = self.engine.rotate_pane()?;
         // Deterministic fold order (decoded value tuples): bit-identical
         // pane aggregates for identical pane contents, as everywhere
         // else in the read path.
-        let cells = pane.cells_sorted();
-        if cells.is_empty() {
-            return Err(EngineError::EmptyPane);
-        }
         let mut agg: Option<MomentsSketch> = None;
-        for (_, cell) in cells {
+        for (_, cell) in pane.cells_sorted() {
             let sketch = cell.as_moments().ok_or(EngineError::NonMomentsBackend)?;
             match &mut agg {
                 None => agg = Some(sketch.clone()),
                 Some(a) => a.merge(sketch),
             }
         }
-        // `cells` was checked non-empty, so the fold produced a sketch;
-        // spelled as a checked branch to keep the rotation panic-free.
-        let Some(agg) = agg else {
-            return Err(EngineError::EmptyPane);
+        // No cells this pane: push a zero-row sketch from the factory
+        // (validated moments-backed at construction).
+        let agg = match agg {
+            Some(agg) => agg,
+            None => self
+                .engine
+                .factory()
+                .build()
+                .as_moments()
+                .ok_or(EngineError::NonMomentsBackend)?
+                .clone(),
         };
         Ok((pane, self.window.push(agg)))
     }
@@ -165,14 +175,31 @@ mod tests {
     }
 
     #[test]
-    fn empty_pane_is_an_error() {
+    fn empty_pane_rotates_into_a_zero_row_aggregate() {
         let engine = DynEngine::new(
             SketchSpec::moments(8),
             &["host"],
             EngineConfig::with_shards(1),
         );
         let mut sliding = SlidingEngine::new(engine, 2).unwrap();
-        assert!(matches!(sliding.rotate(), Err(EngineError::EmptyPane)));
+        // Rotating with no rows is not an error: the pane retires empty
+        // and the window aggregate reports zero rows.
+        let (retired, agg) = sliding.rotate().unwrap();
+        assert_eq!(retired.row_count(), 0);
+        assert_eq!(agg.count(), 0.0);
+        assert_eq!(sliding.pane_count(), 1);
+        // A quiet pane between busy ones still ages data out on
+        // schedule: with a 2-pane window, one busy pane followed by two
+        // quiet rotations leaves nothing in the window.
+        for i in 0..50u64 {
+            sliding.insert(&["h"], i as f64).unwrap();
+        }
+        let (_, agg) = sliding.rotate().unwrap();
+        assert_eq!(agg.count(), 50.0);
+        let (_, agg) = sliding.rotate().unwrap();
+        assert_eq!(agg.count(), 50.0, "busy pane still inside the window");
+        let (_, agg) = sliding.rotate().unwrap();
+        assert_eq!(agg.count(), 0.0, "busy pane aged out by quiet panes");
     }
 
     type DynEngine = crate::DynShardedCube;

@@ -26,6 +26,8 @@ use std::path::{Path, PathBuf};
 
 /// Where the `SketchKind` wire tags live.
 pub const API_PATH: &str = "crates/sketches/src/api.rs";
+/// Where the `TimelineWire` segment tags live (same flat registry).
+pub const TIMELINE_WIRE_PATH: &str = "crates/timeline/src/segment.rs";
 /// The committed wire-tag registry the `wire` rule diffs against.
 pub const GOLDEN_PATH: &str = "lint/wire_tags.golden";
 /// The committed fault-injection site registry the `failpoint` rule
@@ -120,8 +122,9 @@ impl FileContext {
     /// Classify a workspace-relative path.
     pub fn classify(path: &str) -> FileContext {
         let compat = path.starts_with("crates/compat/");
-        let panic_scope =
-            path.starts_with("crates/engine/src/") || path.starts_with("crates/server/src/");
+        let panic_scope = path.starts_with("crates/engine/src/")
+            || path.starts_with("crates/server/src/")
+            || path.starts_with("crates/timeline/src/");
         let test_code = path.starts_with("tests/")
             || path.contains("/tests/")
             || path.contains("/benches/")
@@ -221,10 +224,23 @@ pub fn lint_workspace(root: &Path, ruleset: &RuleSet) -> std::io::Result<Vec<Fin
     }
     if ruleset.enabled("wire") {
         let api = std::fs::read_to_string(root.join(API_PATH))?;
+        let timeline = std::fs::read_to_string(root.join(TIMELINE_WIRE_PATH))?;
+        let api_scanned = SourceFile::scan(&api);
+        let timeline_scanned = SourceFile::scan(&timeline);
         match std::fs::read_to_string(root.join(GOLDEN_PATH)) {
             Ok(golden) => findings.extend(rules::wire::check(
-                API_PATH,
-                &SourceFile::scan(&api),
+                &[
+                    rules::wire::TagSource {
+                        path: API_PATH,
+                        file: &api_scanned,
+                        enum_name: "SketchKind",
+                    },
+                    rules::wire::TagSource {
+                        path: TIMELINE_WIRE_PATH,
+                        file: &timeline_scanned,
+                        enum_name: "TimelineWire",
+                    },
+                ],
                 GOLDEN_PATH,
                 &golden,
             )),
@@ -291,6 +307,8 @@ mod tests {
         assert!(compat.compat && !compat.panic_scope);
         let server = FileContext::classify("crates/server/src/lib.rs");
         assert!(server.panic_scope && !server.test_code);
+        let timeline = FileContext::classify("crates/timeline/src/timeline.rs");
+        assert!(timeline.panic_scope && !timeline.compat);
         let module_tests = FileContext::classify("crates/server/src/tests.rs");
         assert!(module_tests.test_code);
         let integration = FileContext::classify("tests/lint_self.rs");

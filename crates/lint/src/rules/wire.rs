@@ -1,50 +1,81 @@
-//! Rule `wire`: `SketchKind` wire-tag stability.
+//! Rule `wire`: wire-tag stability across every tag-owning enum.
 //!
-//! The one-byte discriminants of `SketchKind` in
-//! `crates/sketches/src/api.rs` are the wire format's backend tags
-//! (PR 3): every serialized cube and sketch carries one, so a reused or
-//! renumbered tag silently decodes old bytes as the wrong backend. The
-//! committed registry `lint/wire_tags.golden` pins every tag ever
-//! shipped; against it, this rule fails on
+//! The one-byte discriminants of `SketchKind` (`crates/sketches/src/
+//! api.rs`) and `TimelineWire` (`crates/timeline/src/segment.rs`) are
+//! the wire format's tags: every serialized cube, sketch, and timeline
+//! segment carries one, so a reused or renumbered tag silently decodes
+//! old bytes as the wrong format. The committed registry
+//! `lint/wire_tags.golden` pins every tag ever shipped in one flat
+//! namespace — tags are unique across *all* enums, so a sketch tag can
+//! never be recycled as a segment header. Against it, this rule fails
+//! on
 //!
 //! * **renumber** — a golden name now has a different code;
-//! * **removal** — a golden name no longer exists in the enum;
-//! * **reuse** — two enum entries share a code, or a new name takes a
-//!   code the registry already assigned to another name;
+//! * **removal** — a golden name no longer exists in any enum;
+//! * **reuse** — two enum entries share a code (even across enums), or
+//!   a new name takes a code the registry already assigned;
 //! * **implicit or unregistered tags** — every entry needs an explicit
-//!   `= N`, and a genuinely new backend must be *appended* to the
-//!   golden file (the one allowed evolution).
+//!   `= N`, and a genuinely new tag must be *appended* to the golden
+//!   file (the one allowed evolution).
 
 use crate::scan::SourceFile;
 use crate::Finding;
 
-/// One `Name = code` tag entry, with the source line it came from.
+/// One `Name = code` tag entry, with where it came from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TagEntry {
     /// Variant name.
     pub name: String,
     /// One-byte wire tag.
     pub code: u8,
-    /// 1-based source line (0 for golden entries).
+    /// 1-based source line (golden entries: their line in the golden).
     pub line: usize,
+    /// Owning enum (`SketchKind`, `TimelineWire`; empty for golden
+    /// entries — the registry is one flat namespace).
+    pub owner: String,
+    /// Source file the entry was parsed from.
+    pub path: String,
 }
 
-/// Parse `enum SketchKind { … }` variants out of scanned api.rs source.
-/// `Err` carries findings for malformed entries (missing `= N`).
-pub fn parse_enum(api_path: &str, file: &SourceFile) -> Result<Vec<TagEntry>, Vec<Finding>> {
+impl TagEntry {
+    /// `Owner::Name` for source entries, bare `Name` for golden ones.
+    fn label(&self) -> String {
+        if self.owner.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}::{}", self.owner, self.name)
+        }
+    }
+}
+
+/// One source file holding a tag-owning enum.
+#[derive(Debug, Clone, Copy)]
+pub struct TagSource<'a> {
+    /// Workspace-relative path (labels findings).
+    pub path: &'a str,
+    /// Scanned source.
+    pub file: &'a SourceFile,
+    /// The enum to extract (`SketchKind`, `TimelineWire`).
+    pub enum_name: &'a str,
+}
+
+/// Parse `enum <name> { … }` variants out of scanned source. `Err`
+/// carries findings for malformed entries (missing `= N`).
+pub fn parse_enum(source: TagSource<'_>) -> Result<Vec<TagEntry>, Vec<Finding>> {
     let mut entries = Vec::new();
     let mut findings = Vec::new();
     let mut inside = false;
-    for line in &file.lines {
+    let needle = format!("enum {}", source.enum_name);
+    for line in &source.file.lines {
         let code = line.code.trim();
         if !inside {
-            if code.contains("enum SketchKind") {
+            if code.contains(&needle) {
                 inside = true;
             }
             continue;
         }
-        // SketchKind variants are unit-with-discriminant, so the first
-        // closing brace at variant level ends the enum.
+        // Tag enums are unit-with-discriminant, so the first closing
+        // brace at variant level ends the enum.
         if code.starts_with('}') {
             break;
         }
@@ -63,10 +94,13 @@ pub fn parse_enum(api_path: &str, file: &SourceFile) -> Result<Vec<TagEntry>, Ve
         let rest = code[name.len()..].trim().trim_end_matches(',').trim();
         let Some(value) = rest.strip_prefix('=').map(str::trim) else {
             findings.push(Finding::at(
-                api_path,
+                source.path,
                 line.number,
                 "wire",
-                format!("SketchKind::{name} has no explicit discriminant; wire tags must be written `= N`"),
+                format!(
+                    "{}::{name} has no explicit discriminant; wire tags must be written `= N`",
+                    source.enum_name
+                ),
             ));
             continue;
         };
@@ -75,21 +109,29 @@ pub fn parse_enum(api_path: &str, file: &SourceFile) -> Result<Vec<TagEntry>, Ve
                 name,
                 code: codepoint,
                 line: line.number,
+                owner: source.enum_name.to_string(),
+                path: source.path.to_string(),
             }),
             Err(_) => findings.push(Finding::at(
-                api_path,
+                source.path,
                 line.number,
                 "wire",
-                format!("SketchKind::{name} discriminant {value:?} is not a u8 literal"),
+                format!(
+                    "{}::{name} discriminant {value:?} is not a u8 literal",
+                    source.enum_name
+                ),
             )),
         }
     }
     if !inside {
         findings.push(Finding::at(
-            api_path,
+            source.path,
             1,
             "wire",
-            "no `enum SketchKind` found; the wire-tag registry has nothing to check".to_string(),
+            format!(
+                "no `enum {}` found; the wire-tag registry has nothing to check",
+                source.enum_name
+            ),
         ));
     }
     if findings.is_empty() {
@@ -121,6 +163,8 @@ pub fn parse_golden(golden_path: &str, text: &str) -> Result<Vec<TagEntry>, Vec<
                 name,
                 code,
                 line: idx + 1,
+                owner: String::new(),
+                path: golden_path.to_string(),
             }),
             None => findings.push(Finding::at(
                 golden_path,
@@ -137,32 +181,34 @@ pub fn parse_golden(golden_path: &str, text: &str) -> Result<Vec<TagEntry>, Vec<
     }
 }
 
-/// Diff enum source against the golden registry.
-pub fn check(
-    api_path: &str,
-    api: &SourceFile,
-    golden_path: &str,
-    golden_text: &str,
-) -> Vec<Finding> {
-    let source = match parse_enum(api_path, api) {
-        Ok(entries) => entries,
-        Err(findings) => return findings,
-    };
+/// Diff every tag-owning enum against the golden registry. All sources
+/// merge into one namespace before the diff, so cross-enum code reuse
+/// fails just like reuse inside one enum.
+pub fn check(sources: &[TagSource<'_>], golden_path: &str, golden_text: &str) -> Vec<Finding> {
+    let mut source = Vec::new();
+    for s in sources {
+        match parse_enum(*s) {
+            Ok(entries) => source.extend(entries),
+            Err(findings) => return findings,
+        }
+    }
     let golden = match parse_golden(golden_path, golden_text) {
         Ok(entries) => entries,
         Err(findings) => return findings,
     };
     let mut findings = Vec::new();
-    // Duplicate codes within the enum itself.
+    // Duplicate codes across the merged enums.
     for (i, entry) in source.iter().enumerate() {
         if let Some(first) = source[..i].iter().find(|e| e.code == entry.code) {
             findings.push(Finding::at(
-                api_path,
+                &entry.path,
                 entry.line,
                 "wire",
                 format!(
-                    "tag {} is reused: SketchKind::{} and SketchKind::{} share it",
-                    entry.code, first.name, entry.name
+                    "tag {} is reused: {} and {} share it",
+                    entry.code,
+                    first.label(),
+                    entry.label()
                 ),
             ));
         }
@@ -170,21 +216,21 @@ pub fn check(
     for pinned in &golden {
         match source.iter().find(|e| e.name == pinned.name) {
             None => findings.push(Finding::at(
-                api_path,
-                1,
+                golden_path,
+                pinned.line,
                 "wire",
                 format!(
-                    "SketchKind::{} (tag {}) was removed; shipped tags must stay decodable forever",
+                    "{} (tag {}) was removed; shipped tags must stay decodable forever",
                     pinned.name, pinned.code
                 ),
             )),
             Some(entry) if entry.code != pinned.code => findings.push(Finding::at(
-                api_path,
+                &entry.path,
                 entry.line,
                 "wire",
                 format!(
-                    "SketchKind::{} renumbered from pinned tag {} to {}; existing serialized data would decode as the wrong backend",
-                    entry.name, pinned.code, entry.code
+                    "{} renumbered from pinned tag {} to {}; existing serialized data would decode as the wrong format",
+                    entry.label(), pinned.code, entry.code
                 ),
             )),
             Some(_) => {}
@@ -196,22 +242,28 @@ pub fn check(
         }
         if let Some(taken) = golden.iter().find(|g| g.code == entry.code) {
             findings.push(Finding::at(
-                api_path,
+                &entry.path,
                 entry.line,
                 "wire",
                 format!(
-                    "new SketchKind::{} reuses tag {}, which the registry pins to {}; pick the next free tag",
-                    entry.name, entry.code, taken.name
+                    "new {} reuses tag {}, which the registry pins to {}; pick the next free tag",
+                    entry.label(),
+                    entry.code,
+                    taken.name
                 ),
             ));
         } else {
             findings.push(Finding::at(
-                api_path,
+                &entry.path,
                 entry.line,
                 "wire",
                 format!(
-                    "new SketchKind::{} (tag {}) is not in the registry; append `{} = {}` to {}",
-                    entry.name, entry.code, entry.name, entry.code, golden_path
+                    "new {} (tag {}) is not in the registry; append `{} = {}` to {}",
+                    entry.label(),
+                    entry.code,
+                    entry.name,
+                    entry.code,
+                    golden_path
                 ),
             ));
         }
@@ -229,8 +281,11 @@ mod tests {
     fn run(api_src: &str) -> Vec<Finding> {
         let file = SourceFile::scan(api_src);
         check(
-            "crates/sketches/src/api.rs",
-            &file,
+            &[TagSource {
+                path: "crates/sketches/src/api.rs",
+                file: &file,
+                enum_name: "SketchKind",
+            }],
             "lint/wire_tags.golden",
             GOLDEN,
         )
@@ -246,7 +301,12 @@ mod tests {
             "pub enum SketchKind {\n    Moments = 1,\n    Merge12 = 2,\n    Exact = 9,\n    Kll = 10,\n}\n",
         );
         let golden = format!("{GOLDEN}Kll = 10\n");
-        assert!(check("api.rs", &file, "golden", &golden).is_empty());
+        let source = TagSource {
+            path: "api.rs",
+            file: &file,
+            enum_name: "SketchKind",
+        };
+        assert!(check(&[source], "golden", &golden).is_empty());
     }
 
     #[test]
@@ -286,5 +346,50 @@ mod tests {
     fn doc_comments_and_attributes_inside_the_enum_are_skipped() {
         let commented = "#[repr(u8)]\npub enum SketchKind {\n    /// The moments sketch.\n    Moments = 1,\n    #[allow(dead_code)]\n    Merge12 = 2,\n    Exact = 9,\n}\n";
         assert!(run(commented).is_empty());
+    }
+
+    #[test]
+    fn tags_share_one_namespace_across_enums() {
+        let api = SourceFile::scan(
+            "pub enum SketchKind {\n    Moments = 1,\n    Merge12 = 2,\n    Exact = 9,\n}\n",
+        );
+        let seg_clean =
+            SourceFile::scan("pub enum TimelineWire {\n    TimelineSegmentV1 = 10,\n}\n");
+        fn sources<'a>(api: &'a SourceFile, seg: &'a SourceFile) -> [TagSource<'a>; 2] {
+            [
+                TagSource {
+                    path: "api.rs",
+                    file: api,
+                    enum_name: "SketchKind",
+                },
+                TagSource {
+                    path: "segment.rs",
+                    file: seg,
+                    enum_name: "TimelineWire",
+                },
+            ]
+        }
+        let golden = format!("{GOLDEN}TimelineSegmentV1 = 10\n");
+        assert!(check(&sources(&api, &seg_clean), "golden", &golden).is_empty());
+
+        // A timeline tag colliding with a sketch tag fails even though
+        // the enums live in different files.
+        let seg_reuse =
+            SourceFile::scan("pub enum TimelineWire {\n    TimelineSegmentV1 = 2,\n}\n");
+        let findings = check(&sources(&api, &seg_reuse), "golden", GOLDEN);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("reused") || f.message.contains("pins to")),
+            "{findings:?}"
+        );
+
+        // An unregistered timeline tag points at the segment file.
+        let findings = check(&sources(&api, &seg_clean), "golden", GOLDEN);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "segment.rs");
+        assert!(findings[0]
+            .message
+            .contains("append `TimelineSegmentV1 = 10`"));
     }
 }

@@ -6,6 +6,8 @@
 //!               [--dims app,region] [--threads 4] [--shards N]
 //!               [--refresh-ms 500] [--wal-dir DIR] [--fsync POLICY]
 //!               [--queue-cap N] [--deadline-ms MS]
+//!               [--timeline-dir DIR] [--bucket-ms MS] [--retention MS]
+//!               [--cell-budget N]
 //! ```
 //!
 //! Prints one `listening on http://…` line once the socket is bound
@@ -31,9 +33,12 @@ fn usage() -> ! {
          \x20                    [--threads N] [--shards N] [--refresh-ms MS]\n\
          \x20                    [--wal-dir DIR] [--fsync always|every:N|never]\n\
          \x20                    [--queue-cap N] [--deadline-ms MS]\n\
+         \x20                    [--timeline-dir DIR] [--bucket-ms MS] [--retention MS]\n\
+         \x20                    [--cell-budget N]\n\
          defaults: --addr 127.0.0.1:8080 --spec moments:10 --dims app,region\n\
          \x20         --threads 4 --shards <cores> --refresh-ms 500\n\
-         \x20         no WAL, --fsync always, unbounded queue, no deadline"
+         \x20         no WAL, --fsync always, unbounded queue, no deadline\n\
+         \x20         no timeline, --bucket-ms 60000, unbounded retention/cells"
     );
     std::process::exit(2);
 }
@@ -91,6 +96,19 @@ fn main() -> Result<(), ServeError> {
                 let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
                 config.quantile_deadline = Duration::from_millis(ms);
             }
+            "--timeline-dir" => {
+                config.timeline_dir = Some(std::path::PathBuf::from(value("--timeline-dir")));
+            }
+            "--bucket-ms" => {
+                let ms: u64 = value("--bucket-ms").parse().unwrap_or_else(|_| usage());
+                config.bucket_ms = ms.max(1);
+            }
+            "--retention" => {
+                config.retention_ms = value("--retention").parse().unwrap_or_else(|_| usage());
+            }
+            "--cell-budget" => {
+                config.cell_budget = value("--cell-budget").parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -113,6 +131,12 @@ fn main() -> Result<(), ServeError> {
     failpoint::init_from_env();
 
     let mut server = MsketchServer::start(spec, &dims, config)?;
+    if let Some(recovery) = server.timeline_recovery() {
+        println!(
+            "msketch-serve timeline recovered {} segments ({} corrupt skipped, {} torn tmp files removed)",
+            recovery.segments_loaded, recovery.corrupt_skipped, recovery.tmp_removed
+        );
+    }
     if let Some(report) = server.recovery_report() {
         println!(
             "msketch-serve recovered {} rows from {} WAL segments (last epoch {}, {} bytes truncated)",

@@ -62,13 +62,14 @@
 use arc_swap::ArcSwap;
 use moments_sketch::bounds::quantile_interval;
 use moments_sketch::CascadeStats;
-use msketch_cube::{GroupThresholdQuery, QueryEngine};
+use msketch_cube::{DynCube, GroupThresholdQuery, QueryEngine};
 use msketch_engine::{
     DynShardedCube, EngineConfig, EngineError, EngineSnapshot, FsyncPolicy, RecoveryReport,
     WalConfig,
 };
 use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
 use msketch_sketches::{MomentsBacked, QuantileSummary, Sketch, SketchSpec};
+use msketch_timeline::{RangeAnswer, StoreRecovery, Timeline, TimelineConfig, TimelineError};
 use serde_json::Value;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -127,6 +128,23 @@ pub struct ServerConfig {
     pub wal_dir: Option<PathBuf>,
     /// Fsync cadence for the WAL (ignored without `wal_dir`).
     pub fsync: FsyncPolicy,
+    /// Directory for the time-bucketed rollup timeline
+    /// ([`msketch_timeline::Timeline`]). `Some(dir)` stamps every
+    /// ingested row into a time bucket, persists closed buckets as
+    /// immutable segments, rolls them up 1m → 1h → 1d in the
+    /// background, and answers `t0`/`t1` range queries on `/quantile`,
+    /// `/groupby`, and `/threshold` from the minimal segment cover.
+    /// `None` rejects range queries with `400`.
+    pub timeline_dir: Option<PathBuf>,
+    /// Base bucket width for the timeline, in milliseconds (ignored
+    /// without `timeline_dir`).
+    pub bucket_ms: u64,
+    /// Timeline retention horizon in milliseconds; segments older than
+    /// this are deleted during maintenance. Zero keeps everything.
+    pub retention_ms: u64,
+    /// Cell budget per rolled-up timeline segment (rare dimension
+    /// values fold into `<other>`). Zero disables the budget.
+    pub cell_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +160,10 @@ impl Default for ServerConfig {
             defer_initial_snapshot: false,
             wal_dir: None,
             fsync: FsyncPolicy::Always,
+            timeline_dir: None,
+            bucket_ms: 60_000,
+            retention_ms: 0,
+            cell_budget: 0,
         }
     }
 }
@@ -153,6 +175,8 @@ pub enum ServeError {
     Io(std::io::Error),
     /// The wrapped engine failed.
     Engine(EngineError),
+    /// The rollup timeline failed to open or recover.
+    Timeline(TimelineError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -160,6 +184,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Io(e) => write!(f, "server I/O failed: {e}"),
             ServeError::Engine(e) => write!(f, "engine failed: {e}"),
+            ServeError::Timeline(e) => write!(f, "timeline failed: {e}"),
         }
     }
 }
@@ -178,6 +203,22 @@ impl From<EngineError> for ServeError {
     }
 }
 
+impl From<TimelineError> for ServeError {
+    fn from(e: TimelineError) -> Self {
+        ServeError::Timeline(e)
+    }
+}
+
+/// Milliseconds since the Unix epoch — the ingest clock for rows that
+/// arrive without an explicit timestamp, and the maintenance clock for
+/// timeline checkpoints/compaction.
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 /// Shared state behind every request handler.
 struct ServerState {
     engine: Mutex<DynShardedCube>,
@@ -194,6 +235,13 @@ struct ServerState {
     /// `rows_accepted` as of the last snapshot, so the refresher can
     /// skip epochs in which nothing arrived.
     rows_at_refresh: AtomicU64,
+    /// The time-bucketed rollup timeline, when configured. Writers
+    /// (ingest) and maintenance (refresher) lock it briefly; range
+    /// queries hold the lock while merging their segment cover.
+    timeline: Option<Mutex<Timeline>>,
+    /// Timeline maintenance cycles that failed (non-fatal, like
+    /// `refresh_errors`).
+    timeline_errors: AtomicU64,
     /// Per-request `/quantile` time budget (`ZERO` = disabled).
     quantile_deadline: Duration,
     /// Advice attached to `429`/`503` responses.
@@ -213,6 +261,14 @@ impl ServerState {
     /// a panic through every subsequent one.
     fn lock_engine(&self) -> MutexGuard<'_, DynShardedCube> {
         self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock the timeline (same poisoning stance as [`Self::lock_engine`]).
+    /// `None` when the server runs without one.
+    fn lock_timeline(&self) -> Option<MutexGuard<'_, Timeline>> {
+        self.timeline
+            .as_ref()
+            .map(|t| t.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// The snapshot reads answer from right now, if one exists yet.
@@ -245,6 +301,15 @@ impl ServerState {
         let epoch = snapshot.epoch();
         self.rows_at_refresh.store(accepted, Ordering::SeqCst);
         self.snapshot.store(Arc::new(Some(Arc::new(snapshot))));
+        // Timeline maintenance rides the refresh cadence: checkpoint
+        // open buckets, roll up closed windows, enforce retention. A
+        // failed cycle (e.g. a full disk) is non-fatal — counted, and
+        // retried on the next refresh.
+        if let Some(mut timeline) = self.lock_timeline() {
+            if timeline.maintain(now_ms()).is_err() {
+                self.timeline_errors.fetch_add(1, Ordering::SeqCst);
+            }
+        }
         Ok(epoch)
     }
 }
@@ -262,6 +327,9 @@ pub struct MsketchServer {
     refresher_stop: Arc<AtomicBool>,
     /// What WAL replay recovered at startup (`None` without a WAL).
     recovery: Option<RecoveryReport>,
+    /// What the timeline's segment scan recovered at startup (`None`
+    /// without a timeline).
+    timeline_recovery: Option<StoreRecovery>,
 }
 
 impl MsketchServer {
@@ -284,8 +352,24 @@ impl MsketchServer {
             defer_initial_snapshot,
             wal_dir,
             fsync,
+            timeline_dir,
+            bucket_ms,
+            retention_ms,
+            cell_budget,
         } = config;
         let backend = format!("{}:{}", spec.kind(), spec.param());
+        let (timeline, timeline_recovery) = match &timeline_dir {
+            Some(dir) => {
+                let timeline_config = TimelineConfig::default()
+                    .bucket_ms(bucket_ms)
+                    .retention_ms(retention_ms)
+                    .cell_budget(cell_budget)
+                    .fsync(fsync);
+                let (timeline, report) = Timeline::open(dir, spec.clone(), dims, timeline_config)?;
+                (Some(Mutex::new(timeline)), Some(report))
+            }
+            None => (None, None),
+        };
         let (engine, recovery) = match &wal_dir {
             Some(dir) => {
                 let (engine, report) =
@@ -296,6 +380,8 @@ impl MsketchServer {
         };
         let state = Arc::new(ServerState {
             engine: Mutex::new(engine),
+            timeline,
+            timeline_errors: AtomicU64::new(0),
             snapshot: ArcSwap::new(Arc::new(None)),
             dims: dims.iter().map(|s| s.to_string()).collect(),
             backend,
@@ -377,6 +463,7 @@ impl MsketchServer {
             refresher,
             refresher_stop,
             recovery,
+            timeline_recovery,
         })
     }
 
@@ -399,6 +486,12 @@ impl MsketchServer {
         self.recovery.as_ref()
     }
 
+    /// What the timeline's segment scan recovered at startup; `None`
+    /// when the server runs without a timeline.
+    pub fn timeline_recovery(&self) -> Option<&StoreRecovery> {
+        self.timeline_recovery.as_ref()
+    }
+
     /// Rotate a fresh snapshot now (what `POST /refresh` calls).
     pub fn refresh(&self) -> Result<u64, EngineError> {
         self.state.refresh()
@@ -415,6 +508,12 @@ impl MsketchServer {
         if let Some(mut http) = self.http.take() {
             http.shutdown();
         }
+        // Flush open timeline buckets so a graceful shutdown loses no
+        // timestamped rows (a hard kill loses only the unflushed tail,
+        // which the CI crash smoke bounds).
+        if let Some(mut timeline) = self.state.lock_timeline() {
+            let _ = timeline.checkpoint(now_ms());
+        }
         let _ = self.state.lock_engine().shutdown();
     }
 }
@@ -426,7 +525,7 @@ impl Drop for MsketchServer {
 }
 
 /// Query parameter names that are operators, not dimension filters.
-const RESERVED_PARAMS: &[&str] = &["q", "by", "t", "global_phi", "ratio"];
+const RESERVED_PARAMS: &[&str] = &["q", "by", "t", "global_phi", "ratio", "t0", "t1"];
 
 fn route(state: &ServerState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
@@ -510,6 +609,33 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Response {
         };
         metric_values.push(x);
     }
+    // Optional per-row timestamps (ms since epoch) for the timeline;
+    // rows without them are stamped with the server's receive time.
+    let ts_values: Option<Vec<u64>> = match doc.get("ts") {
+        None => None,
+        Some(raw) => {
+            if state.timeline.is_none() {
+                return error(
+                    400,
+                    "\"ts\" timestamps need a timeline (start with --timeline-dir)",
+                );
+            }
+            let Some(list) = raw.as_array() else {
+                return error(400, "\"ts\" must be an array of millisecond timestamps");
+            };
+            if list.len() != n {
+                return error(400, "ragged batch: ts length != metrics length");
+            }
+            let mut out = Vec::with_capacity(n);
+            for t in list {
+                let Some(ms) = t.as_u64() else {
+                    return error(400, "\"ts\" entries must be non-negative integers (ms)");
+                };
+                out.push(ms);
+            }
+            Some(out)
+        }
+    };
     let mut engine = state.lock_engine();
     if engine.is_shut_down() {
         // Single rows would otherwise sit in the writer buffer and
@@ -531,13 +657,40 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Response {
     }
     drop(engine);
     state.rows_accepted.fetch_add(n as u64, Ordering::SeqCst);
-    ok(Value::object(vec![
+    // Mirror the batch into the timeline (values already validated by
+    // the engine loop above). Rows whose bucket is already rolled up
+    // are dropped as late and reported, not errored.
+    let mut late_dropped = 0u64;
+    if let Some(mut timeline) = state.lock_timeline() {
+        let now = now_ms();
+        let mut row: Vec<&str> = Vec::with_capacity(cols.len());
+        for (i, &metric) in metric_values.iter().enumerate() {
+            row.clear();
+            for col in &cols {
+                let Some(v) = col[i].as_str() else {
+                    continue;
+                };
+                row.push(v);
+            }
+            let ts = ts_values.as_ref().map_or(now, |ts| ts[i]);
+            match timeline.insert(ts, &row, metric) {
+                Ok(true) => {}
+                Ok(false) => late_dropped += 1,
+                Err(e) => return error(500, &format!("timeline ingest failed: {e}")),
+            }
+        }
+    }
+    let mut fields = vec![
         ("accepted", Value::from(n)),
         (
             "rows_accepted",
             Value::from(state.rows_accepted.load(Ordering::SeqCst)),
         ),
-    ]))
+    ];
+    if state.timeline.is_some() {
+        fields.push(("late_dropped", Value::from(late_dropped)));
+    }
+    ok(Value::object(fields))
 }
 
 fn engine_error(e: &EngineError) -> Response {
@@ -571,15 +724,16 @@ fn parse_phis(req: &Request) -> Result<Vec<f64>, Response> {
     Ok(phis)
 }
 
-/// Build a cell filter from `?dim=value` parameters. A value the
+/// Build a cell filter from `?dim=value` parameters against any cube —
+/// the snapshot's merged cube or a timeline range cube. A value the
 /// dictionary has never seen filters to the empty selection (sentinel id
 /// that matches no cell) rather than erroring: "no rows" is an answer.
 fn parse_filter(
     state: &ServerState,
-    snap: &ServedSnapshot,
+    cube: &DynCube,
     req: &Request,
 ) -> Result<Vec<Option<u32>>, Response> {
-    let mut filter = snap.no_filter();
+    let mut filter = cube.no_filter();
     for (name, value) in &req.query {
         if RESERVED_PARAMS.contains(&name.as_str()) {
             continue;
@@ -593,7 +747,7 @@ fn parse_filter(
                 ),
             ));
         };
-        let id = snap
+        let id = cube
             .dictionary(d)
             .ok()
             .and_then(|dict| dict.lookup(value))
@@ -601,6 +755,55 @@ fn parse_filter(
         filter[d] = Some(id);
     }
     Ok(filter)
+}
+
+/// Parse `?t0=&t1=` and, when present, answer the range from the
+/// timeline's segment cover. `Ok(None)` means no range was requested
+/// (serve from the snapshot); an in-range query with no persisted data
+/// comes back as an *empty* answer (zero-row cube, `segments_read: 0`),
+/// not an error.
+fn parse_range(state: &ServerState, req: &Request) -> Result<Option<RangeAnswer>, Response> {
+    let (raw_t0, raw_t1) = match (req.query_param("t0"), req.query_param("t1")) {
+        (None, None) => return Ok(None),
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(error(400, "t0 and t1 must be given together")),
+    };
+    let (Ok(t0), Ok(t1)) = (raw_t0.parse::<u64>(), raw_t1.parse::<u64>()) else {
+        return Err(error(400, "t0 and t1 must be millisecond timestamps"));
+    };
+    let Some(timeline) = state.lock_timeline() else {
+        return Err(error(
+            400,
+            "range queries need a timeline (start with --timeline-dir)",
+        ));
+    };
+    match timeline.range_cube(t0, t1) {
+        Ok(Some(answer)) => Ok(Some(answer)),
+        Ok(None) => {
+            let dims: Vec<&str> = state.dims.iter().map(String::as_str).collect();
+            Ok(Some(RangeAnswer {
+                cube: DynCube::from_spec(timeline.spec().clone(), &dims),
+                segments_read: 0,
+                t0,
+                t1,
+            }))
+        }
+        Err(TimelineError::BadRange { .. }) => {
+            Err(error(400, "empty or inverted time range: t1 must be > t0"))
+        }
+        Err(e) => Err(error(500, &format!("range query failed: {e}"))),
+    }
+}
+
+/// Response fields naming the range a query answered from: snapped
+/// bounds plus the segment-cover size (the snapshot path carries
+/// `epoch` instead).
+fn range_fields(answer: &RangeAnswer) -> Vec<(&'static str, Value)> {
+    vec![
+        ("t0", Value::from(answer.t0)),
+        ("t1", Value::from(answer.t1)),
+        ("segments", Value::from(answer.segments_read)),
+    ]
 }
 
 /// Parse `?by=dim,dim` into dimension indices.
@@ -645,9 +848,6 @@ fn cube_error(e: &msketch_cube::Error) -> Response {
 /// `"degraded": true`. Merging is never skipped — only estimation is
 /// downgraded, so `count`/`cells_merged` stay exact.
 fn handle_quantile(state: &ServerState, req: &Request) -> Response {
-    let Some(snap) = state.load_snapshot() else {
-        return unavailable(state, "no snapshot yet: refresh has not run");
-    };
     let started = Instant::now();
     // Deterministic slow-request injection point for the fault suite.
     failpoint::sleep_if("server::quantile_slow");
@@ -655,11 +855,26 @@ fn handle_quantile(state: &ServerState, req: &Request) -> Response {
         Ok(phis) => phis,
         Err(resp) => return resp,
     };
-    let filter = match parse_filter(state, &snap, req) {
+    let range = match parse_range(state, req) {
+        Ok(range) => range,
+        Err(resp) => return resp,
+    };
+    let snap;
+    let (cube, mut fields): (&DynCube, Vec<(&'static str, Value)>) = match &range {
+        Some(answer) => (&answer.cube, range_fields(answer)),
+        None => {
+            let Some(s) = state.load_snapshot() else {
+                return unavailable(state, "no snapshot yet: refresh has not run");
+            };
+            snap = s;
+            (snap.cube(), vec![("epoch", Value::from(snap.epoch()))])
+        }
+    };
+    let filter = match parse_filter(state, cube, req) {
         Ok(filter) => filter,
         Err(resp) => return resp,
     };
-    let matching = snap.cube().matching_sorted(&filter);
+    let matching = cube.matching_sorted(&filter);
     let cells_merged = matching.len();
     let mut acc: Option<Box<dyn Sketch>> = None;
     for (_, summary) in matching {
@@ -669,7 +884,17 @@ fn handle_quantile(state: &ServerState, req: &Request) -> Response {
         }
     }
     let Some(merged) = acc else {
-        return error(404, "query matched no cells");
+        // "No rows" is an answer, not an error: quiet windows and
+        // never-seen filter values report zero rows.
+        fields.extend([
+            ("rows", Value::from(0u64)),
+            ("count", Value::from(0.0)),
+            ("cells_merged", Value::from(0usize)),
+            ("phis", Value::array(phis)),
+            ("values", Value::array(Vec::<f64>::new())),
+            ("degraded", Value::from(false)),
+        ]);
+        return ok(Value::object(fields));
     };
     let deadline = state.quantile_deadline;
     let mut values = Vec::with_capacity(phis.len());
@@ -690,42 +915,56 @@ fn handle_quantile(state: &ServerState, req: &Request) -> Response {
     if degraded {
         state.degraded_served.fetch_add(1, Ordering::SeqCst);
     }
-    ok(Value::object(vec![
-        ("epoch", Value::from(snap.epoch())),
+    fields.extend([
+        ("rows", Value::from(merged.count())),
         ("count", Value::from(merged.count() as f64)),
         ("cells_merged", Value::from(cells_merged)),
         ("phis", Value::array(phis)),
         ("values", Value::array(values)),
         ("degraded", Value::from(degraded)),
-    ]))
+    ]);
+    ok(Value::object(fields))
 }
 
 /// `GET /groupby?by=dim,dim&q=0.5,0.99&dim=value…`
 fn handle_groupby(state: &ServerState, req: &Request) -> Response {
-    let Some(snap) = state.load_snapshot() else {
-        return unavailable(state, "no snapshot yet: refresh has not run");
-    };
     let phis = match parse_phis(req) {
         Ok(phis) => phis,
         Err(resp) => return resp,
+    };
+    let range = match parse_range(state, req) {
+        Ok(range) => range,
+        Err(resp) => return resp,
+    };
+    let snap;
+    let (cube, mut fields): (&DynCube, Vec<(&'static str, Value)>) = match &range {
+        Some(answer) => (&answer.cube, range_fields(answer)),
+        None => {
+            let Some(s) = state.load_snapshot() else {
+                return unavailable(state, "no snapshot yet: refresh has not run");
+            };
+            snap = s;
+            (snap.cube(), vec![("epoch", Value::from(snap.epoch()))])
+        }
     };
     let group_dims = match parse_group_dims(state, req) {
         Ok(dims) => dims,
         Err(resp) => return resp,
     };
-    let filter = match parse_filter(state, &snap, req) {
+    let filter = match parse_filter(state, cube, req) {
         Ok(filter) => filter,
         Err(resp) => return resp,
     };
-    match QueryEngine::group_quantiles_decoded(snap.cube(), &group_dims, &filter, &phis) {
-        Ok(groups) => ok(Value::object(vec![
-            ("epoch", Value::from(snap.epoch())),
-            (
-                "by",
-                Value::array(group_dims.iter().map(|&d| state.dims[d].as_str())),
-            ),
-            ("phis", Value::array(phis)),
-            (
+    fields.extend([
+        (
+            "by",
+            Value::array(group_dims.iter().map(|&d| state.dims[d].as_str())),
+        ),
+        ("phis", Value::array(phis.clone())),
+    ]);
+    match QueryEngine::group_quantiles_decoded(cube, &group_dims, &filter, &phis) {
+        Ok(groups) => {
+            fields.push((
                 "groups",
                 Value::Array(
                     groups
@@ -739,8 +978,18 @@ fn handle_groupby(state: &ServerState, req: &Request) -> Response {
                         })
                         .collect(),
                 ),
-            ),
-        ])),
+            ));
+            ok(Value::object(fields))
+        }
+        // An empty window or never-seen filter value groups nothing:
+        // report zero rows rather than erroring.
+        Err(msketch_cube::Error::EmptyResult) => {
+            fields.extend([
+                ("rows", Value::from(0u64)),
+                ("groups", Value::Array(Vec::new())),
+            ]);
+            ok(Value::object(fields))
+        }
         Err(e) => cube_error(&e),
     }
 }
@@ -759,8 +1008,20 @@ fn stats_value(stats: &CascadeStats) -> Value {
 /// `GET /threshold?by=dim&q=0.9&t=500&dim=value…` — the paper's HAVING
 /// query, resolved with the threshold cascade.
 fn handle_threshold(state: &ServerState, req: &Request) -> Response {
-    let Some(snap) = state.load_snapshot() else {
-        return unavailable(state, "no snapshot yet: refresh has not run");
+    let range = match parse_range(state, req) {
+        Ok(range) => range,
+        Err(resp) => return resp,
+    };
+    let snap;
+    let (cube, mut fields): (&DynCube, Vec<(&'static str, Value)>) = match &range {
+        Some(answer) => (&answer.cube, range_fields(answer)),
+        None => {
+            let Some(s) = state.load_snapshot() else {
+                return unavailable(state, "no snapshot yet: refresh has not run");
+            };
+            snap = s;
+            (snap.cube(), vec![("epoch", Value::from(snap.epoch()))])
+        }
     };
     let group_dims = match parse_group_dims(state, req) {
         Ok(dims) => dims,
@@ -773,23 +1034,34 @@ fn handle_threshold(state: &ServerState, req: &Request) -> Response {
     let Some(t) = req.query_param("t").and_then(|t| t.parse::<f64>().ok()) else {
         return error(400, "missing or non-numeric threshold \"t\"");
     };
-    let filter = match parse_filter(state, &snap, req) {
+    let filter = match parse_filter(state, cube, req) {
         Ok(filter) => filter,
         Err(resp) => return resp,
     };
+    fields.extend([("phi", Value::from(phi)), ("t", Value::from(t))]);
     let query = GroupThresholdQuery::new(phi, t);
-    match query.run_cube_decoded(snap.cube(), &group_dims, &filter) {
-        Ok(report) => ok(Value::object(vec![
-            ("epoch", Value::from(snap.epoch())),
-            ("phi", Value::from(phi)),
-            ("t", Value::from(t)),
-            ("groups", Value::from(report.groups)),
-            (
-                "hits",
-                Value::Array(report.hits.into_iter().map(Value::array).collect()),
-            ),
-            ("stats", stats_value(&report.stats)),
-        ])),
+    match query.run_cube_decoded(cube, &group_dims, &filter) {
+        Ok(report) => {
+            fields.extend([
+                ("groups", Value::from(report.groups)),
+                (
+                    "hits",
+                    Value::Array(report.hits.into_iter().map(Value::array).collect()),
+                ),
+                ("stats", stats_value(&report.stats)),
+            ]);
+            ok(Value::object(fields))
+        }
+        // An empty window or never-seen filter value thresholds
+        // nothing: report zero rows rather than erroring.
+        Err(msketch_cube::Error::EmptyResult) => {
+            fields.extend([
+                ("rows", Value::from(0u64)),
+                ("groups", Value::from(0u64)),
+                ("hits", Value::Array(Vec::new())),
+            ]);
+            ok(Value::object(fields))
+        }
         Err(e) => cube_error(&e),
     }
 }
@@ -847,6 +1119,37 @@ fn handle_search(state: &ServerState, req: &Request) -> Response {
     }
 }
 
+/// The `/stats` `"timeline"` section: segment inventory and ingest
+/// counters, or `{"enabled": false}` without a timeline.
+fn timeline_stats_value(state: &ServerState) -> Value {
+    let Some(timeline) = state.lock_timeline() else {
+        return Value::object(vec![("enabled", Value::from(false))]);
+    };
+    let stats = timeline.stats().clone();
+    let level_counts = timeline.store().level_counts(timeline.config().max_level());
+    Value::object(vec![
+        ("enabled", Value::from(true)),
+        ("bucket_ms", Value::from(timeline.config().bucket_ms)),
+        ("open_buckets", Value::from(timeline.open_buckets())),
+        ("segments", Value::from(timeline.store().index().len())),
+        (
+            "segment_levels",
+            Value::array(level_counts.into_iter().map(|c| c as u64)),
+        ),
+        ("segment_bytes", Value::from(timeline.store().total_bytes())),
+        ("rows_ingested", Value::from(stats.rows_ingested)),
+        ("late_dropped", Value::from(stats.late_dropped)),
+        ("segments_written", Value::from(stats.segments_written)),
+        ("rollups_written", Value::from(stats.rollups_written)),
+        ("values_folded", Value::from(stats.values_folded)),
+        ("retention_removed", Value::from(stats.retention_removed)),
+        (
+            "maintenance_errors",
+            Value::from(state.timeline_errors.load(Ordering::SeqCst)),
+        ),
+    ])
+}
+
 /// `GET /stats` — serving, staleness, and fault counters.
 fn handle_stats(state: &ServerState) -> Response {
     let snap = state.load_snapshot();
@@ -902,6 +1205,7 @@ fn handle_stats(state: &ServerState) -> Response {
             "refresh_errors",
             Value::from(state.refresh_errors.load(Ordering::SeqCst)),
         ),
+        ("timeline", timeline_stats_value(state)),
         ("shut_down", Value::from(engine_stats.shut_down)),
         (
             "uptime_ms",

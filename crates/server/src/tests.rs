@@ -121,12 +121,17 @@ fn filters_select_subpopulations() {
             > all.get("values").unwrap().at(0).unwrap().as_f64().unwrap(),
         "slow app median above global median"
     );
-    // A value the dictionary has never seen is an empty selection.
+    // A value the dictionary has never seen is an empty selection:
+    // zero rows and no values, not an error (PR 8 bugfix — empty
+    // windows and empty selections answer cleanly).
     let (status, doc) = call(
         &server,
         &request("GET", "/quantile", &[("app", "nonexistent")], ""),
     );
-    assert_eq!(status, 404, "{doc}");
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("rows").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("count").unwrap().as_f64(), Some(0.0));
+    assert!(doc.get("values").unwrap().as_array().unwrap().is_empty());
 }
 
 #[test]
@@ -443,4 +448,247 @@ fn expired_deadline_degrades_quantiles_to_bound_midpoints() {
 
     let (_, doc) = call(&server, &request("GET", "/stats", &[], ""));
     assert_eq!(doc.get("degraded_served").unwrap().as_u64(), Some(1));
+}
+
+// ---- timeline (PR 8): range queries over persisted rollup segments ----
+
+const MIN_MS: u64 = 60_000;
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("msketch-server-timeline-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn timeline_server(dir: &std::path::Path) -> MsketchServer {
+    MsketchServer::start(
+        SketchSpec::moments(8),
+        &["app", "region"],
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            refresh_interval: Duration::ZERO,
+            engine: EngineConfig::with_shards(2).batch_rows(8),
+            timeline_dir: Some(dir.to_path_buf()),
+            bucket_ms: MIN_MS,
+            fsync: FsyncPolicy::Never,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start timeline server")
+}
+
+/// A `(app, region, metric, ts)` ingest row for the timeline tests.
+type StampedRow = (&'static str, &'static str, f64, u64);
+
+/// An `/ingest` body with an explicit `ts` column.
+fn stamped_body(rows: &[StampedRow]) -> String {
+    let join = |f: &dyn Fn(&StampedRow) -> String| rows.iter().map(f).collect::<Vec<_>>().join(",");
+    format!(
+        "{{\"columns\": [[{}],[{}]], \"metrics\": [{}], \"ts\": [{}]}}",
+        join(&|r| format!("{:?}", r.0)),
+        join(&|r| format!("{:?}", r.1)),
+        join(&|r| format!("{}", r.2)),
+        join(&|r| format!("{}", r.3)),
+    )
+}
+
+/// Six rows per minute bucket over buckets `[60s, 300s)`; non-positive
+/// integer metrics keep every moment sum exactly representable, so
+/// folds are bit-exact under any merge order.
+fn stamped_demo_rows() -> Vec<StampedRow> {
+    (0..24u64)
+        .map(|i| {
+            (
+                if i % 3 == 0 { "slow" } else { "fast" },
+                if i % 2 == 0 { "eu" } else { "us" },
+                -((i % 5) as f64),
+                MIN_MS + i * 10_000,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn timeline_range_queries_answer_from_segments() {
+    let dir = fresh_dir("range");
+    let server = timeline_server(&dir);
+    let body = stamped_body(&stamped_demo_rows());
+    let (status, doc) = call(&server, &request("POST", "/ingest", &[], &body));
+    assert_eq!(status, 200, "{doc}");
+    server.refresh().unwrap();
+
+    // The full range answers from persisted segments and agrees bit
+    // for bit with the snapshot over the same rows.
+    let range = [("q", "0.1,0.5,0.9"), ("t0", "60000"), ("t1", "300000")];
+    let (status, ranged) = call(&server, &request("GET", "/quantile", &range, ""));
+    assert_eq!(status, 200, "{ranged}");
+    assert_eq!(ranged.get("rows").unwrap().as_u64(), Some(24));
+    assert_eq!(ranged.get("t0").unwrap().as_u64(), Some(60_000));
+    assert_eq!(ranged.get("t1").unwrap().as_u64(), Some(300_000));
+    assert!(ranged.get("segments").unwrap().as_u64().unwrap() >= 1);
+    let (status, snap) = call(
+        &server,
+        &request("GET", "/quantile", &[("q", "0.1,0.5,0.9")], ""),
+    );
+    assert_eq!(status, 200, "{snap}");
+    let ranged_values = ranged.get("values").unwrap().as_array().unwrap();
+    let snap_values = snap.get("values").unwrap().as_array().unwrap();
+    assert_eq!(ranged_values.len(), 3);
+    for (r, s) in ranged_values.iter().zip(snap_values) {
+        assert_eq!(r.as_f64().unwrap().to_bits(), s.as_f64().unwrap().to_bits());
+    }
+
+    // A partial range reads exactly its one bucket's segment.
+    let (status, part) = call(
+        &server,
+        &request("GET", "/quantile", &[("t0", "60000"), ("t1", "120000")], ""),
+    );
+    assert_eq!(status, 200, "{part}");
+    assert_eq!(part.get("rows").unwrap().as_u64(), Some(6));
+    assert_eq!(part.get("segments").unwrap().as_u64(), Some(1));
+
+    // Group-by and threshold ride the same range plumbing (filters
+    // included: dictionaries come from the merged range cube).
+    let (status, grouped) = call(
+        &server,
+        &request(
+            "GET",
+            "/groupby",
+            &[("by", "app"), ("t0", "60000"), ("t1", "300000")],
+            "",
+        ),
+    );
+    assert_eq!(status, 200, "{grouped}");
+    assert_eq!(grouped.get("groups").unwrap().as_array().unwrap().len(), 2);
+    let (status, thresh) = call(
+        &server,
+        &request(
+            "GET",
+            "/threshold",
+            &[
+                ("by", "app"),
+                ("q", "0.9"),
+                ("t", "-3.5"),
+                ("t0", "60000"),
+                ("t1", "300000"),
+            ],
+            "",
+        ),
+    );
+    assert_eq!(status, 200, "{thresh}");
+    assert_eq!(thresh.get("groups").unwrap().as_u64(), Some(2));
+
+    // A range no segment covers answers cleanly: zero rows, no error.
+    let (status, empty) = call(
+        &server,
+        &request(
+            "GET",
+            "/quantile",
+            &[("t0", "9000000000000"), ("t1", "9000000060000")],
+            "",
+        ),
+    );
+    assert_eq!(status, 200, "{empty}");
+    assert_eq!(empty.get("rows").unwrap().as_u64(), Some(0));
+    assert_eq!(empty.get("segments").unwrap().as_u64(), Some(0));
+    assert!(empty.get("values").unwrap().as_array().unwrap().is_empty());
+}
+
+#[test]
+fn timeline_range_parameter_validation() {
+    let dir = fresh_dir("validation");
+    let server = timeline_server(&dir);
+    let bad: [&[(&str, &str)]; 4] = [
+        &[("t0", "60000")],
+        &[("t1", "60000")],
+        &[("t0", "x"), ("t1", "60000")],
+        &[("t0", "120000"), ("t1", "60000")],
+    ];
+    for query in bad {
+        let (status, doc) = call(&server, &request("GET", "/quantile", query, ""));
+        assert_eq!(status, 400, "{query:?}: {doc}");
+    }
+
+    // Without a timeline, range params and "ts" stamps are rejected
+    // up front instead of silently ignored.
+    let plain = test_server();
+    let (status, doc) = call(
+        &plain,
+        &request("GET", "/quantile", &[("t0", "0"), ("t1", "60000")], ""),
+    );
+    assert_eq!(status, 400, "{doc}");
+    let body = "{\"columns\": [[\"a\"],[\"b\"]], \"metrics\": [1], \"ts\": [5]}";
+    let (status, doc) = call(&plain, &request("POST", "/ingest", &[], body));
+    assert_eq!(status, 400, "{doc}");
+    let (_, stats) = call(&plain, &request("GET", "/stats", &[], ""));
+    let timeline = stats.get("timeline").unwrap();
+    assert_eq!(timeline.get("enabled").unwrap().as_bool(), Some(false));
+}
+
+#[test]
+fn timeline_survives_restart_bit_exactly() {
+    let dir = fresh_dir("reopen");
+    let mut server = timeline_server(&dir);
+    let body = stamped_body(&stamped_demo_rows());
+    let (status, doc) = call(&server, &request("POST", "/ingest", &[], &body));
+    assert_eq!(status, 200, "{doc}");
+    server.refresh().unwrap();
+    let range = [("q", "0.5,0.9"), ("t0", "60000"), ("t1", "300000")];
+    let (status, before) = call(&server, &request("GET", "/quantile", &range, ""));
+    assert_eq!(status, 200, "{before}");
+    server.shutdown();
+
+    // A fresh process over the same directory recovers every segment
+    // and serves the same range answer — without waiting for any
+    // engine snapshot (range reads never touch the snapshot path).
+    let server = timeline_server(&dir);
+    let recovery = server.timeline_recovery().expect("recovery report");
+    assert!(recovery.segments_loaded >= 4, "{recovery:?}");
+    assert_eq!(recovery.corrupt_skipped, 0, "{recovery:?}");
+    let (status, after) = call(&server, &request("GET", "/quantile", &range, ""));
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(
+        after.get("rows").unwrap().as_u64(),
+        before.get("rows").unwrap().as_u64()
+    );
+    let before_values = before.get("values").unwrap().as_array().unwrap();
+    let after_values = after.get("values").unwrap().as_array().unwrap();
+    assert_eq!(before_values.len(), after_values.len());
+    for (b, a) in before_values.iter().zip(after_values) {
+        assert_eq!(b.as_f64().unwrap().to_bits(), a.as_f64().unwrap().to_bits());
+    }
+}
+
+#[test]
+fn late_rows_drop_after_rollup_and_stats_report_the_timeline() {
+    let dir = fresh_dir("late");
+    let server = timeline_server(&dir);
+    let body = stamped_body(&stamped_demo_rows());
+    let (status, doc) = call(&server, &request("POST", "/ingest", &[], &body));
+    assert_eq!(status, 200, "{doc}");
+    // refresh → maintain: checkpoint the four minute buckets, then
+    // roll them up (their hour and day windows closed long ago).
+    server.refresh().unwrap();
+
+    // A row stamped into the rolled-up hour is late: the engine still
+    // takes it, the timeline drops and reports it.
+    let late = stamped_body(&[("fast", "eu", -1.0, 90_000)]);
+    let (status, doc) = call(&server, &request("POST", "/ingest", &[], &late));
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("accepted").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("late_dropped").unwrap().as_u64(), Some(1));
+
+    let (_, stats) = call(&server, &request("GET", "/stats", &[], ""));
+    let timeline = stats.get("timeline").unwrap();
+    assert_eq!(timeline.get("enabled").unwrap().as_bool(), Some(true));
+    assert_eq!(timeline.get("bucket_ms").unwrap().as_u64(), Some(MIN_MS));
+    assert_eq!(timeline.get("rows_ingested").unwrap().as_u64(), Some(24));
+    assert_eq!(timeline.get("late_dropped").unwrap().as_u64(), Some(1));
+    assert!(timeline.get("segments").unwrap().as_u64().unwrap() >= 5);
+    assert!(timeline.get("rollups_written").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(
+        timeline.get("maintenance_errors").unwrap().as_u64(),
+        Some(0)
+    );
 }

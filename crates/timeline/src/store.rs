@@ -1,0 +1,441 @@
+//! The on-disk segment store: one immutable CRC-framed file per
+//! closed bucket or rollup, written atomically and re-indexed on open.
+//!
+//! Durability follows the WAL's discipline: a segment is written to a
+//! `.tmp` sibling, fsynced (per policy), renamed into place, and the
+//! directory fsynced — so a crash leaves either the old file, the new
+//! file, or an ignorable `.tmp`, never a half-visible segment. File
+//! names (`seg-L<level>-<start>-<end>.seg`) are advisory; the framed
+//! header inside the file is authoritative and is revalidated on open.
+
+use crate::segment::{decode_segment, encode_segment, SegmentHeader};
+use crate::{Result, TimelineError};
+use msketch_cube::DynCube;
+use msketch_engine::FsyncPolicy;
+use msketch_sketches::SketchSpec;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Index entry for one persisted segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMeta {
+    /// Rollup level (0 = base bucket).
+    pub level: u8,
+    /// Inclusive start of the covered range (ms).
+    pub start_ms: u64,
+    /// Exclusive end of the covered range (ms).
+    pub end_ms: u64,
+    /// Rows aggregated inside the segment's cube.
+    pub rows: u64,
+    /// Materialized cells inside the segment's cube.
+    pub cells: usize,
+    /// Size of the segment file in bytes.
+    pub bytes: u64,
+    /// File name inside the store directory.
+    pub file: String,
+}
+
+/// What [`SegmentStore::open`] found (and cleaned up) on disk.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreRecovery {
+    /// Valid segments indexed.
+    pub segments_loaded: usize,
+    /// Files that failed CRC or decode validation and were skipped
+    /// (left on disk for inspection).
+    pub corrupt_skipped: usize,
+    /// Abandoned `.tmp` files removed (torn segment writes).
+    pub tmp_removed: usize,
+}
+
+/// A directory of immutable segment files plus an in-memory index.
+pub struct SegmentStore {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    /// Keyed by `(level, start_ms)`; at most one segment per key.
+    index: BTreeMap<(u8, u64), SegmentMeta>,
+}
+
+impl SegmentStore {
+    /// Open (creating if needed) the store at `dir`, validating every
+    /// segment file against `spec`/`dim_names`. Invalid files are
+    /// skipped (and counted), torn `.tmp` orphans are deleted. Rolled-up
+    /// parents and their children are *both* expected on disk — the
+    /// planner prefers parents for covered middles and children for
+    /// range edges — so coexistence is the normal state, not a crash
+    /// artifact.
+    pub fn open(
+        dir: &Path,
+        spec: &SketchSpec,
+        dim_names: &[String],
+        fsync: FsyncPolicy,
+    ) -> Result<(SegmentStore, StoreRecovery)> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create timeline dir", dir, &e))?;
+        let mut store = SegmentStore {
+            dir: dir.to_path_buf(),
+            fsync,
+            index: BTreeMap::new(),
+        };
+        let mut report = StoreRecovery::default();
+        let entries = std::fs::read_dir(dir).map_err(|e| io_err("read timeline dir", dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read timeline dir", dir, &e))?;
+            let name = entry.file_name().to_string_lossy().to_string();
+            let path = entry.path();
+            if name.ends_with(".tmp") {
+                // A torn write from a previous process: never visible
+                // to the index, safe to discard.
+                let _ = std::fs::remove_file(&path);
+                report.tmp_removed += 1;
+                continue;
+            }
+            if !name.ends_with(".seg") {
+                continue;
+            }
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    report.corrupt_skipped += 1;
+                    continue;
+                }
+            };
+            let (header, cube) = match decode_segment(&name, &bytes) {
+                Ok(decoded) => decoded,
+                Err(_) => {
+                    report.corrupt_skipped += 1;
+                    continue;
+                }
+            };
+            if cube.spec() != spec || cube.dim_names() != dim_names {
+                report.corrupt_skipped += 1;
+                continue;
+            }
+            let meta = SegmentMeta {
+                level: header.level,
+                start_ms: header.start_ms,
+                end_ms: header.end_ms,
+                rows: cube.row_count(),
+                cells: cube.cell_count(),
+                bytes: bytes.len() as u64,
+                file: name,
+            };
+            // Duplicate (level, start): keep the first indexed, skip
+            // the rest (cannot happen through this store's writer, but
+            // a copied-in stray should not shadow real data silently).
+            if store.index.contains_key(&(meta.level, meta.start_ms)) {
+                report.corrupt_skipped += 1;
+                continue;
+            }
+            store.index.insert((meta.level, meta.start_ms), meta);
+        }
+        report.segments_loaded = store.index.len();
+        Ok((store, report))
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The index, keyed by `(level, start_ms)`.
+    pub fn index(&self) -> &BTreeMap<(u8, u64), SegmentMeta> {
+        &self.index
+    }
+
+    /// Segment count per level, `counts[level]`.
+    pub fn level_counts(&self, max_level: u8) -> Vec<usize> {
+        let mut counts = vec![0usize; max_level as usize + 1];
+        for meta in self.index.values() {
+            if let Some(slot) = counts.get_mut(meta.level as usize) {
+                *slot += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total bytes across all indexed segment files.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.values().map(|m| m.bytes).sum()
+    }
+
+    /// The segment at exactly `(level, start_ms)`, if any.
+    pub fn get(&self, level: u8, start_ms: u64) -> Option<&SegmentMeta> {
+        self.index.get(&(level, start_ms))
+    }
+
+    /// The segment at level ≥ `min_level` whose range contains `ts`,
+    /// preferring the highest level (the late-data check: a row whose
+    /// bucket a rollup already covers can no longer be accepted). One
+    /// B-tree probe per level, so it is cheap enough for the per-row
+    /// ingest path.
+    pub fn covering(&self, ts: u64, min_level: u8) -> Option<&SegmentMeta> {
+        let max_level = self.index.keys().next_back().map(|&(level, _)| level)?;
+        for level in (min_level..=max_level).rev() {
+            let candidate = self
+                .index
+                .range((level, 0)..=(level, ts))
+                .next_back()
+                .map(|(_, meta)| meta);
+            if let Some(meta) = candidate {
+                if meta.start_ms <= ts && ts < meta.end_ms {
+                    return Some(meta);
+                }
+            }
+        }
+        None
+    }
+
+    /// Atomically persist `cube` as the segment for `header`,
+    /// replacing any previous segment at the same `(level, start)`.
+    ///
+    /// Write protocol: encode → `.tmp` file → fsync (per policy) →
+    /// rename into place → directory fsync. The `timeline::segment_write`
+    /// failpoint aborts after the `.tmp` write, simulating a crash
+    /// mid-checkpoint; recovery discards the orphan.
+    pub fn write(&mut self, header: SegmentHeader, cube: &DynCube) -> Result<&SegmentMeta> {
+        let bytes = encode_segment(header, cube);
+        let name = format!(
+            "seg-L{}-{}-{}.seg",
+            header.level, header.start_ms, header.end_ms
+        );
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let path = self.dir.join(&name);
+        write_file(&tmp, &bytes, self.fsync)?;
+        if failpoint::fail_if("timeline::segment_write") {
+            return Err(TimelineError::Io(format!(
+                "failpoint timeline::segment_write injected before publishing {name}"
+            )));
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| io_err("publish segment", &path, &e))?;
+        if !matches!(self.fsync, FsyncPolicy::Never) {
+            sync_dir(&self.dir);
+        }
+        // Replacing a bucket at a different end (cannot happen: the
+        // name encodes the range) is impossible, but replacing the
+        // same range rewrites the same file name in place.
+        let meta = SegmentMeta {
+            level: header.level,
+            start_ms: header.start_ms,
+            end_ms: header.end_ms,
+            rows: cube.row_count(),
+            cells: cube.cell_count(),
+            bytes: bytes.len() as u64,
+            file: name,
+        };
+        let key = (meta.level, meta.start_ms);
+        self.index.insert(key, meta);
+        // The entry was just inserted under `key`; spelled as a checked
+        // lookup to keep the store panic-free.
+        self.index
+            .get(&key)
+            .ok_or_else(|| TimelineError::Io("segment index lost a fresh entry".to_string()))
+    }
+
+    /// Load the cube stored for `meta`, revalidating the frame.
+    pub fn load(&self, meta: &SegmentMeta) -> Result<DynCube> {
+        let path = self.dir.join(&meta.file);
+        let bytes = std::fs::read(&path).map_err(|e| io_err("read segment", &path, &e))?;
+        let (header, cube) = decode_segment(&meta.file, &bytes)?;
+        if header.level != meta.level || header.start_ms != meta.start_ms {
+            return Err(TimelineError::Corrupt {
+                path: meta.file.clone(),
+                detail: format!(
+                    "header (L{} @{}) disagrees with index (L{} @{})",
+                    header.level, header.start_ms, meta.level, meta.start_ms
+                ),
+            });
+        }
+        Ok(cube)
+    }
+
+    /// Delete the segment at `(level, start_ms)`, if present. Returns
+    /// whether a segment was removed.
+    pub fn remove(&mut self, level: u8, start_ms: u64) -> Result<bool> {
+        match self.index.remove(&(level, start_ms)) {
+            Some(meta) => {
+                let path = self.dir.join(&meta.file);
+                std::fs::remove_file(&path).map_err(|e| io_err("delete segment", &path, &e))?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> TimelineError {
+    TimelineError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+fn write_file(path: &Path, bytes: &[u8], fsync: FsyncPolicy) -> Result<()> {
+    let mut file = std::fs::File::create(path).map_err(|e| io_err("create segment", path, &e))?;
+    file.write_all(bytes)
+        .map_err(|e| io_err("write segment", path, &e))?;
+    if !matches!(fsync, FsyncPolicy::Never) {
+        file.sync_all()
+            .map_err(|e| io_err("sync segment", path, &e))?;
+    }
+    Ok(())
+}
+
+/// Fsync the directory so a freshly renamed segment survives power
+/// loss (no-op where directories cannot be opened for sync).
+#[cfg(unix)]
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = std::fs::File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msketch_sketches::SketchSpec;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("msketch-timeline-store-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> SketchSpec {
+        SketchSpec::moments(8)
+    }
+
+    fn dims() -> Vec<String> {
+        vec!["app".to_string()]
+    }
+
+    fn bucket(rows: u64, base: u64) -> DynCube {
+        let mut cube = DynCube::from_spec(spec(), &["app"]);
+        for i in 0..rows {
+            cube.insert(&["checkout"], (base + i) as f64).unwrap();
+        }
+        cube
+    }
+
+    #[test]
+    fn write_load_reopen_round_trip() {
+        let dir = scratch("roundtrip");
+        let (mut store, report) =
+            SegmentStore::open(&dir, &spec(), &dims(), FsyncPolicy::Never).unwrap();
+        assert_eq!(report, StoreRecovery::default());
+        for b in 0..3u64 {
+            let header = SegmentHeader {
+                level: 0,
+                start_ms: b * 60_000,
+                end_ms: (b + 1) * 60_000,
+            };
+            store.write(header, &bucket(100, b * 100)).unwrap();
+        }
+        assert_eq!(store.index().len(), 3);
+        let meta = store.get(0, 60_000).unwrap().clone();
+        assert_eq!(meta.rows, 100);
+        let cube = store.load(&meta).unwrap();
+        assert_eq!(cube.row_count(), 100);
+
+        // Reopen re-indexes the same segments.
+        let (reopened, report) =
+            SegmentStore::open(&dir, &spec(), &dims(), FsyncPolicy::Never).unwrap();
+        assert_eq!(report.segments_loaded, 3);
+        assert_eq!(reopened.index().len(), 3);
+        assert_eq!(reopened.level_counts(2), vec![3, 0, 0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_cleans_tmp_and_corrupt_but_keeps_all_levels() {
+        let dir = scratch("recovery");
+        let (mut store, _) =
+            SegmentStore::open(&dir, &spec(), &dims(), FsyncPolicy::Never).unwrap();
+        // Two children plus their rolled-up parent — the normal
+        // post-compaction state — plus one uncompacted bucket.
+        for b in 0..3u64 {
+            let header = SegmentHeader {
+                level: 0,
+                start_ms: b * 60_000,
+                end_ms: (b + 1) * 60_000,
+            };
+            store.write(header, &bucket(10, b)).unwrap();
+        }
+        let mut parent = bucket(10, 0);
+        parent.merge_cube(&bucket(10, 1)).unwrap();
+        store
+            .write(
+                SegmentHeader {
+                    level: 1,
+                    start_ms: 0,
+                    end_ms: 120_000,
+                },
+                &parent,
+            )
+            .unwrap();
+        // A torn tmp and a corrupt segment.
+        std::fs::write(dir.join("seg-L0-9-10.seg.tmp"), b"half").unwrap();
+        std::fs::write(dir.join("seg-L0-999-1000.seg"), b"garbage").unwrap();
+
+        let (reopened, report) =
+            SegmentStore::open(&dir, &spec(), &dims(), FsyncPolicy::Never).unwrap();
+        assert_eq!(report.tmp_removed, 1);
+        assert_eq!(report.corrupt_skipped, 1);
+        // Parent and children coexist: fine segments keep serving
+        // range edges after their middle is rolled up.
+        assert_eq!(report.segments_loaded, 4);
+        assert_eq!(reopened.level_counts(1), vec![3, 1]);
+        assert!(!dir.join("seg-L0-9-10.seg.tmp").exists());
+        // The covering probe prefers the rollup.
+        assert_eq!(reopened.covering(61_000, 0).unwrap().level, 1);
+        assert_eq!(reopened.covering(130_000, 0).unwrap().level, 0);
+        assert!(reopened.covering(130_000, 1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_mismatch_is_quarantined() {
+        let dir = scratch("schema");
+        let (mut store, _) =
+            SegmentStore::open(&dir, &spec(), &dims(), FsyncPolicy::Never).unwrap();
+        store
+            .write(
+                SegmentHeader {
+                    level: 0,
+                    start_ms: 0,
+                    end_ms: 60_000,
+                },
+                &bucket(5, 0),
+            )
+            .unwrap();
+        // Reopen under a different schema: the segment is skipped, not
+        // loaded into a store it cannot merge with.
+        let other_dims = vec!["host".to_string()];
+        let (reopened, report) =
+            SegmentStore::open(&dir, &spec(), &other_dims, FsyncPolicy::Never).unwrap();
+        assert_eq!(report.corrupt_skipped, 1);
+        assert_eq!(reopened.index().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_file_and_entry() {
+        let dir = scratch("remove");
+        let (mut store, _) =
+            SegmentStore::open(&dir, &spec(), &dims(), FsyncPolicy::Never).unwrap();
+        store
+            .write(
+                SegmentHeader {
+                    level: 0,
+                    start_ms: 0,
+                    end_ms: 60_000,
+                },
+                &bucket(5, 0),
+            )
+            .unwrap();
+        assert!(store.remove(0, 0).unwrap());
+        assert!(!store.remove(0, 0).unwrap());
+        assert!(store.index().is_empty());
+        assert!(!dir.join("seg-L0-0-60000.seg").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,596 @@
+//! The timeline: open buckets in memory, immutable segments on disk,
+//! a rollup compactor, and range-query execution over planner covers.
+
+use crate::planner::RangePlanner;
+use crate::segment::SegmentHeader;
+use crate::store::{SegmentMeta, SegmentStore, StoreRecovery};
+use crate::{Result, TimelineConfig, TimelineError, OTHER_LABEL};
+use msketch_cube::DynCube;
+use msketch_sketches::SketchSpec;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Ingest/maintenance counters (monotonic since open).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineStats {
+    /// Rows accepted into open buckets.
+    pub rows_ingested: u64,
+    /// Rows dropped because their bucket was already rolled up (late
+    /// data past the compaction horizon).
+    pub late_dropped: u64,
+    /// Segments written by checkpoints (level 0).
+    pub segments_written: u64,
+    /// Rollup segments produced by compaction (level ≥ 1).
+    pub rollups_written: u64,
+    /// Dimension values folded into `<other>` by cell budgets.
+    pub values_folded: u64,
+    /// Segments deleted by retention.
+    pub retention_removed: u64,
+}
+
+/// What one [`Timeline::maintain`] cycle did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaintenanceReport {
+    /// Level-0 segments persisted from open buckets.
+    pub checkpointed: usize,
+    /// Rollup segments written.
+    pub compacted: usize,
+    /// Segments deleted by retention.
+    pub expired: usize,
+}
+
+/// A range query's merged partials plus provenance.
+pub struct RangeAnswer {
+    /// All matching segments merged in time order — run quantile /
+    /// group-by / threshold queries against this cube.
+    pub cube: DynCube,
+    /// Segments the planner read (the cover size).
+    pub segments_read: usize,
+    /// Snapped inclusive range start (ms).
+    pub t0: u64,
+    /// Snapped exclusive range end (ms).
+    pub t1: u64,
+}
+
+/// A time-bucketed store of pre-aggregated cubes with hierarchical
+/// rollups and minimal-cover range queries. See the crate docs for the
+/// subsystem overview.
+pub struct Timeline {
+    config: TimelineConfig,
+    spec: SketchSpec,
+    dim_names: Vec<String>,
+    store: SegmentStore,
+    planner: RangePlanner,
+    /// Open (mutable, in-memory) buckets keyed by bucket start. An
+    /// open bucket holds the *full* image of its bucket — reopening a
+    /// persisted bucket for late data loads the segment back first —
+    /// so a checkpoint always rewrites the whole segment.
+    open: BTreeMap<u64, DynCube>,
+    stats: TimelineStats,
+}
+
+impl Timeline {
+    /// Open (creating if needed) a timeline at `dir`.
+    ///
+    /// Recovery is the segment store's scan: every valid segment is
+    /// re-indexed, torn `.tmp` files from interrupted writes are
+    /// discarded, and corrupt or schema-mismatched files are skipped
+    /// with a count. Rows that were only in open buckets (not yet
+    /// checkpointed) at crash time are gone — the timeline's
+    /// durability boundary is the checkpoint, exactly like the
+    /// engine's WAL-less snapshot path.
+    pub fn open(
+        dir: &Path,
+        spec: SketchSpec,
+        dim_names: &[&str],
+        config: TimelineConfig,
+    ) -> Result<(Timeline, StoreRecovery)> {
+        let names: Vec<String> = dim_names.iter().map(|s| s.to_string()).collect();
+        let (store, recovery) = SegmentStore::open(dir, &spec, &names, config.fsync)?;
+        let planner = RangePlanner::new(config.bucket_ms, config.max_level());
+        Ok((
+            Timeline {
+                config,
+                spec,
+                dim_names: names,
+                store,
+                planner,
+                open: BTreeMap::new(),
+                stats: TimelineStats::default(),
+            },
+            recovery,
+        ))
+    }
+
+    /// The timeline's configuration.
+    pub fn config(&self) -> &TimelineConfig {
+        &self.config
+    }
+
+    /// The sketch backend every bucket uses.
+    pub fn spec(&self) -> &SketchSpec {
+        &self.spec
+    }
+
+    /// Dimension names shared by every bucket.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dim_names
+    }
+
+    /// Ingest/maintenance counters.
+    pub fn stats(&self) -> &TimelineStats {
+        &self.stats
+    }
+
+    /// The segment store (read access for stats and tests).
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// Open (not yet checkpointed) bucket count.
+    pub fn open_buckets(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Ingest one timestamped row. Returns `true` if the row was
+    /// accepted, `false` if it was dropped as too late (its bucket is
+    /// already covered by an immutable rollup).
+    ///
+    /// Late rows for a bucket that is persisted but *not yet rolled
+    /// up* are accepted: the segment is loaded back into memory,
+    /// merged with the new rows, and rewritten wholesale at the next
+    /// checkpoint — the read path never sees a partial bucket.
+    pub fn insert(&mut self, ts_ms: u64, dim_values: &[&str], metric: f64) -> Result<bool> {
+        let bucket = self.config.bucket_start(ts_ms);
+        if self.store.covering(bucket, 1).is_some() {
+            self.stats.late_dropped += 1;
+            return Ok(false);
+        }
+        if !self.open.contains_key(&bucket) {
+            let cube = match self.store.get(0, bucket).cloned() {
+                Some(meta) => self.store.load(&meta)?,
+                None => DynCube::from_spec(self.spec.clone(), &self.dim_name_refs()),
+            };
+            self.open.insert(bucket, cube);
+        }
+        match self.open.get_mut(&bucket) {
+            Some(cube) => cube.insert(dim_values, metric)?,
+            // Unreachable (inserted above); spelled as a no-op to keep
+            // the ingest path panic-free.
+            None => return Ok(false),
+        }
+        self.stats.rows_ingested += 1;
+        Ok(true)
+    }
+
+    /// Persist every open bucket as a level-0 segment, then drop from
+    /// memory the buckets that are closed as of `now_ms` (the bucket
+    /// containing `now_ms` stays open for more rows). Returns the
+    /// number of segments written.
+    ///
+    /// Idempotent and crash-safe: each segment is the *full* bucket
+    /// image written atomically, so a crash mid-checkpoint leaves
+    /// every bucket either at its previous image or its new one.
+    pub fn checkpoint(&mut self, now_ms: u64) -> Result<usize> {
+        let starts: Vec<u64> = self.open.keys().copied().collect();
+        let mut written = 0usize;
+        for start in starts {
+            let end = start.saturating_add(self.config.bucket_ms);
+            let Some(cube) = self.open.get(&start) else {
+                continue;
+            };
+            if cube.row_count() == 0 {
+                // Never materialize empty segments; drop the bucket if
+                // it is already closed.
+                if end <= now_ms {
+                    self.open.remove(&start);
+                }
+                continue;
+            }
+            let header = SegmentHeader {
+                level: 0,
+                start_ms: start,
+                end_ms: end,
+            };
+            let cube = match self.open.get(&start) {
+                Some(cube) => cube,
+                None => continue,
+            };
+            self.store.write(header, cube)?;
+            written += 1;
+            self.stats.segments_written += 1;
+            if end <= now_ms {
+                self.open.remove(&start);
+            }
+        }
+        Ok(written)
+    }
+
+    /// Roll closed segment runs up the hierarchy: for each level `i`,
+    /// any aligned run of `fanouts[i]` widths that is fully in the
+    /// past (and not yet rolled up) merges into one level-`i+1`
+    /// segment, budget-folded per [`TimelineConfig::cell_budget`].
+    /// Children stay on disk to serve the fine edges of range queries.
+    /// Returns the number of rollups written.
+    ///
+    /// Processing levels bottom-up lets fresh hour rollups cascade
+    /// into day rollups within one call. The `timeline::compact`
+    /// failpoint aborts a rollup after its children are chosen,
+    /// simulating a crash mid-compaction; because children are never
+    /// deleted and the parent write is atomic, recovery simply retries
+    /// the same rollup later.
+    pub fn compact(&mut self, now_ms: u64) -> Result<usize> {
+        let mut rollups = 0usize;
+        for level in 0..self.config.fanouts.len() {
+            let child_level = level as u8;
+            let parent_width = self.config.level_width_ms(level + 1);
+            // Candidate parent starts: every distinct aligned window
+            // holding at least one child segment.
+            let mut parents: Vec<u64> = self
+                .store
+                .index()
+                .range((child_level, 0)..(child_level, u64::MAX))
+                .map(|(&(_, start), _)| start - start % parent_width)
+                .collect();
+            parents.dedup();
+            for parent_start in parents {
+                let parent_end = parent_start.saturating_add(parent_width);
+                if parent_end > now_ms {
+                    continue; // window still filling
+                }
+                if self
+                    .store
+                    .get(child_level + 1, parent_start)
+                    .is_some_and(|meta| meta.end_ms == parent_end)
+                {
+                    continue; // already rolled up
+                }
+                if self.open.range(parent_start..parent_end).next().is_some() {
+                    continue; // unwritten rows still in memory
+                }
+                self.rollup_window(child_level, parent_start, parent_end)?;
+                rollups += 1;
+            }
+        }
+        Ok(rollups)
+    }
+
+    /// Merge every level-`child_level` segment inside the window into
+    /// one parent segment, in time order, and persist it.
+    fn rollup_window(&mut self, child_level: u8, start: u64, end: u64) -> Result<()> {
+        let children: Vec<SegmentMeta> = self
+            .store
+            .index()
+            .range((child_level, start)..(child_level, end))
+            .map(|(_, meta)| meta.clone())
+            .collect();
+        if failpoint::fail_if("timeline::compact") {
+            return Err(TimelineError::Io(format!(
+                "failpoint timeline::compact injected rolling up [{start}, {end})"
+            )));
+        }
+        // Time-ordered left fold: deterministic for a given set of
+        // child segments, so pre- and post-crash compactions of the
+        // same children produce bit-identical parents.
+        let mut merged = DynCube::from_spec(self.spec.clone(), &self.dim_name_refs());
+        for meta in &children {
+            let cube = self.store.load(meta)?;
+            merged.merge_cube(&cube)?;
+        }
+        if self.config.cell_budget > 0 {
+            let folds = merged.enforce_cell_budget(self.config.cell_budget, OTHER_LABEL);
+            self.stats.values_folded += folds as u64;
+        }
+        let header = SegmentHeader {
+            level: child_level + 1,
+            start_ms: start,
+            end_ms: end,
+        };
+        self.store.write(header, &merged)?;
+        self.stats.rollups_written += 1;
+        Ok(())
+    }
+
+    /// Delete segments whose range ended before the retention horizon
+    /// (`now_ms - retention_ms`); drops equally old open buckets.
+    /// Returns the number of segments removed. A zero horizon keeps
+    /// everything.
+    pub fn enforce_retention(&mut self, now_ms: u64) -> Result<usize> {
+        if self.config.retention_ms == 0 {
+            return Ok(0);
+        }
+        let cutoff = now_ms.saturating_sub(self.config.retention_ms);
+        let expired: Vec<(u8, u64)> = self
+            .store
+            .index()
+            .values()
+            .filter(|meta| meta.end_ms <= cutoff)
+            .map(|meta| (meta.level, meta.start_ms))
+            .collect();
+        let mut removed = 0usize;
+        for (level, start) in expired {
+            if self.store.remove(level, start)? {
+                removed += 1;
+                self.stats.retention_removed += 1;
+            }
+        }
+        let stale: Vec<u64> = self
+            .open
+            .keys()
+            .copied()
+            .filter(|&start| start.saturating_add(self.config.bucket_ms) <= cutoff)
+            .collect();
+        for start in stale {
+            self.open.remove(&start);
+        }
+        Ok(removed)
+    }
+
+    /// One maintenance cycle: checkpoint open buckets, roll up closed
+    /// windows, enforce retention — what the serving layer runs on its
+    /// refresh cadence.
+    pub fn maintain(&mut self, now_ms: u64) -> Result<MaintenanceReport> {
+        let checkpointed = self.checkpoint(now_ms)?;
+        let compacted = self.compact(now_ms)?;
+        let expired = self.enforce_retention(now_ms)?;
+        Ok(MaintenanceReport {
+            checkpointed,
+            compacted,
+            expired,
+        })
+    }
+
+    /// The segments a `[t0, t1)` query would read, in time order
+    /// (coarse in the middle, fine at the edges).
+    pub fn plan(&self, t0: u64, t1: u64) -> Result<Vec<SegmentMeta>> {
+        if t1 <= t0 {
+            return Err(TimelineError::BadRange { t0, t1 });
+        }
+        Ok(self
+            .planner
+            .cover(self.store.index(), t0, t1)
+            .into_iter()
+            .filter_map(|(level, start)| self.store.get(level, start).cloned())
+            .collect())
+    }
+
+    /// Answer an arbitrary `[t0, t1)` range by merging the minimal
+    /// segment cover in time order. Returns `None` when no persisted
+    /// segment overlaps the range (an empty range answer, not an
+    /// error). Only checkpointed data is visible — the same snapshot
+    /// semantics as the engine's serving path.
+    pub fn range_cube(&self, t0: u64, t1: u64) -> Result<Option<RangeAnswer>> {
+        let cover = self.plan(t0, t1)?;
+        let Some((lo, hi)) = self.planner.snap(t0, t1) else {
+            return Err(TimelineError::BadRange { t0, t1 });
+        };
+        if cover.is_empty() {
+            return Ok(None);
+        }
+        let mut merged = DynCube::from_spec(self.spec.clone(), &self.dim_name_refs());
+        for meta in &cover {
+            let cube = self.store.load(meta)?;
+            merged.merge_cube(&cube)?;
+        }
+        Ok(Some(RangeAnswer {
+            cube: merged,
+            segments_read: cover.len(),
+            t0: lo,
+            t1: hi,
+        }))
+    }
+
+    fn dim_name_refs(&self) -> Vec<&str> {
+        self.dim_names.iter().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const MIN: u64 = 60_000;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("msketch-timeline-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> TimelineConfig {
+        TimelineConfig::default()
+            .fanouts(&[4, 3])
+            .fsync(crate::FsyncPolicy::Never)
+    }
+
+    fn open(dir: &Path, config: TimelineConfig) -> Timeline {
+        Timeline::open(dir, SketchSpec::moments(6), &["app"], config)
+            .unwrap()
+            .0
+    }
+
+    /// `rows` timestamped rows per bucket across `buckets` buckets.
+    fn fill(tl: &mut Timeline, buckets: u64, rows: u64) {
+        for b in 0..buckets {
+            for i in 0..rows {
+                let ts = b * MIN + (i % MIN);
+                let app = ["checkout", "search"][(i % 2) as usize];
+                // Non-positive integer metrics keep every power sum
+                // exactly representable (see the proptest suite).
+                let metric = -((i % 17) as f64);
+                assert!(tl.insert(ts, &[app], metric).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_checkpoint_query_round_trip() {
+        let dir = scratch("roundtrip");
+        let mut tl = open(&dir, config());
+        fill(&mut tl, 6, 50);
+        assert_eq!(tl.open_buckets(), 6);
+        // Checkpoint at the end of bucket 5: buckets 0..5 close,
+        // bucket 5 stays open (now sits inside it).
+        let now = 5 * MIN + 1;
+        assert_eq!(tl.checkpoint(now).unwrap(), 6);
+        assert_eq!(tl.open_buckets(), 1);
+
+        // Range [1m, 4m): three buckets, 150 rows.
+        let answer = tl.range_cube(MIN, 4 * MIN).unwrap().unwrap();
+        assert_eq!(answer.segments_read, 3);
+        assert_eq!(answer.cube.row_count(), 150);
+        assert_eq!(answer.t0, MIN);
+        assert_eq!(answer.t1, 4 * MIN);
+
+        // Unaligned range snaps outward.
+        let answer = tl.range_cube(MIN + 1, 4 * MIN - 1).unwrap().unwrap();
+        assert_eq!(answer.t0, MIN);
+        assert_eq!(answer.t1, 4 * MIN);
+        assert_eq!(answer.cube.row_count(), 150);
+
+        // A range with no data is an empty answer, not an error.
+        assert!(tl.range_cube(100 * MIN, 200 * MIN).unwrap().is_none());
+        // An inverted range is an error.
+        assert!(matches!(
+            tl.range_cube(10, 10),
+            Err(TimelineError::BadRange { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_rolls_up_and_queries_stay_exact() {
+        let dir = scratch("compact");
+        let mut tl = open(&dir, config());
+        // 13 buckets: three full fanout-4 windows + one extra.
+        fill(&mut tl, 13, 40);
+        let now = 13 * MIN;
+        let report = tl.maintain(now).unwrap();
+        assert_eq!(report.checkpointed, 13);
+        // Three level-1 rollups ([0,4m), [4m,8m), [8m,12m)); the
+        // level-2 window [0,12m) also closes and cascades.
+        assert_eq!(report.compacted, 4);
+        assert_eq!(tl.store().level_counts(2), vec![13, 3, 1]);
+
+        // Full-range query must prefer the day rollup + fine tail, and
+        // count every row exactly once.
+        let answer = tl.range_cube(0, 13 * MIN).unwrap().unwrap();
+        assert_eq!(answer.cube.row_count(), 13 * 40);
+        assert_eq!(answer.segments_read, 2, "level-2 + one fine bucket");
+
+        // Edge-straddling query: fine left edge, coarse middle.
+        let answer = tl.range_cube(MIN, 9 * MIN).unwrap().unwrap();
+        assert_eq!(answer.cube.row_count(), 8 * 40);
+        // Buckets 1,2,3 fine; [4m,8m) rollup; bucket 8 fine.
+        assert_eq!(answer.segments_read, 5);
+
+        // Counts agree with re-folding the raw level-0 segments.
+        let raw: u64 = tl
+            .store()
+            .index()
+            .values()
+            .filter(|m| m.level == 0 && m.start_ms >= MIN && m.end_ms <= 9 * MIN)
+            .map(|m| m.rows)
+            .sum();
+        assert_eq!(raw, 8 * 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn late_data_reopens_until_rolled_up_then_drops() {
+        let dir = scratch("late");
+        let mut tl = open(&dir, config());
+        fill(&mut tl, 5, 10);
+        tl.maintain(5 * MIN).unwrap();
+        // Bucket 4 is checkpointed but its fanout window [4m,8m) is
+        // still open → late row accepted via reopen.
+        assert!(tl.insert(4 * MIN + 5, &["checkout"], -1.0).unwrap());
+        assert_eq!(tl.open_buckets(), 1);
+        tl.checkpoint(6 * MIN).unwrap();
+        let answer = tl.range_cube(4 * MIN, 5 * MIN).unwrap().unwrap();
+        assert_eq!(answer.cube.row_count(), 11, "late row merged in");
+
+        // Bucket 0 sits under the [0,4m) rollup → late row dropped.
+        assert!(!tl.insert(1, &["checkout"], -1.0).unwrap());
+        assert_eq!(tl.stats().late_dropped, 1);
+        let answer = tl.range_cube(0, MIN).unwrap().unwrap();
+        assert_eq!(answer.cube.row_count(), 10, "rolled bucket unchanged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_budget_folds_in_rollups_only() {
+        let dir = scratch("budget");
+        let mut tl = open(&dir, config().cell_budget(3));
+        // 4 buckets × 8 distinct apps ≫ 3 cells.
+        for b in 0..4u64 {
+            for i in 0..32u64 {
+                let app = format!("app{}", i % 8);
+                tl.insert(b * MIN + i, &[app.as_str()], -((i % 5) as f64))
+                    .unwrap();
+            }
+        }
+        tl.maintain(4 * MIN).unwrap();
+        let rollup = tl.store().get(1, 0).unwrap();
+        assert!(rollup.cells <= 3, "rollup kept {} cells", rollup.cells);
+        assert_eq!(rollup.rows, 128, "folding preserves row counts");
+        assert!(tl.stats().values_folded > 0);
+        // Base segments keep full resolution.
+        assert_eq!(tl.store().get(0, 0).unwrap().cells, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_prunes_old_segments_everywhere() {
+        let dir = scratch("retention");
+        let mut tl = open(&dir, config().retention_ms(4 * MIN));
+        fill(&mut tl, 10, 5);
+        tl.checkpoint(10 * MIN).unwrap();
+        // Horizon at 12m: cutoff 8m → buckets ending ≤ 8m expire.
+        let removed = tl.enforce_retention(12 * MIN).unwrap();
+        assert!(removed >= 8, "removed {removed}");
+        assert!(tl.range_cube(0, 8 * MIN).unwrap().is_none());
+        assert!(tl.range_cube(8 * MIN, 10 * MIN).unwrap().is_some());
+        assert_eq!(tl.stats().retention_removed as usize, removed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_answers_bit_identically() {
+        let dir = scratch("reopen");
+        let mut tl = open(&dir, config());
+        fill(&mut tl, 9, 30);
+        tl.maintain(9 * MIN).unwrap();
+        let before = tl.range_cube(MIN, 8 * MIN).unwrap().unwrap();
+        let q_before = before
+            .cube
+            .rollup(&before.cube.no_filter())
+            .unwrap()
+            .quantile(0.9);
+        drop(tl);
+
+        // Reopen (as after a crash: segments are the durable state).
+        let tl = open(&dir, config());
+        let after = tl.range_cube(MIN, 8 * MIN).unwrap().unwrap();
+        assert_eq!(after.segments_read, before.segments_read);
+        assert_eq!(after.cube.row_count(), before.cube.row_count());
+        let q_after = after
+            .cube
+            .rollup(&after.cube.no_filter())
+            .unwrap()
+            .quantile(0.9);
+        assert_eq!(q_before.to_bits(), q_after.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_timeline_reports_cleanly() {
+        let dir = scratch("empty");
+        let mut tl = open(&dir, config());
+        assert_eq!(tl.maintain(MIN).unwrap(), MaintenanceReport::default());
+        assert!(tl.range_cube(0, MIN).unwrap().is_none());
+        assert_eq!(tl.stats(), &TimelineStats::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic fault injection for the timeline: torn segment
+//! writes and failed compaction passes, driven through the `failpoint`
+//! registry at the two sites pinned in `lint/failpoints.golden`
+//! (`timeline::segment_write`, `timeline::compact`).
+//!
+//! Failpoints are process-global, so every test that arms one holds
+//! [`FAILPOINT_LOCK`] for its whole body.
+
+use msketch_cube::QueryEngine;
+use msketch_engine::FsyncPolicy;
+use msketch_sketches::SketchSpec;
+use msketch_timeline::{Timeline, TimelineConfig, TimelineError};
+use std::sync::Mutex;
+
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+const BUCKET_MS: u64 = 1_000;
+const DIMS: [&str; 2] = ["app", "region"];
+/// Far past every bucket end: maintenance closes and rolls everything.
+const LATER: u64 = 1_000_000_000;
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("msketch-timeline-fault-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> TimelineConfig {
+    TimelineConfig::default()
+        .bucket_ms(BUCKET_MS)
+        .fanouts(&[4, 3])
+        .fsync(FsyncPolicy::Never)
+}
+
+fn open(dir: &std::path::Path) -> (Timeline, msketch_timeline::StoreRecovery) {
+    Timeline::open(dir, SketchSpec::moments(8), &DIMS, config()).expect("open timeline")
+}
+
+/// Fill `buckets` with `per_bucket` rows each, starting at bucket 0.
+fn fill(timeline: &mut Timeline, buckets: u64, per_bucket: u64) {
+    for b in 0..buckets {
+        for i in 0..per_bucket {
+            let row = [["app-a", "app-b"][(i % 2) as usize], "eu"];
+            timeline
+                .insert(b * BUCKET_MS + i * 10, &row, -((i % 5) as f64))
+                .expect("insert");
+        }
+    }
+}
+
+/// Median of the global rollup over `[t0, t1)`, as bits.
+fn median_bits(timeline: &Timeline, t0: u64, t1: u64) -> u64 {
+    let answer = timeline
+        .range_cube(t0, t1)
+        .expect("range")
+        .expect("non-empty range");
+    QueryEngine::quantiles(&answer.cube, &answer.cube.no_filter(), &[0.5])
+        .expect("quantiles")
+        .values[0]
+        .to_bits()
+}
+
+#[test]
+fn torn_segment_write_fails_the_checkpoint_and_recovery_cleans_up() {
+    let _guard = FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let dir = fresh_dir("torn-write");
+    let (mut timeline, _) = open(&dir);
+
+    // Two durable buckets first: the pre-crash state to preserve.
+    fill(&mut timeline, 2, 8);
+    assert_eq!(timeline.checkpoint(LATER).expect("checkpoint"), 2);
+    let before = median_bits(&timeline, 0, 2 * BUCKET_MS);
+
+    // The next bucket's segment write tears mid-file (the failpoint
+    // fires after the tmp file exists, before the rename): the
+    // checkpoint must surface the error, not swallow it.
+    for i in 0..4u64 {
+        timeline
+            .insert(2 * BUCKET_MS + i, &["app-a", "eu"], -1.0)
+            .expect("insert");
+    }
+    failpoint::cfg("timeline::segment_write", "return").unwrap();
+    let torn = timeline.checkpoint(LATER);
+    failpoint::remove("timeline::segment_write");
+    assert!(
+        matches!(torn, Err(TimelineError::Io(_))),
+        "torn write must fail the checkpoint"
+    );
+
+    // Crash (drop) and recover: the torn tmp file is swept, both
+    // durable segments survive, and the pre-crash answer is
+    // bit-identical. The unpersisted bucket is gone — the checkpoint
+    // is the durability boundary.
+    drop(timeline);
+    let (recovered, recovery) = open(&dir);
+    assert_eq!(recovery.segments_loaded, 2, "{recovery:?}");
+    assert!(recovery.tmp_removed >= 1, "{recovery:?}");
+    assert_eq!(recovery.corrupt_skipped, 0, "{recovery:?}");
+    assert_eq!(median_bits(&recovered, 0, 2 * BUCKET_MS), before);
+    assert!(recovered
+        .range_cube(2 * BUCKET_MS, 3 * BUCKET_MS)
+        .expect("range")
+        .is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_compaction_is_idempotently_retried_and_answers_never_change() {
+    let _guard = FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let dir = fresh_dir("compact-retry");
+    let (mut timeline, _) = open(&dir);
+
+    // Eight checkpointed base buckets: two full level-1 windows.
+    fill(&mut timeline, 8, 6);
+    assert_eq!(timeline.checkpoint(LATER).expect("checkpoint"), 8);
+    let before = median_bits(&timeline, 0, 8 * BUCKET_MS);
+
+    // First compaction pass dies at the failpoint; answers must still
+    // come from the intact base segments.
+    failpoint::cfg("timeline::compact", "return").unwrap();
+    let failed = timeline.compact(LATER);
+    failpoint::remove("timeline::compact");
+    assert!(
+        matches!(failed, Err(TimelineError::Io(_))),
+        "armed compaction must fail"
+    );
+    assert_eq!(median_bits(&timeline, 0, 8 * BUCKET_MS), before);
+
+    // The retry completes the hierarchy — children retained, parents
+    // written once — and the cover now answers from rollups with the
+    // same bits.
+    let written = timeline.compact(LATER).expect("retry compaction");
+    assert!(written >= 3, "expected level-1 and level-2 rollups");
+    let levels = timeline.store().level_counts(timeline.config().max_level());
+    assert_eq!(levels, vec![8, 2, 1]);
+    let answer = timeline
+        .range_cube(0, 8 * BUCKET_MS)
+        .expect("range")
+        .expect("non-empty");
+    assert!(
+        answer.segments_read < 8,
+        "cover still reads {} base segments",
+        answer.segments_read
+    );
+    assert_eq!(median_bits(&timeline, 0, 8 * BUCKET_MS), before);
+
+    // A third pass is a no-op: compaction is write-parent-if-missing.
+    assert_eq!(timeline.compact(LATER).expect("idempotent pass"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

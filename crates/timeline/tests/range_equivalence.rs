@@ -1,0 +1,231 @@
+//! Range-equivalence properties: answers assembled from the planner's
+//! minimal segment cover must be *bit-exact* versus re-folding the raw
+//! per-bucket cubes — for any row stream, any `[t0, t1)`, ranges that
+//! straddle compacted rollup levels, and rollups whose rare cells were
+//! folded into `<other>` by the cell budget.
+//!
+//! Exactness is decidable here because the generated metrics are
+//! non-positive integers: every power sum is an exactly-representable
+//! integer (log sums stay zero), so folding is associative bit for bit
+//! and any regrouping of the merge tree must reproduce identical
+//! quantile estimates.
+
+use msketch_cube::{DynCube, QueryEngine};
+use msketch_engine::FsyncPolicy;
+use msketch_sketches::SketchSpec;
+use msketch_timeline::{Timeline, TimelineConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BUCKET_MS: u64 = 1_000;
+/// Two full level-2 windows under fanouts [4, 3] — ranges can straddle
+/// base, level-1, and level-2 segments.
+const N_BUCKETS: u64 = 24;
+const SPAN_MS: u64 = N_BUCKETS * BUCKET_MS;
+const PHIS: [f64; 3] = [0.1, 0.5, 0.9];
+const DIMS: [&str; 2] = ["app", "region"];
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let case = CASE.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!("msketch-timeline-prop-{tag}-{case}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(cell_budget: usize) -> TimelineConfig {
+    TimelineConfig::default()
+        .bucket_ms(BUCKET_MS)
+        .fanouts(&[4, 3])
+        .cell_budget(cell_budget)
+        .fsync(FsyncPolicy::Never)
+}
+
+/// Quantiles of the cube's global rollup (`None` for an empty cube).
+fn global_quantiles(cube: &DynCube) -> Option<Vec<f64>> {
+    if cube.row_count() == 0 {
+        return None;
+    }
+    Some(
+        QueryEngine::quantiles(cube, &cube.no_filter(), &PHIS)
+            .expect("quantiles")
+            .values,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole equivalence: cover answers == raw re-fold, bit for
+    /// bit, across random streams, random ranges, and random budgets.
+    #[test]
+    fn cover_answers_match_raw_refold(
+        rows in prop::collection::vec(
+            (0u8..4, 0u8..3, 0u8..17, 0u64..SPAN_MS), 20..150),
+        ranges in prop::collection::vec(
+            (0u64..SPAN_MS + 2 * BUCKET_MS, 1u64..SPAN_MS), 8..=8),
+        budget in 0usize..5,
+    ) {
+        let dir = fresh_dir("refold");
+        let spec = SketchSpec::moments(8);
+        let (mut timeline, _) =
+            Timeline::open(&dir, spec.clone(), &DIMS, config(budget)).expect("open");
+
+        // Mirror every insert into a raw per-bucket cube map — the
+        // ground truth the planner must reproduce.
+        let mut raw: BTreeMap<u64, DynCube> = BTreeMap::new();
+        for &(app, region, k, ts) in &rows {
+            let metric = -f64::from(k);
+            let (a, r) = (format!("app-{app}"), format!("r-{region}"));
+            timeline.insert(ts, &[&a, &r], metric).expect("insert");
+            raw.entry(ts - ts % BUCKET_MS)
+                .or_insert_with(|| DynCube::from_spec(spec.clone(), &DIMS))
+                .insert(&[&a, &r], metric)
+                .expect("raw insert");
+        }
+        // Close every bucket and roll the hierarchy all the way up, so
+        // covers mix base segments with level-1/level-2 rollups.
+        timeline.maintain(SPAN_MS * 1_000).expect("maintain");
+
+        for &(t0, len) in &ranges {
+            let t1 = t0 + len;
+            // Snap outward exactly like the planner: the answer covers
+            // every bucket the raw range touches.
+            let lo = t0 - t0 % BUCKET_MS;
+            let hi = t1 + (BUCKET_MS - t1 % BUCKET_MS) % BUCKET_MS;
+            let mut expected = DynCube::from_spec(spec.clone(), &DIMS);
+            let mut buckets_with_rows = 0usize;
+            for (_, cube) in raw.range(lo..hi) {
+                expected.merge_cube(cube).expect("refold merge");
+                buckets_with_rows += 1;
+            }
+
+            let answer = timeline.range_cube(t0, t1).expect("range_cube");
+            if expected.row_count() == 0 {
+                if let Some(a) = answer {
+                    prop_assert_eq!(a.cube.row_count(), 0, "rows out of thin air");
+                }
+            } else {
+                let a = answer.expect("non-empty range must answer");
+                prop_assert_eq!(a.cube.row_count(), expected.row_count());
+                // Every cover segment holds at least one non-empty
+                // bucket, so the cover is never larger than the raw
+                // bucket list it replaces.
+                prop_assert!(
+                    a.segments_read <= buckets_with_rows,
+                    "cover {} > {} raw buckets", a.segments_read, buckets_with_rows
+                );
+                let got = global_quantiles(&a.cube).expect("answer quantiles");
+                let want = global_quantiles(&expected).expect("refold quantiles");
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(g.to_bits(), w.to_bits(), "{g} != {w}");
+                }
+            }
+
+            // The plan itself tiles the snapped range: time-ordered,
+            // non-overlapping, inside [lo, hi).
+            let plan = timeline.plan(t0, t1).expect("plan");
+            let mut cursor = lo;
+            for meta in &plan {
+                prop_assert!(meta.start_ms >= cursor, "overlap at {}", meta.start_ms);
+                prop_assert!(meta.end_ms <= hi, "segment leaks past the range");
+                cursor = meta.end_ms;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Reopening the store changes nothing: a recovered timeline
+    /// answers every range with the same bits as the writer did.
+    #[test]
+    fn recovered_store_answers_identically(
+        rows in prop::collection::vec(
+            (0u8..4, 0u8..3, 0u8..17, 0u64..SPAN_MS), 20..80),
+        ranges in prop::collection::vec(
+            (0u64..SPAN_MS, 1u64..SPAN_MS), 4..=4),
+    ) {
+        let dir = fresh_dir("reopen");
+        let spec = SketchSpec::moments(8);
+        let (mut timeline, _) =
+            Timeline::open(&dir, spec.clone(), &DIMS, config(0)).expect("open");
+        for &(app, region, k, ts) in &rows {
+            let (a, r) = (format!("app-{app}"), format!("r-{region}"));
+            timeline.insert(ts, &[&a, &r], -f64::from(k)).expect("insert");
+        }
+        timeline.maintain(SPAN_MS * 1_000).expect("maintain");
+
+        let before: Vec<_> = ranges
+            .iter()
+            .map(|&(t0, len)| {
+                timeline
+                    .range_cube(t0, t0 + len)
+                    .expect("range")
+                    .and_then(|a| global_quantiles(&a.cube))
+            })
+            .collect();
+        let segments = timeline.store().index().len();
+        drop(timeline);
+
+        let (reopened, recovery) =
+            Timeline::open(&dir, spec, &DIMS, config(0)).expect("reopen");
+        prop_assert_eq!(recovery.segments_loaded, segments);
+        prop_assert_eq!(recovery.corrupt_skipped, 0);
+        for (&(t0, len), want) in ranges.iter().zip(&before) {
+            let got = reopened
+                .range_cube(t0, t0 + len)
+                .expect("range")
+                .and_then(|a| global_quantiles(&a.cube));
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    for (a, b) in g.iter().zip(w) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                (got, want) => prop_assert!(false, "{got:?} != {want:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A scaled-down replica of the acceptance shape (1m/1h/1d becomes
+/// 10ms/120ms/960ms): five "days" of per-bucket rows, fully compacted,
+/// then a three-"day" query offset into day one must read a
+/// logarithmic cover — fine at the edges, whole days in the middle —
+/// instead of one segment per base bucket.
+#[test]
+fn multi_day_cover_is_logarithmic_end_to_end() {
+    const B: u64 = 10;
+    const DAY: u64 = 96 * B; // 12 × 8 base buckets
+    let dir = fresh_dir("cover");
+    let config = TimelineConfig::default()
+        .bucket_ms(B)
+        .fanouts(&[12, 8])
+        .fsync(FsyncPolicy::Never);
+    let (mut timeline, _) =
+        Timeline::open(&dir, SketchSpec::moments(8), &DIMS, config).expect("open");
+    for b in 0..480u64 {
+        timeline
+            .insert(b * B + 1, &["app-0", "r-0"], -((b % 7) as f64))
+            .expect("insert");
+    }
+    timeline.maintain(1_000_000).expect("maintain");
+
+    let t0 = DAY + 17 * B;
+    let t1 = t0 + 3 * DAY;
+    let answer = timeline
+        .range_cube(t0, t1)
+        .expect("range")
+        .expect("non-empty");
+    assert_eq!(answer.cube.row_count(), 288, "one row per covered bucket");
+    // ≤ 2·(12−1) + 2·(8−1) + 3 segments versus 288 raw buckets.
+    assert!(
+        answer.segments_read <= 39,
+        "cover of {} segments is not logarithmic",
+        answer.segments_read
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,9 @@
 //! * [`cube`] — the Druid-like pre-aggregation engine;
 //! * [`engine`] — the sharded concurrent ingestion engine (batched
 //!   shard-local cubes, epoch snapshots, sliding-window serving);
+//! * [`timeline`] — time-bucketed continuous aggregation: persisted
+//!   per-bucket segments, the hierarchical rollup compactor, and
+//!   arbitrary-range query planning over the minimal segment cover;
 //! * [`server`] — the HTTP/JSON serving layer over engine snapshots;
 //! * [`macrobase`] — the MacroBase-like threshold-search engine;
 //! * [`numerics`] — the numerical substrate.
@@ -42,6 +45,7 @@ pub use msketch_engine as engine;
 pub use msketch_macrobase as macrobase;
 pub use msketch_server as server;
 pub use msketch_sketches as sketches;
+pub use msketch_timeline as timeline;
 pub use numerics;
 
 pub use moments_sketch::{MomentsSketch, SolverConfig};
@@ -67,4 +71,5 @@ pub mod prelude {
     };
     pub use msketch_sketches::traits::{QuantileSummary, Sketch, SummaryFactory};
     pub use msketch_sketches::MomentsBacked;
+    pub use msketch_timeline::{RangeAnswer, RangePlanner, Timeline, TimelineConfig};
 }

@@ -53,7 +53,8 @@ fn every_rule_is_clean_in_isolation() {
 #[test]
 fn golden_registry_pins_all_shipped_tags() {
     // The registry must stay append-only and cover every tag the wire
-    // format has ever shipped; as of PR 6 that is tags 1 through 9.
+    // format has ever shipped; as of PR 8 that is tags 1 through 10
+    // (sketch kinds 1-9 plus the timeline segment header).
     let golden = std::fs::read_to_string(workspace_root().join("lint/wire_tags.golden"))
         .expect("read wire_tags.golden");
     let entries = msketch_lint::rules::wire::parse_golden("lint/wire_tags.golden", &golden)
@@ -62,8 +63,8 @@ fn golden_registry_pins_all_shipped_tags() {
     codes.sort_unstable();
     assert_eq!(
         codes,
-        (1..=9).collect::<Vec<u8>>(),
-        "golden registry must pin tags 1..=9 exactly once each"
+        (1..=10).collect::<Vec<u8>>(),
+        "golden registry must pin tags 1..=10 exactly once each"
     );
 }
 
