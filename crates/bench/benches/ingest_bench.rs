@@ -92,6 +92,36 @@ fn bench_ingest(c: &mut Criterion) {
             })
         });
     }
+
+    // Multi-writer scaling: K producer threads, each with its own
+    // ShardWriter handle (own intern memos, own buffers), splitting
+    // the same 1M rows over a 4-shard engine. No lock anywhere on the
+    // row path — writers meet only at the bounded shard channels.
+    for writers in [1usize, 2, 4] {
+        group.bench_function(format!("multi_writer_{writers}"), |b| {
+            b.iter(|| {
+                let mut engine = ShardedCube::new(
+                    factory(),
+                    &["app", "region"],
+                    EngineConfig::with_shards(4).batch_rows(BATCH_ROWS),
+                );
+                std::thread::scope(|scope| {
+                    for chunk in data.chunks(ROWS.div_ceil(writers)) {
+                        let mut writer = engine.writer();
+                        scope.spawn(move || {
+                            for (dims, metric) in chunk {
+                                writer.insert(dims, *metric).unwrap();
+                            }
+                            writer.flush().unwrap();
+                        });
+                    }
+                });
+                let snap = engine.snapshot().unwrap();
+                assert_eq!(snap.row_count() as usize, ROWS);
+                black_box(snap.cell_count())
+            })
+        });
+    }
     group.finish();
 }
 

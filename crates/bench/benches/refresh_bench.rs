@@ -1,0 +1,115 @@
+//! Epoch-refresh benchmark (the measurement behind
+//! `BENCH_refresh.json`): does refresh latency track the *delta* or
+//! the *cube*?
+//!
+//! For each resident cube size, an engine is pre-loaded with that many
+//! distinct cells and refreshed once so everything is absorbed into
+//! the merged double buffer. Each measured iteration then ingests a
+//! small fixed batch (512 rows over 64 hot cells — the steady-state
+//! shape of a telemetry stream between refreshes) and refreshes:
+//!
+//! * `refresh_delta/N` — the incremental path ([`snapshot`]): workers
+//!   ship only the touched cells, the engine patches them into the
+//!   back buffer. Cost should stay flat as N grows.
+//! * `refresh_refold/N` — the reference full refold
+//!   ([`snapshot_refold`]): clone every shard cube and fold all N
+//!   cells. Cost should grow linearly with N.
+//!
+//! [`snapshot`]: msketch_engine::ShardedCube::snapshot
+//! [`snapshot_refold`]: msketch_engine::ShardedCube::snapshot_refold
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msketch_engine::{DynShardedCube, EngineConfig};
+use msketch_sketches::SketchSpec;
+
+const DELTA_ROWS: usize = 512;
+const DELTA_CELLS: usize = 64;
+const DIM0: usize = 500;
+
+struct Bed {
+    engine: DynShardedCube,
+    apps: Vec<String>,
+    hosts: Vec<String>,
+    round: usize,
+}
+
+impl Bed {
+    /// Pre-load `cells` distinct cells and absorb them with one
+    /// refresh, leaving a large resident cube and an empty delta.
+    fn new(cells: usize) -> Bed {
+        let apps: Vec<String> = (0..DIM0).map(|i| format!("app-{i:04}")).collect();
+        let hosts: Vec<String> = (0..cells.div_ceil(DIM0))
+            .map(|i| format!("host-{i:04}"))
+            .collect();
+        let mut engine = DynShardedCube::new(
+            SketchSpec::moments(10),
+            &["app", "host"],
+            EngineConfig::with_shards(2).batch_rows(8192),
+        );
+        for i in 0..cells {
+            engine
+                .insert(
+                    &[apps[i % DIM0].as_str(), hosts[i / DIM0].as_str()],
+                    i as f64,
+                )
+                .expect("preload insert");
+        }
+        let snap = engine.snapshot().expect("preload snapshot");
+        assert_eq!(snap.cell_count(), cells);
+        Bed {
+            engine,
+            apps,
+            hosts,
+            round: 0,
+        }
+    }
+
+    /// One inter-refresh delta: `DELTA_ROWS` rows over `DELTA_CELLS`
+    /// already-resident cells (rotating which ones round to round).
+    fn ingest_delta(&mut self) {
+        self.round += 1;
+        for i in 0..DELTA_ROWS {
+            let cell = (self.round * DELTA_CELLS + i) % (DELTA_CELLS * 8);
+            self.engine
+                .insert(
+                    &[
+                        self.apps[cell % DIM0].as_str(),
+                        self.hosts[cell / DIM0].as_str(),
+                    ],
+                    i as f64,
+                )
+                .expect("delta insert");
+        }
+    }
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refresh");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(20);
+    for cells in [10_000usize, 100_000, 200_000] {
+        let mut bed = Bed::new(cells);
+        group.bench_function(format!("delta/{cells}"), move |b| {
+            b.iter(|| {
+                bed.ingest_delta();
+                black_box(bed.engine.snapshot().expect("snapshot").row_count())
+            })
+        });
+        let mut bed = Bed::new(cells);
+        group.bench_function(format!("refold/{cells}"), move |b| {
+            b.iter(|| {
+                bed.ingest_delta();
+                black_box(
+                    bed.engine
+                        .snapshot_refold()
+                        .expect("snapshot_refold")
+                        .row_count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh);
+criterion_main!(benches);

@@ -9,25 +9,33 @@
 
 use crate::batch::ColumnarBatch;
 use crate::dictionary::Dictionary;
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::{Error, Result};
 use msketch_sketches::traits::{QuantileSummary, Sketch, SummaryFactory};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A borrowed cube cell: encoded key plus pre-aggregated summary.
 pub type CellRef<'a, S> = (&'a Vec<u32>, &'a S);
 
+/// A cell lifted out of the store for a deterministic rewrite: decoded
+/// name tuple (the sort key), rewritten dictionary-id key, and summary.
+type FoldedCell<S> = (Vec<String>, Vec<u32>, Arc<S>);
+
 /// An in-memory data cube of pre-aggregated summaries.
 ///
-/// `Clone` requires `F: Clone` (summaries are always cloneable); the
-/// sharded ingestion engine's snapshot path clones each shard-local
-/// cube off its worker thread.
+/// Cells are held behind `Arc` handles with copy-on-write mutation
+/// (`Arc::make_mut`), so cloning a cube — the engine's snapshot and
+/// checkpoint currency — shares every summary instead of deep-copying
+/// it: a clone costs one pointer bump per cell, and a later write to
+/// either copy splits only the cell it touches. `Clone` requires
+/// `F: Clone` (summaries are always cloneable).
 #[derive(Clone)]
 pub struct DataCube<F: SummaryFactory> {
     pub(crate) factory: F,
     pub(crate) dims: Vec<Dictionary>,
     pub(crate) dim_names: Vec<String>,
-    pub(crate) cells: HashMap<Vec<u32>, F::Summary>,
+    pub(crate) cells: HashMap<Vec<u32>, Arc<F::Summary>>,
     pub(crate) rows: u64,
 }
 
@@ -81,10 +89,12 @@ impl<F: SummaryFactory> DataCube<F> {
             .zip(self.dims.iter_mut())
             .map(|(v, dict)| dict.encode(v))
             .collect();
-        self.cells
-            .entry(key)
-            .or_insert_with(|| self.factory.build())
-            .accumulate(metric);
+        Arc::make_mut(
+            self.cells
+                .entry(key)
+                .or_insert_with(|| Arc::new(self.factory.build())),
+        )
+        .accumulate(metric);
         self.rows += 1;
         Ok(())
     }
@@ -99,10 +109,12 @@ impl<F: SummaryFactory> DataCube<F> {
                 got: key.len(),
             });
         }
-        self.cells
-            .entry(key.to_vec())
-            .or_insert_with(|| self.factory.build())
-            .accumulate(metric);
+        Arc::make_mut(
+            self.cells
+                .entry(key.to_vec())
+                .or_insert_with(|| Arc::new(self.factory.build())),
+        )
+        .accumulate(metric);
         self.rows += 1;
         Ok(())
     }
@@ -150,48 +162,75 @@ impl<F: SummaryFactory> DataCube<F> {
             .zip(self.dims.iter_mut())
             .map(|(col, dict)| col.pool.iter().map(|v| dict.encode(v)).collect())
             .collect();
-        // Group rows per cell. The product of the *batch-local*
-        // cardinalities is usually tiny (distinct values per batch, not
-        // per stream), so the common case is a dense counting sort over
-        // composite pool-id slots: no hashing and no allocation per row,
-        // one contiguous metric slice per touched cell. Batches with a
-        // huge combination space fall back to hash grouping.
-        const DENSE_SLOT_CAP: usize = 1 << 16;
-        let slot_space = batch.columns.iter().try_fold(1usize, |acc, col| {
-            acc.checked_mul(col.pool.len().max(1))
-                .filter(|&p| p <= DENSE_SLOT_CAP)
-        });
-        match slot_space {
-            Some(slot_space) => self.insert_batch_dense(batch, &remaps, slot_space),
-            None => self.insert_batch_sparse(batch, &remaps),
-        }
+        let cols: Vec<(&[u32], usize)> = batch
+            .columns
+            .iter()
+            .map(|col| (col.ids.as_slice(), col.pool.len()))
+            .collect();
+        self.insert_grouped(&cols, &remaps, &batch.metrics, None);
         self.rows += batch.len() as u64;
         Ok(())
     }
 
-    /// Dense grouping: counting sort of rows by composite batch-local
-    /// slot, then one batched accumulate per touched cell. Row order is
-    /// preserved within each cell (the scatter walks rows in order), so
-    /// cell contents stay bit-identical to row-at-a-time ingestion.
-    fn insert_batch_dense(
+    /// The shared grouping core behind [`Self::insert_batch`] and the
+    /// interned multi-writer path: rows arrive as batch-local id columns
+    /// (`cols[d]` = per-row local ids plus the local cardinality) with a
+    /// local-id → dictionary-id remap per dimension.
+    ///
+    /// The product of the *local* cardinalities is usually tiny
+    /// (distinct values per batch, not per stream), so the common case
+    /// is a dense counting sort over composite local-id slots: no
+    /// hashing and no allocation per row, one contiguous metric slice
+    /// per touched cell. Batches with a huge combination space fall
+    /// back to hash grouping. Either way row order is preserved within
+    /// each cell, so cell contents stay bit-identical to row-at-a-time
+    /// ingestion.
+    ///
+    /// When `touched` is given, every cell key this call accumulates
+    /// into is recorded — the shard workers' delta-snapshot tracking.
+    pub(crate) fn insert_grouped(
         &mut self,
-        batch: &ColumnarBatch,
+        cols: &[(&[u32], usize)],
         remaps: &[Vec<u32>],
-        slot_space: usize,
+        metrics: &[f64],
+        touched: Option<&mut FxHashSet<Vec<u32>>>,
     ) {
-        let n = batch.len();
-        let mut strides: Vec<usize> = Vec::with_capacity(batch.columns.len());
+        const DENSE_SLOT_CAP: usize = 1 << 16;
+        let slot_space = cols.iter().try_fold(1usize, |acc, (_, card)| {
+            acc.checked_mul(card.max(&1).to_owned())
+                .filter(|&p| p <= DENSE_SLOT_CAP)
+        });
+        match slot_space {
+            Some(slot_space) => {
+                self.insert_grouped_dense(cols, remaps, metrics, slot_space, touched)
+            }
+            None => self.insert_grouped_sparse(cols, remaps, metrics, touched),
+        }
+    }
+
+    /// Dense grouping: counting sort of rows by composite local slot,
+    /// then one batched accumulate per touched cell.
+    fn insert_grouped_dense(
+        &mut self,
+        cols: &[(&[u32], usize)],
+        remaps: &[Vec<u32>],
+        metrics: &[f64],
+        slot_space: usize,
+        mut touched: Option<&mut FxHashSet<Vec<u32>>>,
+    ) {
+        let n = metrics.len();
+        let mut strides: Vec<usize> = Vec::with_capacity(cols.len());
         let mut stride = 1usize;
-        for col in &batch.columns {
+        for (_, card) in cols {
             strides.push(stride);
-            stride *= col.pool.len().max(1);
+            stride *= card.max(&1);
         }
         let mut slots: Vec<u32> = Vec::with_capacity(n);
         let mut counts = vec![0u32; slot_space];
         for row in 0..n {
             let mut slot = 0usize;
-            for (col, stride) in batch.columns.iter().zip(&strides) {
-                slot += col.ids[row] as usize * stride;
+            for ((ids, _), stride) in cols.iter().zip(&strides) {
+                slot += ids[row] as usize * stride;
             }
             counts[slot] += 1;
             slots.push(slot as u32);
@@ -206,7 +245,7 @@ impl<F: SummaryFactory> DataCube<F> {
         let mut scattered = vec![0f64; n];
         for (row, &slot) in slots.iter().enumerate() {
             let at = &mut cursor[slot as usize];
-            scattered[*at as usize] = batch.metrics[row];
+            scattered[*at as usize] = metrics[row];
             *at += 1;
         }
         for (slot, &count) in counts.iter().enumerate() {
@@ -214,43 +253,57 @@ impl<F: SummaryFactory> DataCube<F> {
                 continue;
             }
             let mut rest = slot;
-            let key: Vec<u32> = batch
-                .columns
+            let key: Vec<u32> = cols
                 .iter()
                 .zip(remaps)
-                .map(|(col, remap)| {
-                    let card = col.pool.len().max(1);
+                .map(|((_, card), remap)| {
+                    let card = card.max(&1).to_owned();
                     let id = rest % card;
                     rest /= card;
                     remap[id]
                 })
                 .collect();
+            if let Some(touched) = touched.as_deref_mut() {
+                touched.insert(key.clone());
+            }
             let start = starts[slot] as usize;
-            self.cells
-                .entry(key)
-                .or_insert_with(|| self.factory.build())
-                .accumulate_all(&scattered[start..start + count as usize]);
+            Arc::make_mut(
+                self.cells
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(self.factory.build())),
+            )
+            .accumulate_all(&scattered[start..start + count as usize]);
         }
     }
 
     /// Hash-grouping fallback for batches whose combination space is too
     /// large for the dense path.
-    fn insert_batch_sparse(&mut self, batch: &ColumnarBatch, remaps: &[Vec<u32>]) {
+    fn insert_grouped_sparse(
+        &mut self,
+        cols: &[(&[u32], usize)],
+        remaps: &[Vec<u32>],
+        metrics: &[f64],
+        mut touched: Option<&mut FxHashSet<Vec<u32>>>,
+    ) {
         let mut groups: FxHashMap<Vec<u32>, Vec<f64>> = FxHashMap::default();
-        for (row, &metric) in batch.metrics.iter().enumerate() {
-            let key: Vec<u32> = batch
-                .columns
+        for (row, &metric) in metrics.iter().enumerate() {
+            let key: Vec<u32> = cols
                 .iter()
                 .zip(remaps)
-                .map(|(col, remap)| remap[col.ids[row] as usize])
+                .map(|((ids, _), remap)| remap[ids[row] as usize])
                 .collect();
             groups.entry(key).or_default().push(metric);
         }
         for (key, metrics) in groups {
-            self.cells
-                .entry(key)
-                .or_insert_with(|| self.factory.build())
-                .accumulate_all(&metrics);
+            if let Some(touched) = touched.as_deref_mut() {
+                touched.insert(key.clone());
+            }
+            Arc::make_mut(
+                self.cells
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(self.factory.build())),
+            )
+            .accumulate_all(&metrics);
         }
     }
 
@@ -322,10 +375,10 @@ impl<F: SummaryFactory> DataCube<F> {
                 .collect();
             match self.cells.entry(new_key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().merge_from(summary)
+                    Arc::make_mut(e.get_mut()).merge_from(summary)
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(summary.clone());
+                    e.insert(Arc::clone(summary));
                 }
             }
         }
@@ -335,7 +388,48 @@ impl<F: SummaryFactory> DataCube<F> {
 
     /// Iterate all `(key, summary)` cells.
     pub fn cells(&self) -> impl Iterator<Item = (&Vec<u32>, &F::Summary)> {
+        self.cells.iter().map(|(k, s)| (k, &**s))
+    }
+
+    /// Iterate cells as `(key, shared summary)` pairs — the engine's
+    /// delta path clones the `Arc`s to share structure instead of
+    /// deep-copying summaries.
+    pub fn cells_shared(&self) -> impl Iterator<Item = (&Vec<u32>, &Arc<F::Summary>)> {
         self.cells.iter()
+    }
+
+    /// Insert a cell by raw key, sharing the summary. The key must
+    /// already be valid in this cube's id space (same dictionaries);
+    /// an existing cell under the key is replaced, and the row count is
+    /// left untouched (callers set it via [`Self::set_row_count`]).
+    pub fn insert_cell_shared(&mut self, key: Vec<u32>, summary: Arc<F::Summary>) {
+        self.cells.insert(key, summary);
+    }
+
+    /// Overwrite the row count — the delta-application path accounts
+    /// rows out of band (per-shard absolute counts) rather than per
+    /// insert.
+    pub fn set_row_count(&mut self, rows: u64) {
+        self.rows = rows;
+    }
+
+    /// A cube with this cube's factory, dimension names, *and
+    /// dictionaries*, but no cells and zero rows. Keeping the
+    /// dictionaries preserves the id space, so cell keys taken from
+    /// this cube stay valid in the clone — the engine rebuilds its
+    /// merged cube this way after a pane rotation without invalidating
+    /// its retained base cells.
+    pub fn schema_clone(&self) -> DataCube<F>
+    where
+        F: Clone,
+    {
+        DataCube {
+            factory: self.factory.clone(),
+            dims: self.dims.clone(),
+            dim_names: self.dim_names.clone(),
+            cells: HashMap::new(),
+            rows: 0,
+        }
     }
 
     /// Does a cell key match a filter (`None` = wildcard per dimension)?
@@ -375,7 +469,7 @@ impl<F: SummaryFactory> DataCube<F> {
                     .zip(&self.dims)
                     .map(|(&id, dict)| dict.decode(id).unwrap_or(""))
                     .collect();
-                (names, (k, s))
+                (names, (k, &**s))
             })
             .collect();
         matching.sort_unstable_by(|a, b| a.0.cmp(&b.0));
@@ -560,7 +654,7 @@ impl<F: SummaryFactory> DataCube<F> {
             return;
         }
         let old = std::mem::take(&mut self.cells);
-        let mut ordered: Vec<(Vec<String>, Vec<u32>, F::Summary)> = old
+        let mut ordered: Vec<FoldedCell<F::Summary>> = old
             .into_iter()
             .map(|(mut key, summary)| {
                 let names: Vec<String> = key
@@ -578,7 +672,7 @@ impl<F: SummaryFactory> DataCube<F> {
         for (_, key, summary) in ordered {
             match self.cells.entry(key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().merge_from(&summary)
+                    Arc::make_mut(e.get_mut()).merge_from(&summary)
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(summary);
@@ -614,10 +708,10 @@ impl<F: SummaryFactory> DataCube<F> {
             let new_key: Vec<u32> = keep_dims.iter().map(|&d| key[d]).collect();
             match out.cells.entry(new_key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().merge_from(summary)
+                    Arc::make_mut(e.get_mut()).merge_from(summary)
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(summary.clone());
+                    e.insert(Arc::new(summary.clone()));
                 }
             }
         }

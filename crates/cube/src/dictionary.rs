@@ -53,6 +53,22 @@ impl Dictionary {
             .map(|(i, n)| (i as u32, n.as_str()))
     }
 
+    /// Catch up with a dictionary this one is a *prefix* of: append the
+    /// entries `other` has grown since, keeping every id aligned.
+    ///
+    /// This is the cheap path for checkpoint clones of an append-only
+    /// dictionary — O(new entries), no remapping — where
+    /// [`Dictionary::merge_remap`] would rehash every value. Debug
+    /// builds assert the prefix relationship.
+    pub fn extend_from(&mut self, other: &Dictionary) {
+        debug_assert!(self.names.len() <= other.names.len());
+        for name in &other.names[self.names.len()..] {
+            let id = self.names.len() as u32;
+            self.ids.insert(name.to_owned(), id);
+            self.names.push(name.to_owned());
+        }
+    }
+
     /// Union another dictionary into this one, returning the id remap
     /// table: `remap[other_id] = self_id` for every id of `other`.
     ///

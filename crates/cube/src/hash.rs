@@ -72,6 +72,10 @@ pub type FxBuild = BuildHasherDefault<FxHasher>;
 /// A `HashMap` using the fast batch-local hasher.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
 
+/// A `HashSet` using the fast batch-local hasher (e.g. the per-shard
+/// touched-cell sets backing delta snapshots).
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuild>;
+
 /// Hash a dimension-value tuple to a stable 64-bit value.
 ///
 /// This is the shard-routing hash: it must be identical across writer

@@ -25,6 +25,7 @@
 
 pub mod batch;
 pub mod cube;
+pub mod delta;
 pub mod dictionary;
 pub mod hash;
 pub mod query;
@@ -34,6 +35,7 @@ pub mod window;
 
 pub use batch::ColumnarBatch;
 pub use cube::{CellRef, DataCube};
+pub use delta::{AppliedDelta, CubeDelta, InternedBatch, InternedColumn, WriterTable};
 pub use dictionary::Dictionary;
 pub use query::{GroupReport, GroupThresholdQuery, QuantileReport, QueryEngine, ThresholdReport};
 pub use segment::{frame_segment, unframe_segment, Segment, SegmentError};
@@ -76,6 +78,9 @@ pub enum Error {
     },
     /// A query matched no cells.
     EmptyResult,
+    /// An interned batch or snapshot delta referenced a pool id outside
+    /// its decode table — a writer/worker desync.
+    BadInternedBatch,
     /// A persisted cube failed to encode or decode.
     Wire(msketch_sketches::SketchError),
 }
@@ -111,6 +116,12 @@ impl std::fmt::Display for Error {
                 write!(f, "cube sketch backends differ: {expected} vs {got}")
             }
             Error::EmptyResult => write!(f, "query matched no cells"),
+            Error::BadInternedBatch => {
+                write!(
+                    f,
+                    "interned batch referenced an id outside its decode table"
+                )
+            }
             Error::Wire(e) => write!(f, "cube wire format: {e}"),
         }
     }

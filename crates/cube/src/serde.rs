@@ -28,6 +28,7 @@ use crate::{Error, Result};
 use msketch_sketches::api::{Reader, SketchError, Writer};
 use msketch_sketches::{sketch_from_bytes, Sketch, SketchSpec};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A cube whose sketch backend is chosen at runtime via [`SketchSpec`].
 pub type DynCube = DataCube<SketchSpec>;
@@ -120,7 +121,7 @@ impl DynCube {
             dims.push(dict);
         }
         let n_cells = r.len(4 * n_dims + 4).map_err(Error::Wire)?;
-        let mut cells: HashMap<Vec<u32>, Box<dyn Sketch>> = HashMap::with_capacity(n_cells);
+        let mut cells: HashMap<Vec<u32>, Arc<Box<dyn Sketch>>> = HashMap::with_capacity(n_cells);
         for _ in 0..n_cells {
             let mut key = Vec::with_capacity(n_dims);
             for dict in &dims {
@@ -139,7 +140,7 @@ impl DynCube {
                     got: sketch.kind(),
                 }));
             }
-            cells.insert(key, sketch);
+            cells.insert(key, Arc::new(sketch));
         }
         r.finish().map_err(Error::Wire)?;
         Ok(DataCube {

@@ -5,8 +5,11 @@
 //! supplies the write path that makes that true at Druid-like ingest
 //! rates. Rows are routed by a stable hash of their dimension-value
 //! tuple to one of N shard workers, each feeding its own
-//! [`msketch_cube::DataCube`] over a bounded channel in columnar batches
-//! ([`msketch_cube::ColumnarBatch`]). Because the moments sketch merges
+//! [`msketch_cube::DataCube`] over a bounded channel in pre-interned
+//! columnar batches ([`msketch_cube::InternedBatch`] — each writer
+//! handle interns dimension values into its own per-shard pools, so
+//! workers decode dense ids instead of re-hashing strings per row).
+//! Because the moments sketch merges
 //! by bit-exact power-sum addition and each dimension tuple lands on
 //! exactly one shard, folding the shard-local cubes back together
 //! ([`DataCube::merge_cube`](msketch_cube::DataCube::merge_cube), with
@@ -34,16 +37,17 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 mod sharded;
 mod snapshot;
 mod supervisor;
 mod wal;
 mod window;
 
-pub use sharded::{DynShardedCube, EngineConfig, ShardWriter, ShardedCube};
+pub use sharded::{DynShardedCube, EngineConfig, ShardWriter, ShardedCube, StagedCheckpoint};
 pub use snapshot::EngineSnapshot;
 pub use supervisor::EngineStats;
-pub use wal::{FsyncPolicy, RecoveryReport, Wal, WalConfig, WalError};
+pub use wal::{FsyncPolicy, RecoveryReport, Wal, WalConfig, WalCounters, WalError};
 pub use window::SlidingEngine;
 
 /// Errors from the concurrent engine.

@@ -1,17 +1,20 @@
 //! The sharded write path: routing, per-shard channels, worker threads.
 
+use crate::delta::MergedState;
 use crate::snapshot::EngineSnapshot;
 use crate::supervisor::{worker_loop, EngineStats, SharedStats};
-use crate::wal::{RecoveryReport, Wal, WalConfig};
+use crate::wal::{RecoveryReport, Wal, WalConfig, WalCounters};
 use crate::{EngineError, Result};
 use crossbeam::channel::{self, Receiver, Sender};
-use msketch_cube::hash::route_hash;
-use msketch_cube::{ColumnarBatch, DataCube, DynCube};
+use msketch_cube::hash::{route_hash, FxHashMap};
+use msketch_cube::{CubeDelta, DataCube, InternedBatch, InternedColumn};
 use msketch_sketches::traits::SummaryFactory;
 use msketch_sketches::SketchSpec;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tuning knobs for [`ShardedCube`].
 #[derive(Debug, Clone, Copy)]
@@ -60,10 +63,13 @@ impl EngineConfig {
 /// FIFO per sender, so a control message acts as a barrier: the reply
 /// reflects every batch the same sender shipped before it.
 pub(crate) enum ShardMsg<F: SummaryFactory> {
-    /// Ingest a columnar batch.
-    Batch(ColumnarBatch),
+    /// Ingest a pre-interned columnar batch.
+    Interned(InternedBatch),
     /// Reply with a clone of the shard-local cube; keep ingesting.
     Snapshot(Sender<DataCube<F>>),
+    /// Reply with a delta of the cells touched since the last delta
+    /// reply; keep ingesting.
+    Delta(Sender<CubeDelta<F::Summary>>),
     /// Reply with the shard-local cube, replacing it with a fresh one.
     Rotate(Sender<DataCube<F>>),
     /// Stop the worker thread, even while other writers still hold
@@ -72,35 +78,78 @@ pub(crate) enum ShardMsg<F: SummaryFactory> {
     Shutdown,
 }
 
-/// An ingest handle: routes rows to shards and buffers them into
-/// per-shard columnar batches.
+/// One shard's buffered, pre-interned rows in a [`ShardWriter`].
+struct PendingBatch {
+    columns: Vec<InternedColumn>,
+    metrics: Vec<f64>,
+}
+
+impl PendingBatch {
+    fn new(dims: usize) -> Self {
+        PendingBatch {
+            columns: (0..dims)
+                .map(|_| InternedColumn {
+                    ids: Vec::new(),
+                    news: Vec::new(),
+                })
+                .collect(),
+            metrics: Vec::new(),
+        }
+    }
+}
+
+/// An ingest handle: routes rows to shards, interns dimension values
+/// into per-shard writer pools, and buffers pre-interned batches.
 ///
 /// Obtain extra handles with [`ShardedCube::writer`] to ingest from
-/// several threads; each handle buffers independently. Rows become
-/// visible to snapshots once flushed (explicitly via [`Self::flush`],
-/// or implicitly when a shard buffer reaches `batch_rows`).
+/// several threads; each handle buffers and interns independently —
+/// ingest threads never share a lock or a dictionary. A value's pool id
+/// is assigned once per `(writer, shard, dimension)` and shipped as a
+/// "new" exactly once; after that the writer ships bare `u32` ids and
+/// the shard worker decodes them through its per-writer table, so the
+/// per-row string hashing that used to run on the worker happens on the
+/// writer's thread, once per distinct value.
+///
+/// Rows become visible to snapshots once flushed (explicitly via
+/// [`Self::flush`], or implicitly when a shard buffer reaches
+/// `batch_rows`).
 pub struct ShardWriter<F: SummaryFactory> {
     senders: Vec<Sender<ShardMsg<F>>>,
-    buffers: Vec<ColumnarBatch>,
+    pending: Vec<PendingBatch>,
+    /// Per-shard, per-dimension value→pool-id memos. Never reset: pool
+    /// id spaces only grow, so cached ids stay valid across flushes,
+    /// worker rollbacks, and pane rotations.
+    memos: Vec<Vec<FxHashMap<String, u32>>>,
+    /// Engine-assigned writer id; workers index their decode tables by
+    /// it.
+    id: u32,
     dims: usize,
     batch_rows: usize,
     /// Run cache: telemetry streams repeat dimension tuples in bursts,
-    /// so the previous row's tuple and shard are kept to skip routing
-    /// and re-encoding on repeats.
+    /// so the previous row's tuple, shard, and pool ids are kept to
+    /// skip routing and memo lookups on repeats.
     last_dims: Vec<String>,
+    last_ids: Vec<u32>,
     last_shard: usize,
     last_valid: bool,
 }
 
 impl<F: SummaryFactory> ShardWriter<F> {
-    fn new(senders: Vec<Sender<ShardMsg<F>>>, dims: usize, batch_rows: usize) -> Self {
-        let buffers = senders.iter().map(|_| ColumnarBatch::new(dims)).collect();
+    fn new(senders: Vec<Sender<ShardMsg<F>>>, id: u32, dims: usize, batch_rows: usize) -> Self {
+        let pending = senders.iter().map(|_| PendingBatch::new(dims)).collect();
+        let memos = senders
+            .iter()
+            .map(|_| vec![FxHashMap::default(); dims])
+            .collect();
         ShardWriter {
             senders,
-            buffers,
+            pending,
+            memos,
+            id,
             dims,
             batch_rows,
             last_dims: vec![String::new(); dims],
+            last_ids: Vec::with_capacity(dims),
             last_shard: 0,
             last_valid: false,
         }
@@ -120,31 +169,48 @@ impl<F: SummaryFactory> ShardWriter<F> {
                 got: dim_values.len(),
             }));
         }
-        let shard =
-            if self.last_valid && dim_values.iter().zip(&self.last_dims).all(|(v, l)| *v == l) {
-                // Repeated tuple: reuse the cached route and duplicate the
-                // previous encoding (falls through after a flush emptied the
-                // buffer).
-                let shard = self.last_shard;
-                if self.buffers[shard].push_repeat(metric) {
-                    if self.buffers[shard].len() >= self.batch_rows {
-                        self.flush_shard(shard)?;
-                    }
-                    return Ok(());
+        if self.last_valid && dim_values.iter().zip(&self.last_dims).all(|(v, l)| *v == l) {
+            // Repeated tuple: the cached pool ids are permanently valid
+            // (memos never shrink), so push them straight through.
+            let shard = self.last_shard;
+            let pending = &mut self.pending[shard];
+            for (column, &id) in pending.columns.iter_mut().zip(&self.last_ids) {
+                column.ids.push(id);
+            }
+            pending.metrics.push(metric);
+            if pending.metrics.len() >= self.batch_rows {
+                self.flush_shard(shard)?;
+            }
+            return Ok(());
+        }
+        let shard = (route_hash(dim_values) % self.senders.len() as u64) as usize;
+        self.last_ids.clear();
+        let pending = &mut self.pending[shard];
+        let memos = &mut self.memos[shard];
+        for ((memo, column), v) in memos.iter_mut().zip(&mut pending.columns).zip(dim_values) {
+            let id = match memo.get(*v) {
+                Some(&id) => id,
+                None => {
+                    // First sighting for this (writer, shard, dim):
+                    // assign the next dense pool id and ship the value
+                    // itself once, in this batch's news.
+                    let id = memo.len() as u32;
+                    memo.insert((*v).to_string(), id);
+                    column.news.push((*v).to_string());
+                    id
                 }
-                shard
-            } else {
-                let shard = (route_hash(dim_values) % self.senders.len() as u64) as usize;
-                for (slot, v) in self.last_dims.iter_mut().zip(dim_values) {
-                    slot.clear();
-                    slot.push_str(v);
-                }
-                self.last_shard = shard;
-                self.last_valid = true;
-                shard
             };
-        self.buffers[shard].push_row(dim_values, metric);
-        if self.buffers[shard].len() >= self.batch_rows {
+            column.ids.push(id);
+            self.last_ids.push(id);
+        }
+        pending.metrics.push(metric);
+        for (slot, v) in self.last_dims.iter_mut().zip(dim_values) {
+            slot.clear();
+            slot.push_str(v);
+        }
+        self.last_shard = shard;
+        self.last_valid = true;
+        if self.pending[shard].metrics.len() >= self.batch_rows {
             self.flush_shard(shard)?;
         }
         Ok(())
@@ -160,16 +226,20 @@ impl<F: SummaryFactory> ShardWriter<F> {
 
     /// Rows buffered but not yet shipped (thus invisible to snapshots).
     pub fn pending(&self) -> usize {
-        self.buffers.iter().map(ColumnarBatch::len).sum()
+        self.pending.iter().map(|p| p.metrics.len()).sum()
     }
 
     fn flush_shard(&mut self, shard: usize) -> Result<()> {
-        if self.buffers[shard].is_empty() {
+        if self.pending[shard].metrics.is_empty() {
             return Ok(());
         }
-        let batch = std::mem::replace(&mut self.buffers[shard], ColumnarBatch::new(self.dims));
+        let batch = std::mem::replace(&mut self.pending[shard], PendingBatch::new(self.dims));
         self.senders[shard]
-            .send(ShardMsg::Batch(batch))
+            .send(ShardMsg::Interned(InternedBatch {
+                writer: self.id,
+                columns: batch.columns,
+                metrics: batch.metrics,
+            }))
             .map_err(|_| EngineError::Disconnected)
     }
 }
@@ -184,20 +254,24 @@ impl<F: SummaryFactory> Drop for ShardWriter<F> {
 /// The sharded concurrent ingestion engine.
 ///
 /// `N` worker threads each own a shard-local [`DataCube`] (its own
-/// dictionaries, its own cells) and drain columnar batches from a
+/// dictionaries, its own cells) and drain pre-interned batches from a
 /// bounded channel. The engine itself is an ingest handle (it embeds a
 /// [`ShardWriter`]); additional concurrent writers come from
 /// [`Self::writer`]. Readers never touch the live shards: they query
-/// [`EngineSnapshot`]s, which are immutable merged cubes built by
-/// [`Self::snapshot`] — workers keep ingesting while the caller folds,
-/// so writers never block queries and queries never block writers.
+/// [`EngineSnapshot`]s — immutable merged cubes the engine maintains
+/// persistently and refreshes *incrementally*: each [`Self::snapshot`]
+/// asks every shard only for the cells it touched since its last reply
+/// and applies those deltas to a double-buffered merged cube, so
+/// refresh cost tracks the change rate, not the cube size. The full
+/// refold is still available as [`Self::snapshot_refold`] (and is what
+/// recovery replays), and the two are bit-exact.
 ///
 /// Worker threads exit when the engine and every extra writer have been
 /// dropped (the channels disconnect).
 pub struct ShardedCube<F>
 where
     F: SummaryFactory + Clone + Send + 'static,
-    F::Summary: Send,
+    F::Summary: Send + Sync,
 {
     factory: F,
     dim_names: Vec<String>,
@@ -205,15 +279,28 @@ where
     writer: ShardWriter<F>,
     workers: Vec<JoinHandle<()>>,
     epoch: u64,
-    /// Checkpointed history: the union of every pane retired through
-    /// [`Self::checkpoint`] (seeded from WAL replay after
-    /// [`Self::recover`]). Folded into full snapshots; panes are
-    /// disjoint row sets, so base + live shards never double-counts.
-    base: Option<DataCube<F>>,
-    /// Durable pane log, when attached via [`Self::recover`].
-    wal: Option<Wal>,
+    /// The persistently maintained merged cube (double-buffered), plus
+    /// the base layer of panes retired through [`Self::checkpoint`]
+    /// (seeded from WAL replay after [`Self::recover`]).
+    merged: MergedState<F>,
+    /// Durable pane log, when attached via [`Self::recover`]. Shared
+    /// with [`StagedCheckpoint`]s so the fsync can run after the engine
+    /// lock is released by the serving layer.
+    wal: Option<Arc<Mutex<Wal>>>,
+    /// Lock-free view of the WAL's append counters, so [`Self::stats`]
+    /// never waits on an in-flight append.
+    wal_counters: Option<Arc<WalCounters>>,
+    /// Dense writer-id allocator for [`Self::writer`] handles.
+    writer_seq: Arc<AtomicU32>,
     /// Supervision counters shared with the shard workers.
     stats: Arc<SharedStats>,
+    /// Cells folded by full-refold refreshes (engine-thread work the
+    /// delta path avoids).
+    snapshot_cells_folded: u64,
+    /// Delta cells applied by incremental refreshes.
+    delta_cells_applied: u64,
+    /// Wall-clock micros of the most recent refresh.
+    last_refresh_micros: u64,
 }
 
 /// A sharded engine over runtime-chosen (boxed) sketch cells; snapshots
@@ -223,7 +310,7 @@ pub type DynShardedCube = ShardedCube<SketchSpec>;
 impl<F> ShardedCube<F>
 where
     F: SummaryFactory + Clone + Send + 'static,
-    F::Summary: Send,
+    F::Summary: Send + Sync,
 {
     /// Spawn `config.shards` workers, each owning an empty cube with the
     /// given dimension names.
@@ -250,7 +337,8 @@ where
             );
             senders.push(tx);
         }
-        let writer = ShardWriter::new(senders, dim_names.len(), config.batch_rows.max(1));
+        let writer = ShardWriter::new(senders, 0, dim_names.len(), config.batch_rows.max(1));
+        let merged = MergedState::new(factory.clone(), dim_names, shards);
         ShardedCube {
             factory,
             dim_names: dim_names.iter().map(|s| s.to_string()).collect(),
@@ -258,9 +346,14 @@ where
             writer,
             workers,
             epoch: 0,
-            base: None,
+            merged,
             wal: None,
+            wal_counters: None,
+            writer_seq: Arc::new(AtomicU32::new(1)),
             stats,
+            snapshot_cells_folded: 0,
+            delta_cells_applied: 0,
+            last_refresh_micros: 0,
         }
     }
 
@@ -309,15 +402,19 @@ where
     }
 
     /// Supervision and durability counters: worker restarts, rows lost
-    /// to rollbacks, rows applied, WAL append totals.
+    /// to rollbacks, rows applied, WAL append totals, refresh costs.
     pub fn stats(&self) -> EngineStats {
+        let wal = self.wal_counters.as_deref();
         EngineStats {
             worker_restarts: self.stats.restarts(),
             rows_lost: self.stats.rows_lost(),
             rows_applied: self.stats.rows_applied(),
-            wal_segments: self.wal.as_ref().map_or(0, Wal::segments_appended),
-            wal_bytes: self.wal.as_ref().map_or(0, Wal::bytes_appended),
-            wal_append_errors: self.wal.as_ref().map_or(0, Wal::append_errors),
+            wal_segments: wal.map_or(0, WalCounters::segments_appended),
+            wal_bytes: wal.map_or(0, WalCounters::bytes_appended),
+            wal_append_errors: wal.map_or(0, WalCounters::append_errors),
+            snapshot_cells_folded: self.snapshot_cells_folded,
+            delta_cells_applied: self.delta_cells_applied,
+            last_refresh_micros: self.last_refresh_micros,
             shut_down: self.is_shut_down(),
         }
     }
@@ -340,36 +437,96 @@ where
         self.writer.flush()
     }
 
-    /// An additional ingest handle for another writer thread.
+    /// An additional ingest handle for another writer thread. Each
+    /// handle gets a fresh writer id and its own per-shard intern
+    /// pools; handles never contend with each other or with the engine.
     pub fn writer(&self) -> ShardWriter<F> {
         ShardWriter::new(
             self.writer.senders.clone(),
+            self.writer_seq.fetch_add(1, Ordering::Relaxed),
             self.dim_names.len(),
             self.config.batch_rows.max(1),
         )
     }
 
-    /// Take an epoch-stamped snapshot: flush this handle, have every
-    /// worker clone its shard-local cube, and fold the clones into one
-    /// immutable merged cube.
+    /// Take an epoch-stamped snapshot by *delta refresh*: flush this
+    /// handle, have every worker ship only the cells it touched since
+    /// its last delta reply, and apply those deltas to the engine's
+    /// persistent double-buffered merged cube.
     ///
-    /// Isolation: per-sender channel FIFO makes the snapshot request a
+    /// Isolation: per-sender channel FIFO makes the delta request a
     /// barrier, so the snapshot contains *every* row this handle (and
     /// any writer that flushed before the barrier reached the shard)
-    /// shipped, and *no* row shipped after. Workers resume ingesting the
-    /// moment they have replied; the O(cells) fold runs on the calling
-    /// thread, so concurrent writers are never blocked by readers.
+    /// shipped, and *no* row shipped after. Workers resume ingesting
+    /// the moment they have replied; delta application runs on the
+    /// calling thread, and its cost tracks the cells *changed* since
+    /// the previous refresh — not the cube size. Bit-exact with
+    /// [`Self::snapshot_refold`]: each delta cell is the owning shard's
+    /// complete live summary, merged over the checkpointed base in the
+    /// same single `merge_from` a refold performs.
     pub fn snapshot(&mut self) -> Result<EngineSnapshot<F>> {
-        self.collect(false)
+        self.ensure_running()?;
+        let started = Instant::now();
+        self.writer.flush()?;
+        // Ask every shard first, then await the replies: workers build
+        // their deltas concurrently with each other.
+        let mut replies: Vec<Receiver<CubeDelta<F::Summary>>> =
+            Vec::with_capacity(self.workers.len());
+        for sender in &self.writer.senders {
+            let (tx, rx) = channel::bounded(1);
+            sender
+                .send(ShardMsg::Delta(tx))
+                .map_err(|_| EngineError::Disconnected)?;
+            replies.push(rx);
+        }
+        let mut deltas = Vec::with_capacity(replies.len());
+        for rx in replies {
+            deltas.push(rx.recv().map_err(|_| EngineError::Disconnected)?);
+        }
+        self.epoch += 1;
+        let (snap, cells_applied) = self.merged.refresh(&deltas, self.epoch)?;
+        self.delta_cells_applied += cells_applied;
+        self.last_refresh_micros = started.elapsed().as_micros() as u64;
+        Ok(snap)
     }
 
-    /// Retire the current pane: like [`Self::snapshot`], but every
-    /// worker hands over its cube and starts a fresh one, so the
-    /// returned snapshot holds exactly the rows since the previous
-    /// rotation (or engine start). Used for time-pane serving — see
-    /// [`crate::SlidingEngine`].
+    /// Take an epoch-stamped snapshot the pre-delta way: clone every
+    /// shard's full live cube and fold the clones over the base.
+    /// O(total cells) on the calling thread regardless of what changed;
+    /// kept as the reference implementation the delta path is verified
+    /// against (and for one-shot consumers that don't want to grow the
+    /// engine's persistent merged cube).
+    pub fn snapshot_refold(&mut self) -> Result<EngineSnapshot<F>> {
+        self.ensure_running()?;
+        let started = Instant::now();
+        self.writer.flush()?;
+        let replies = self.request_cubes(false)?;
+        let mut merged = self.merged.base_only_cube();
+        self.snapshot_cells_folded += merged.cell_count() as u64;
+        for rx in replies {
+            let shard_cube = rx.recv().map_err(|_| EngineError::Disconnected)?;
+            self.snapshot_cells_folded += shard_cube.cell_count() as u64;
+            merged.merge_cube(&shard_cube)?;
+        }
+        self.epoch += 1;
+        self.last_refresh_micros = started.elapsed().as_micros() as u64;
+        Ok(EngineSnapshot::new(self.epoch, merged))
+    }
+
+    /// Retire the current pane: every worker hands over its cube and
+    /// starts a fresh one, and the returned snapshot holds exactly the
+    /// rows since the previous rotation (or engine start) — the
+    /// checkpointed base is *not* included. Used for time-pane serving —
+    /// see [`crate::SlidingEngine`].
     pub fn rotate_pane(&mut self) -> Result<EngineSnapshot<F>> {
-        self.collect(true)
+        self.ensure_running()?;
+        self.writer.flush()?;
+        let pane = self.collect_pane()?;
+        self.epoch += 1;
+        // The live shards are empty now; drop their contributions from
+        // the persistent merged cube.
+        self.merged.rotate_discard();
+        Ok(EngineSnapshot::new(self.epoch, pane))
     }
 
     fn empty_cube(&self) -> DataCube<F> {
@@ -377,12 +534,10 @@ where
         DataCube::new(self.factory.clone(), &names)
     }
 
-    fn collect(&mut self, rotate: bool) -> Result<EngineSnapshot<F>> {
-        self.ensure_running()?;
-        self.writer.flush()?;
+    fn request_cubes(&self, rotate: bool) -> Result<Vec<Receiver<DataCube<F>>>> {
         // Ask every shard first, then await the replies: workers clone /
         // swap their cubes concurrently with each other.
-        let mut replies: Vec<Receiver<DataCube<F>>> = Vec::with_capacity(self.workers.len());
+        let mut replies = Vec::with_capacity(self.workers.len());
         for sender in &self.writer.senders {
             let (tx, rx) = channel::bounded(1);
             let msg = if rotate {
@@ -393,23 +548,21 @@ where
             sender.send(msg).map_err(|_| EngineError::Disconnected)?;
             replies.push(rx);
         }
-        // A full snapshot starts from the checkpointed base (the union
-        // of retired panes); a rotation holds only the live pane, so it
-        // starts empty. Base rows and live-shard rows are disjoint.
-        let mut merged = match (&self.base, rotate) {
-            (Some(base), false) => base.clone(),
-            _ => self.empty_cube(),
-        };
-        // Fold in shard order: each cell lives on exactly one shard, so
-        // every snapshot cell is built by one clone + per-shard-ordered
-        // merges — equal ingest histories produce bit-identical
-        // snapshots.
+        Ok(replies)
+    }
+
+    /// Rotate every shard and fold the retired cubes into one pane.
+    /// Fold order is shard order, so equal ingest histories produce
+    /// bit-identical panes.
+    fn collect_pane(&mut self) -> Result<DataCube<F>> {
+        let replies = self.request_cubes(true)?;
+        let mut pane = self.empty_cube();
         for rx in replies {
             let shard_cube = rx.recv().map_err(|_| EngineError::Disconnected)?;
-            merged.merge_cube(&shard_cube)?;
+            self.snapshot_cells_folded += shard_cube.cell_count() as u64;
+            pane.merge_cube(&shard_cube)?;
         }
-        self.epoch += 1;
-        Ok(EngineSnapshot::new(self.epoch, merged))
+        Ok(pane)
     }
 
     /// Stop every shard worker and join its thread.
@@ -449,13 +602,62 @@ where
 impl<F> Drop for ShardedCube<F>
 where
     F: SummaryFactory + Clone + Send + 'static,
-    F::Summary: Send,
+    F::Summary: Send + Sync,
 {
     fn drop(&mut self) {
         // Join rather than detach: a dropped engine (or a server torn
         // down by Ctrl-C) must not leak parked worker threads. The
         // embedded writer's own Drop then finds empty buffers.
         let _ = self.shutdown();
+    }
+}
+
+/// A checkpoint whose in-memory half is done but whose WAL append has
+/// not happened yet ([`DynShardedCube::stage_checkpoint`]).
+///
+/// The split exists for the serving layer: staging (rotate + fold into
+/// the merged cube) needs the engine, but the append — and above all
+/// its fsync — does not. A server stages under its engine lock, drops
+/// the lock, then calls [`Self::commit`], so a slow fsync never stalls
+/// concurrent ingest. Callers that don't care (tests, CLIs) use
+/// [`DynShardedCube::checkpoint`], which stages and commits in one
+/// call.
+///
+/// Dropping a staged checkpoint without committing skips the WAL
+/// append for that pane: durability for the pane is lost (recovery
+/// replays up to the previous commit), memory is unaffected.
+pub struct StagedCheckpoint {
+    epoch: u64,
+    snapshot: EngineSnapshot<SketchSpec>,
+    bytes: Option<Vec<u8>>,
+    wal: Option<Arc<Mutex<Wal>>>,
+}
+
+impl StagedCheckpoint {
+    /// The epoch this checkpoint advanced the engine to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The full merged snapshot (base including this pane), already
+    /// valid to serve — durability of the pane is all that's pending.
+    pub fn snapshot(&self) -> &EngineSnapshot<SketchSpec> {
+        &self.snapshot
+    }
+
+    /// Append the staged pane to the WAL (fsync per the WAL's policy)
+    /// and return the snapshot. No-op without a WAL or for an empty
+    /// pane. An append failure degrades durability for this pane only —
+    /// the snapshot is already live in the engine's memory — and the
+    /// WAL handle rewinds to the last good frame boundary (or poisons
+    /// itself), so a damaged tail can never silently swallow the
+    /// checkpoints appended after it.
+    pub fn commit(self) -> crate::Result<EngineSnapshot<SketchSpec>> {
+        if let (Some(bytes), Some(wal)) = (&self.bytes, &self.wal) {
+            let mut guard = wal.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.append(self.epoch, bytes).map_err(EngineError::Wal)?;
+        }
+        Ok(self.snapshot)
     }
 }
 
@@ -467,11 +669,13 @@ impl DynShardedCube {
     /// This is "new with durability": on a fresh directory it returns
     /// an empty engine with the WAL attached; after a crash it returns
     /// an engine whose snapshots are *bit-exact* with the last
-    /// completed [`Self::checkpoint`] before the crash (replay folds
+    /// committed [`Self::checkpoint`] before the crash (replay folds
     /// the same panes with the same `merge_cube` calls in the same
-    /// order). Torn tails are truncated, mid-log corruption shortens
-    /// the prefix and is surfaced in [`RecoveryReport::tail`] — replay
-    /// never panics and corruption never fails the open.
+    /// order, and the delta refresh path performs the identical
+    /// `base ⊕ shard` merges on top). Torn tails are truncated, mid-log
+    /// corruption shortens the prefix and is surfaced in
+    /// [`RecoveryReport::tail`] — replay never panics and corruption
+    /// never fails the open.
     ///
     /// The engine's epoch resumes from the last replayed segment's, so
     /// segment epochs stay strictly increasing across restarts.
@@ -502,52 +706,52 @@ impl DynShardedCube {
         }
         let mut engine = Self::new(spec, dim_names, config);
         engine.epoch = report.last_epoch;
-        engine.base = base;
-        engine.wal = Some(wal);
+        if let Some(recovered) = &base {
+            engine.merged = MergedState::from_base(recovered, engine.shard_count());
+        }
+        engine.wal_counters = Some(wal.counters());
+        engine.wal = Some(Arc::new(Mutex::new(wal)));
         Ok((engine, report))
     }
 
+    /// Retire the current pane into the engine's memory — rotate it out
+    /// of the shards and fold it into the persistent merged cube's base
+    /// layer — and hand back a [`StagedCheckpoint`] carrying the pane's
+    /// serialized bytes for the durable half. The returned stage's
+    /// snapshot is a full snapshot (base = every checkpointed row so
+    /// far) and is immediately serveable.
+    pub fn stage_checkpoint(&mut self) -> Result<StagedCheckpoint> {
+        self.ensure_running()?;
+        let started = Instant::now();
+        self.writer.flush()?;
+        let pane = self.collect_pane()?;
+        self.epoch += 1;
+        let bytes = (pane.row_count() > 0).then(|| pane.to_bytes());
+        self.delta_cells_applied += pane.cell_count() as u64;
+        let snapshot = self.merged.rotate_into_base(&pane, self.epoch)?;
+        self.last_refresh_micros = started.elapsed().as_micros() as u64;
+        Ok(StagedCheckpoint {
+            epoch: self.epoch,
+            snapshot,
+            bytes,
+            wal: self.wal.clone(),
+        })
+    }
+
     /// Retire the current pane durably: rotate it out of the shards,
-    /// append it to the WAL (when attached), merge it into the base
-    /// cube, and return a full snapshot (base = every checkpointed row
-    /// so far).
+    /// fold it into the base layer of the persistent merged cube, and
+    /// append it to the WAL (when attached). Returns a full snapshot
+    /// (base = every checkpointed row so far).
     ///
-    /// This is the serving layer's refresh primitive when durability
-    /// is on: each checkpoint logs only the rows since the previous
-    /// one, so WAL traffic is proportional to ingest, not to history.
-    /// A WAL append failure degrades durability for this pane only —
-    /// the pane is still merged into the in-memory base before the
-    /// error is returned, so queries stay consistent and a later
-    /// recovery simply replays one pane fewer. The WAL handle itself
-    /// guarantees the failure stays *that* contained: it rewinds the
-    /// log to the last good frame boundary (or, failing that, poisons
-    /// itself and rejects every later append with
-    /// [`WalError::Poisoned`](crate::WalError::Poisoned)), so a
-    /// damaged tail can never silently swallow the checkpoints
-    /// appended after it.
+    /// This is [`Self::stage_checkpoint`] + [`StagedCheckpoint::commit`]
+    /// in one call; each checkpoint logs only the rows since the
+    /// previous one, so WAL traffic is proportional to ingest, not to
+    /// history. A WAL append failure degrades durability for this pane
+    /// only — the pane is already folded into the in-memory base before
+    /// the error is returned, so queries stay consistent and a later
+    /// recovery simply replays one pane fewer.
     pub fn checkpoint(&mut self) -> Result<EngineSnapshot<SketchSpec>> {
-        let pane = self.collect(true)?;
-        let epoch = pane.epoch();
-        let mut wal_failure = None;
-        if pane.row_count() > 0 {
-            if let Some(wal) = self.wal.as_mut() {
-                // Log before apply: a crash between the append and the
-                // merge replays the pane from disk instead of losing it.
-                if let Err(e) = wal.append(epoch, &pane.cube().to_bytes()) {
-                    wal_failure = Some(e);
-                }
-            }
-            let names: Vec<&str> = self.dim_names.iter().map(String::as_str).collect();
-            let base = self
-                .base
-                .get_or_insert_with(|| DynCube::from_spec(self.factory.clone(), &names));
-            base.merge_cube(pane.cube())?;
-        }
-        if let Some(e) = wal_failure {
-            return Err(EngineError::Wal(e));
-        }
-        let full = self.base.clone().unwrap_or_else(|| self.empty_cube());
-        Ok(EngineSnapshot::new(epoch, full))
+        self.stage_checkpoint()?.commit()
     }
 }
 
@@ -607,6 +811,83 @@ mod tests {
                 "phi {phi}"
             );
         }
+    }
+
+    #[test]
+    fn delta_snapshot_is_bit_exact_vs_full_refold() {
+        // The tentpole invariant, at unit granularity: interleave
+        // ingest with delta refreshes, then compare the persistent
+        // merged cube against a from-scratch refold of the same shards.
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(4).batch_rows(256),
+        );
+        let mut at = 0u64;
+        for round in 1..=5u64 {
+            for _ in 0..(round * 700) {
+                let (dims, metric) = row(at);
+                engine.insert(&dims, metric).unwrap();
+                at += 1;
+            }
+            let delta_snap = engine.snapshot().unwrap();
+            let refold_snap = engine.snapshot_refold().unwrap();
+            assert_eq!(delta_snap.row_count(), refold_snap.row_count());
+            assert_eq!(delta_snap.cell_count(), refold_snap.cell_count());
+            // The two snapshots' dictionaries may assign different ids;
+            // compare cells by decoded name tuple.
+            let decode = |cube: &DataCube<MomentsFactory>| {
+                cube.cells()
+                    .map(|(k, s)| {
+                        let names: Vec<String> = k
+                            .iter()
+                            .enumerate()
+                            .map(|(d, &id)| {
+                                cube.dictionary(d)
+                                    .ok()
+                                    .and_then(|dict| dict.decode(id))
+                                    .unwrap_or("")
+                                    .to_string()
+                            })
+                            .collect();
+                        (names, s.to_bytes())
+                    })
+                    .collect::<std::collections::HashMap<_, _>>()
+            };
+            let refold_cells = decode(refold_snap.cube());
+            for (names, bytes) in decode(delta_snap.cube()) {
+                assert_eq!(
+                    refold_cells.get(&names),
+                    Some(&bytes),
+                    "cell {names:?} diverged from the refold"
+                );
+            }
+        }
+        let stats = engine.stats();
+        assert!(stats.delta_cells_applied > 0);
+        assert!(stats.snapshot_cells_folded > 0);
+    }
+
+    #[test]
+    fn idle_delta_refreshes_apply_no_cells() {
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(2).batch_rows(64),
+        );
+        for i in 0..2000 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        let first = engine.snapshot().unwrap();
+        let applied_after_first = engine.stats().delta_cells_applied;
+        assert!(applied_after_first > 0);
+        // No new rows: the next refreshes ship empty deltas.
+        let second = engine.snapshot().unwrap();
+        let third = engine.snapshot().unwrap();
+        assert_eq!(engine.stats().delta_cells_applied, applied_after_first);
+        assert_eq!(second.row_count(), first.row_count());
+        assert_eq!(third.epoch(), 3);
     }
 
     #[test]
@@ -683,6 +964,35 @@ mod tests {
         let mut whole = pane1.into_cube();
         whole.merge_cube(&pane2).unwrap();
         assert_eq!(whole.row_count(), 1000);
+    }
+
+    #[test]
+    fn snapshots_stay_exact_across_rotations() {
+        // Rotation resets the shard cubes and the merged state's live
+        // layer; later delta refreshes must still be exact.
+        let mut engine = ShardedCube::new(
+            moments_factory(),
+            &["country", "version"],
+            EngineConfig::with_shards(3).batch_rows(64),
+        );
+        for i in 0..1500 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        engine.snapshot().unwrap();
+        let pane = engine.rotate_pane().unwrap();
+        assert_eq!(pane.row_count(), 1500);
+        // The merged cube dropped the rotated rows.
+        assert_eq!(engine.snapshot().unwrap().row_count(), 0);
+        for i in 1500..2100 {
+            let (dims, metric) = row(i);
+            engine.insert(&dims, metric).unwrap();
+        }
+        let after = engine.snapshot().unwrap();
+        let refold = engine.snapshot_refold().unwrap();
+        assert_eq!(after.row_count(), 600);
+        assert_eq!(refold.row_count(), 600);
+        assert_eq!(after.cell_count(), refold.cell_count());
     }
 
     #[test]

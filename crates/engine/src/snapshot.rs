@@ -2,6 +2,7 @@
 
 use msketch_cube::DataCube;
 use msketch_sketches::traits::SummaryFactory;
+use std::sync::Arc;
 
 /// An immutable merged cube produced by
 /// [`ShardedCube::snapshot`](crate::ShardedCube::snapshot) (or
@@ -13,19 +14,30 @@ use msketch_sketches::traits::SummaryFactory;
 /// `search_cube` — works on a snapshot unchanged. No mutating cube
 /// method is reachable (they all need `&mut`), so a snapshot handed to
 /// readers is frozen: writers keep ingesting into the live shards
-/// without ever touching it. Wrap one in `Arc` to share across reader
-/// threads.
+/// without ever touching it.
+///
+/// The cube lives behind an `Arc`: cloning a snapshot (or handing it to
+/// reader threads) is a pointer bump, and the engine's double-buffered
+/// merged state republishes the same allocation across delta refreshes
+/// instead of cloning the full cell map.
 ///
 /// [`GroupThresholdQuery::run_cube`]:
 ///     msketch_cube::GroupThresholdQuery::run_cube
 #[derive(Clone)]
 pub struct EngineSnapshot<F: SummaryFactory> {
     epoch: u64,
-    cube: DataCube<F>,
+    cube: Arc<DataCube<F>>,
 }
 
 impl<F: SummaryFactory> EngineSnapshot<F> {
     pub(crate) fn new(epoch: u64, cube: DataCube<F>) -> Self {
+        EngineSnapshot {
+            epoch,
+            cube: Arc::new(cube),
+        }
+    }
+
+    pub(crate) fn new_shared(epoch: u64, cube: Arc<DataCube<F>>) -> Self {
         EngineSnapshot { epoch, cube }
     }
 
@@ -41,9 +53,13 @@ impl<F: SummaryFactory> EngineSnapshot<F> {
     }
 
     /// Unwrap into the merged cube (e.g. to keep ingesting into it
-    /// offline, or to persist a `DynCube` snapshot).
-    pub fn into_cube(self) -> DataCube<F> {
-        self.cube
+    /// offline, or to persist a `DynCube` snapshot). Clones only when
+    /// the cube is still shared with the engine's publish buffer.
+    pub fn into_cube(self) -> DataCube<F>
+    where
+        F: Clone,
+    {
+        Arc::try_unwrap(self.cube).unwrap_or_else(|arc| (*arc).clone())
     }
 }
 

@@ -6,20 +6,30 @@
 //! `engine::worker_panic` failpoint) cannot be allowed to leave the
 //! shard cube half-mutated — a torn insert would silently skew every
 //! later snapshot. Instead the worker keeps a *checkpoint*: a clone of
-//! its cube taken at each epoch boundary (snapshot or rotate reply).
-//! On panic it rolls the cube back to the checkpoint, counts the rows
-//! discarded (everything applied since the boundary plus the poisoned
-//! batch), bumps the restart counter, and keeps draining its channel —
-//! the thread itself never dies, so per-sender FIFO ordering and the
-//! shutdown barrier survive any number of restarts.
+//! its cube taken at each epoch boundary (snapshot, delta, or rotate
+//! reply). On panic it rolls the cube back to the checkpoint, counts
+//! the rows discarded (everything applied since the boundary plus the
+//! poisoned batch), bumps the restart counter, and keeps draining its
+//! channel — the thread itself never dies, so per-sender FIFO ordering
+//! and the shutdown barrier survive any number of restarts.
 //!
 //! The trade: a restart rewinds the shard to its last epoch boundary,
 //! trading bounded, *accounted* data loss ([`EngineStats::rows_lost`])
 //! for a guaranteed-consistent cube. Engines that snapshot or
 //! checkpoint regularly keep the exposure window to one epoch.
+//!
+//! Workers also own the decode side of writer-side interning: one
+//! [`WriterTable`] per `(writer, dimension)` maps each writer's dense
+//! pool ids to this shard cube's dictionary ids. A batch's `news` are
+//! appended to the table's string log *outside* the unwind boundary
+//! (the id assignments are writer-side facts, valid regardless of what
+//! happens to this batch), while the derived `dict_ids` cache is
+//! rebuilt eagerly after any rollback or rotation — both revert or
+//! replace the cube's dictionaries out from under the cache.
 
 use crate::sharded::ShardMsg;
-use msketch_cube::DataCube;
+use msketch_cube::hash::{FxHashMap, FxHashSet};
+use msketch_cube::{DataCube, WriterTable};
 use msketch_sketches::traits::SummaryFactory;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +69,17 @@ pub struct EngineStats {
     pub wal_bytes: u64,
     /// WAL appends that failed (durability degraded, memory intact).
     pub wal_append_errors: u64,
+    /// Cells folded by full-refold refreshes (`snapshot_refold`,
+    /// `rotate_pane`, recovery) this process lifetime — the cost the
+    /// delta path avoids.
+    pub snapshot_cells_folded: u64,
+    /// Delta cells applied by incremental refreshes (`snapshot`,
+    /// `checkpoint`) this process lifetime; tracks cells *touched*
+    /// between epochs, not cube size.
+    pub delta_cells_applied: u64,
+    /// Wall-clock duration of the most recent refresh (snapshot or
+    /// checkpoint), in microseconds.
+    pub last_refresh_micros: u64,
     /// Has the engine been shut down?
     pub shut_down: bool,
 }
@@ -88,27 +109,45 @@ pub(crate) fn worker_loop<F>(
     F: SummaryFactory + Clone,
 {
     // The rollback target: the cube as of the last epoch boundary.
-    // Cloning an empty cube is a few allocations, so starting with a
-    // checkpoint costs nothing until rows arrive.
+    // Cloning a cube is shallow (`Arc` per cell), so checkpoints stay
+    // cheap at any cube size.
     let mut checkpoint = cube.clone();
+    // Cells mutated since the last delta reply — what the next delta
+    // ships. Not cleared on rollback: a cell touched before a newer
+    // `Snapshot` checkpoint may hold a value the merged cube hasn't
+    // seen, and re-shipping an unchanged cell is idempotent anyway.
+    let mut touched: FxHashSet<Vec<u32>> = FxHashSet::default();
+    // Per-writer pool decode tables, one `WriterTable` per dimension.
+    let mut tables: FxHashMap<u32, Vec<WriterTable>> = FxHashMap::default();
+    let dims = dim_names.len();
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Batch(batch) => {
+            ShardMsg::Interned(batch) => {
                 // Fault injection: a worker that vanishes without
                 // unwinding (models a killed thread / broken peer).
                 // Dropping the receiver surfaces as `Disconnected` at
                 // the next engine call.
                 if failpoint::fail_if("engine::worker_exit") {
-                    abandon(&rx, batch.len() as u64, &stats);
+                    abandon(&rx, batch.metrics.len() as u64, &stats);
                     return;
                 }
-                let rows = batch.len() as u64;
+                let rows = batch.metrics.len() as u64;
+                let writer_tables = tables
+                    .entry(batch.writer)
+                    .or_insert_with(|| vec![WriterTable::default(); dims]);
+                // Record the batch's pool-id assignments before the
+                // unwind boundary: they are facts about the writer's
+                // pools and must survive even if this batch's insert
+                // panics and rolls back.
+                for (table, column) in writer_tables.iter_mut().zip(&batch.columns) {
+                    table.extend_strings(&column.news);
+                }
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     // `sleep_if` panics when the site is armed with
                     // `panic` — the supervision tests' injection point —
                     // and injects latency when armed with `sleep`.
                     failpoint::sleep_if("engine::worker_panic");
-                    cube.insert_batch(&batch)
+                    cube.insert_interned(&batch, writer_tables, &mut touched)
                 }));
                 match outcome {
                     Ok(Ok(())) => {
@@ -134,6 +173,13 @@ pub(crate) fn worker_loop<F>(
                         // rows the engine ever accepted.
                         let rolled_back = cube.row_count().saturating_sub(checkpoint.row_count());
                         cube = checkpoint.clone();
+                        // The rollback reverted the cube's dictionaries;
+                        // every cached dict id may now be stale or
+                        // dangling. Rebuild the caches against the
+                        // reverted dictionaries.
+                        for writer_tables in tables.values_mut() {
+                            cube.rebind_tables(writer_tables);
+                        }
                         stats
                             .rows_lost
                             .fetch_add(rolled_back.saturating_add(rows), Ordering::Relaxed);
@@ -146,16 +192,35 @@ pub(crate) fn worker_loop<F>(
                 // Epoch boundary: refresh the rollback target, then
                 // answer. The engine may already have given up on this
                 // snapshot (send error elsewhere); dropping the reply
-                // is fine.
+                // is fine. `touched` is deliberately kept: this reply
+                // does not update the merged cube's delta state.
                 checkpoint = cube.clone();
                 let _ = reply.send(checkpoint.clone());
+            }
+            ShardMsg::Delta(reply) => {
+                // Epoch boundary for the incremental path: ship only
+                // the cells mutated since the last delta, then clear
+                // the touched set — the merged cube now has them. The
+                // rollback target catches up incrementally as well
+                // (O(touched), not O(cells)), keeping the worker side
+                // of the refresh barrier proportional to the delta.
+                let delta = cube.build_delta(&touched);
+                checkpoint.sync_checkpoint(&cube, &touched);
+                touched.clear();
+                let _ = reply.send(delta);
             }
             ShardMsg::Rotate(reply) => {
                 let names: Vec<&str> = dim_names.iter().map(String::as_str).collect();
                 let fresh = DataCube::new(factory.clone(), &names);
                 let retired = std::mem::replace(&mut cube, fresh);
                 // The new pane starts empty; so does its checkpoint.
+                // Its dictionaries are empty too, so the decode caches
+                // must re-intern every known writer string.
                 checkpoint = cube.clone();
+                touched.clear();
+                for writer_tables in tables.values_mut() {
+                    cube.rebind_tables(writer_tables);
+                }
                 let _ = reply.send(retired);
             }
             ShardMsg::Shutdown => return,
@@ -178,11 +243,11 @@ fn abandon<F>(
 {
     let mut lost = in_flight_rows;
     while let Ok(msg) = rx.try_recv() {
-        if let ShardMsg::Batch(batch) = msg {
-            lost = lost.saturating_add(batch.len() as u64);
+        if let ShardMsg::Interned(batch) = msg {
+            lost = lost.saturating_add(batch.metrics.len() as u64);
         }
-        // Snapshot/Rotate replies drop here; their senders see the
-        // disconnect, same as when the receiver itself drops.
+        // Snapshot/Delta/Rotate replies drop here; their senders see
+        // the disconnect, same as when the receiver itself drops.
     }
     stats.rows_lost.fetch_add(lost, Ordering::Relaxed);
 }

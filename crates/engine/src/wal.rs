@@ -42,6 +42,8 @@ use msketch_cube::DynCube;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How often appends reach the disk platter, from safest to fastest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +173,31 @@ pub struct RecoveryReport {
     pub tail: Option<WalError>,
 }
 
+/// Lock-free append counters, shared between the WAL handle and any
+/// observer (the engine's `stats()`), so reading them never waits on an
+/// in-flight append or fsync.
+#[derive(Debug, Default)]
+pub struct WalCounters {
+    segments_appended: AtomicU64,
+    bytes_appended: AtomicU64,
+    append_errors: AtomicU64,
+}
+
+impl WalCounters {
+    /// Segments appended through the owning handle.
+    pub fn segments_appended(&self) -> u64 {
+        self.segments_appended.load(Ordering::Relaxed)
+    }
+    /// Bytes appended through the owning handle.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended.load(Ordering::Relaxed)
+    }
+    /// Appends that failed through the owning handle.
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors.load(Ordering::Relaxed)
+    }
+}
+
 /// An open, replayed segment log: the append handle the engine holds.
 ///
 /// One file, `segments.wal`, inside the directory handed to
@@ -182,9 +209,7 @@ pub struct Wal {
     file: File,
     fsync: FsyncPolicy,
     appends_since_sync: u64,
-    segments_appended: u64,
-    bytes_appended: u64,
-    append_errors: u64,
+    counters: Arc<WalCounters>,
     /// File length as of the last fully-written frame: the rewind
     /// target after a failed append, and the boundary replay would
     /// stop at if we crashed right now.
@@ -257,9 +282,7 @@ impl Wal {
                 file,
                 fsync: config.fsync,
                 appends_since_sync: 0,
-                segments_appended: 0,
-                bytes_appended: 0,
-                append_errors: 0,
+                counters: Arc::new(WalCounters::default()),
                 committed_len: report.valid_bytes,
                 poisoned: None,
             },
@@ -280,7 +303,7 @@ impl Wal {
     /// reopened.
     pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<u64, WalError> {
         if let Some(detail) = &self.poisoned {
-            self.append_errors += 1;
+            self.counters.append_errors.fetch_add(1, Ordering::Relaxed);
             return Err(WalError::Poisoned {
                 detail: detail.clone(),
             });
@@ -299,7 +322,7 @@ impl Wal {
                 .write_all(half)
                 .and_then(|()| self.file.sync_data())
                 .map_err(|e| io_err("append wal (injected torn write)", e))?;
-            self.append_errors += 1;
+            self.counters.append_errors.fetch_add(1, Ordering::Relaxed);
             self.poisoned = Some("injected torn append".to_string());
             return Err(WalError::Io("injected torn append".to_string()));
         }
@@ -316,7 +339,7 @@ impl Wal {
             self.write_frame(&frame)
         };
         if let Err(e) = outcome {
-            self.append_errors += 1;
+            self.counters.append_errors.fetch_add(1, Ordering::Relaxed);
             // The frame may be partially on disk. Replay stops at the
             // first damaged frame, so anything appended after it would
             // be silently truncated by the next recovery. Rewind to
@@ -327,8 +350,12 @@ impl Wal {
             }
             return Err(e);
         }
-        self.segments_appended += 1;
-        self.bytes_appended += frame.len() as u64;
+        self.counters
+            .segments_appended
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_appended
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.committed_len += frame.len() as u64;
         Ok(frame.len() as u64)
     }
@@ -357,6 +384,10 @@ impl Wal {
             FsyncPolicy::Never => false,
         };
         if due {
+            // Fault injection: a slow fsync (arm with `sleep(..)`), the
+            // stall the serving layer's staged-commit path must never
+            // hold the engine lock across.
+            failpoint::sleep_if("engine::wal_fsync");
             self.sync()?;
         }
         Ok(())
@@ -376,17 +407,23 @@ impl Wal {
 
     /// Segments appended through this handle (excludes replayed ones).
     pub fn segments_appended(&self) -> u64 {
-        self.segments_appended
+        self.counters.segments_appended()
     }
 
     /// Bytes appended through this handle (excludes replayed ones).
     pub fn bytes_appended(&self) -> u64 {
-        self.bytes_appended
+        self.counters.bytes_appended()
     }
 
     /// Appends that failed through this handle.
     pub fn append_errors(&self) -> u64 {
-        self.append_errors
+        self.counters.append_errors()
+    }
+
+    /// A shared handle to this log's append counters: observers read
+    /// them lock-free while appends (and their fsyncs) are in flight.
+    pub fn counters(&self) -> Arc<WalCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Whether an unrewindable append failure has poisoned the handle

@@ -25,7 +25,7 @@ use msketch_sketches::MomentsBacked;
 pub struct SlidingEngine<F>
 where
     F: SummaryFactory + Clone + Send + 'static,
-    F::Summary: Send + MomentsBacked,
+    F::Summary: Send + Sync + MomentsBacked,
 {
     engine: ShardedCube<F>,
     window: TurnstileWindow,
@@ -34,7 +34,7 @@ where
 impl<F> SlidingEngine<F>
 where
     F: SummaryFactory + Clone + Send + 'static,
-    F::Summary: Send + MomentsBacked,
+    F::Summary: Send + Sync + MomentsBacked,
 {
     /// Serve a sliding window spanning `window_panes` panes over the
     /// given engine.

@@ -108,7 +108,10 @@ pub struct FileContext {
     /// Under `crates/compat/` — the only sanctioned home for `unsafe`,
     /// exempt from panic/docs rules (stand-ins mirror foreign APIs).
     pub compat: bool,
-    /// In the panic-freedom perimeter (`crates/engine`, `crates/server`).
+    /// In the panic-freedom perimeter (`crates/engine`, `crates/server`,
+    /// `crates/timeline`, and the cube crate's delta/interning module —
+    /// shard workers call straight into it, so a panic there would tear
+    /// a live shard cube).
     pub panic_scope: bool,
     /// Test-only code: integration tests, benches, examples, or a
     /// `tests.rs` module file.
@@ -124,7 +127,8 @@ impl FileContext {
         let compat = path.starts_with("crates/compat/");
         let panic_scope = path.starts_with("crates/engine/src/")
             || path.starts_with("crates/server/src/")
-            || path.starts_with("crates/timeline/src/");
+            || path.starts_with("crates/timeline/src/")
+            || path == "crates/cube/src/delta.rs";
         let test_code = path.starts_with("tests/")
             || path.contains("/tests/")
             || path.contains("/benches/")

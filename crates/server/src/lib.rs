@@ -10,14 +10,27 @@
 //! `Arc` cell.
 //!
 //! ```text
-//!            POST /ingest ──▶ Mutex<DynShardedCube> (writers)
-//!                                   │ snapshot()/checkpoint() every
-//!                                   ▼  refresh_interval (refresher)
+//!            POST /ingest ──▶ pooled ShardWriter handles (lock-free
+//!                                   │  multi-writer: one per in-flight
+//!                                   │  request, no engine mutex)
+//!                                   ▼ shard channels
+//!                             DynShardedCube ── snapshot()/checkpoint()
+//!                                   │  every refresh_interval
+//!                                   │  (refresher; WAL fsync runs
+//!                                   ▼  *outside* the engine lock)
 //!            ArcSwap<EngineSnapshot> slot  ◀── POST /refresh (manual)
 //!                                   │ load() — never blocks writers
 //!                                   ▼
 //!   GET /quantile /groupby /threshold /search /stats   (reader pool)
 //! ```
+//!
+//! Ingest is **multi-writer end to end**: each `/ingest` request checks
+//! a [`ShardWriter`] out of a pool (minting one from the engine if the
+//! pool is dry), streams its rows through that handle's own per-shard
+//! intern pools and buffers, flushes, and checks the handle back in.
+//! Concurrent ingest requests share nothing but the bounded shard
+//! channels; the engine mutex is taken only to mint a handle, to
+//! refresh/checkpoint, and to shut down.
 //!
 //! Reads are **snapshot-isolated**: every query runs against the epoch
 //! snapshot current when it arrived, never against live shards, so a
@@ -65,7 +78,7 @@ use moments_sketch::CascadeStats;
 use msketch_cube::{DynCube, GroupThresholdQuery, QueryEngine};
 use msketch_engine::{
     DynShardedCube, EngineConfig, EngineError, EngineSnapshot, FsyncPolicy, RecoveryReport,
-    WalConfig,
+    ShardWriter, WalConfig,
 };
 use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
 use msketch_sketches::{MomentsBacked, QuantileSummary, Sketch, SketchSpec};
@@ -222,6 +235,17 @@ fn now_ms() -> u64 {
 /// Shared state behind every request handler.
 struct ServerState {
     engine: Mutex<DynShardedCube>,
+    /// Pooled ingest handles. Each `/ingest` request pops one (minting
+    /// a fresh handle under a brief engine lock only when the pool is
+    /// dry), streams its rows through the handle's own intern memos and
+    /// per-shard buffers, flushes, and pushes it back. Concurrent
+    /// ingest requests therefore never contend on the engine mutex —
+    /// only on this pop/push and the bounded shard channels.
+    writers: Mutex<Vec<ShardWriter<SketchSpec>>>,
+    /// Serializes [`ServerState::refresh`] end to end so staged WAL
+    /// commits land in epoch order and the snapshot slot never goes
+    /// backwards, without holding the *engine* lock across the fsync.
+    wal_commit: Mutex<()>,
     /// The currently served snapshot. Readers `load()` (an `Arc`
     /// clone); the refresher `store()`s — queries in flight keep the
     /// snapshot they started with alive until they finish. `None`
@@ -276,28 +300,68 @@ impl ServerState {
         self.snapshot.load().as_ref().clone()
     }
 
+    /// Pop a pooled ingest handle, or mint one from the engine. The
+    /// engine lock is held only for the mint (allocating a writer id
+    /// and cloning the shard senders — no I/O), never for row work.
+    /// `Err` carries the ready-made `503` when the engine is already
+    /// shut down.
+    fn take_writer(&self) -> Result<ShardWriter<SketchSpec>, Response> {
+        let pooled = {
+            let mut pool = self.writers.lock().unwrap_or_else(PoisonError::into_inner);
+            pool.pop()
+        };
+        if let Some(writer) = pooled {
+            return Ok(writer);
+        }
+        let engine = self.lock_engine();
+        if engine.is_shut_down() {
+            return Err(error(503, "engine is shut down"));
+        }
+        Ok(engine.writer())
+    }
+
+    /// Return a handle after a successful request. The pool is capped
+    /// at the worker-thread count (more handles than threads can never
+    /// be in flight at once); handles whose sends failed are dropped by
+    /// the caller instead, so a dead channel never circulates.
+    fn return_writer(&self, writer: ShardWriter<SketchSpec>) {
+        let mut pool = self.writers.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < self.threads {
+            pool.push(writer);
+        }
+    }
+
     /// Rotate a fresh snapshot into the slot; returns its epoch. With
     /// a WAL attached this is a durable checkpoint: the retired pane
     /// hits disk before the snapshot is published.
     ///
-    /// The engine mutex is held across the whole checkpoint — with a
-    /// WAL and `FsyncPolicy::Always` that includes the segment write
-    /// and its fsync, so `/ingest` requests stall for the duration of
-    /// the sync once per refresh interval. That stall is the price of
-    /// the durability contract (the pane must be on disk before any
-    /// snapshot containing it is served); deployments that can't
-    /// afford it pick `every:N`/`never` fsync or a longer
-    /// `refresh_interval`, which bound the stall's frequency rather
-    /// than its ordering.
+    /// The checkpoint is split so ingest never waits on the disk: the
+    /// pane rotation and merge are *staged* under the engine lock
+    /// (pure in-memory work), the lock is dropped, and only then does
+    /// [`StagedCheckpoint::commit`] append the pane to the WAL and
+    /// fsync. A slow sync therefore stalls this refresh, not
+    /// `/ingest` — writers only need the engine mutex to mint a new
+    /// handle, and even that is untouched by the commit. `wal_commit`
+    /// serializes whole refreshes so staged panes reach the log in
+    /// epoch order and the snapshot slot is monotonic. The durability
+    /// contract is unchanged: the snapshot containing a pane is
+    /// published only after `commit()` has put that pane on disk.
     fn refresh(&self) -> Result<u64, EngineError> {
+        let _ordered = self
+            .wal_commit
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let mut engine = self.lock_engine();
         let accepted = self.rows_accepted.load(Ordering::SeqCst);
         let snapshot = if engine.wal_attached() {
-            engine.checkpoint()?
+            let staged = engine.stage_checkpoint()?;
+            drop(engine);
+            staged.commit()?
         } else {
-            engine.snapshot()?
+            let snapshot = engine.snapshot()?;
+            drop(engine);
+            snapshot
         };
-        drop(engine);
         let epoch = snapshot.epoch();
         self.rows_at_refresh.store(accepted, Ordering::SeqCst);
         self.snapshot.store(Arc::new(Some(Arc::new(snapshot))));
@@ -380,6 +444,8 @@ impl MsketchServer {
         };
         let state = Arc::new(ServerState {
             engine: Mutex::new(engine),
+            writers: Mutex::new(Vec::new()),
+            wal_commit: Mutex::new(()),
             timeline,
             timeline_errors: AtomicU64::new(0),
             snapshot: ArcSwap::new(Arc::new(None)),
@@ -636,41 +702,57 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Response {
             Some(out)
         }
     };
-    let mut engine = state.lock_engine();
-    if engine.is_shut_down() {
-        // Single rows would otherwise sit in the writer buffer and
-        // report success against a dead engine.
-        return error(503, "engine is shut down");
-    }
-    let mut row: Vec<&str> = Vec::with_capacity(cols.len());
-    for (i, &metric) in metric_values.iter().enumerate() {
-        row.clear();
-        for col in &cols {
-            let Some(v) = col[i].as_str() else {
+    // Validate dimension values before any row is buffered, so a
+    // malformed row can't leave earlier rows half-staged in a pooled
+    // writer that then goes back into circulation.
+    let mut str_cols: Vec<Vec<&str>> = Vec::with_capacity(cols.len());
+    for col in &cols {
+        let mut out = Vec::with_capacity(n);
+        for v in *col {
+            let Some(s) = v.as_str() else {
                 return error(400, "dimension values must be strings");
             };
-            row.push(v);
+            out.push(s);
         }
-        if let Err(e) = engine.insert(&row, metric) {
+        str_cols.push(out);
+    }
+    // Multi-writer ingest: rows stream through a pooled ShardWriter,
+    // not the engine mutex. Concurrent requests intern and buffer
+    // independently and only meet at the bounded shard channels.
+    let mut writer = match state.take_writer() {
+        Ok(writer) => writer,
+        Err(resp) => return resp,
+    };
+    let mut row: Vec<&str> = Vec::with_capacity(str_cols.len());
+    for (i, &metric) in metric_values.iter().enumerate() {
+        row.clear();
+        for col in &str_cols {
+            row.push(col[i]);
+        }
+        if let Err(e) = writer.insert(&row, metric) {
+            // The handle's channels are dead (engine shut down mid
+            // request): drop it here instead of pooling a broken one.
             return engine_error(&e);
         }
     }
-    drop(engine);
+    // Flush before acknowledging: once `accepted` is reported, every
+    // row is in its shard channel and the next snapshot will carry it.
+    if let Err(e) = writer.flush() {
+        return engine_error(&e);
+    }
+    state.return_writer(writer);
     state.rows_accepted.fetch_add(n as u64, Ordering::SeqCst);
-    // Mirror the batch into the timeline (values already validated by
-    // the engine loop above). Rows whose bucket is already rolled up
-    // are dropped as late and reported, not errored.
+    // Mirror the batch into the timeline (values already validated
+    // above). Rows whose bucket is already rolled up are dropped as
+    // late and reported, not errored.
     let mut late_dropped = 0u64;
     if let Some(mut timeline) = state.lock_timeline() {
         let now = now_ms();
-        let mut row: Vec<&str> = Vec::with_capacity(cols.len());
+        let mut row: Vec<&str> = Vec::with_capacity(str_cols.len());
         for (i, &metric) in metric_values.iter().enumerate() {
             row.clear();
-            for col in &cols {
-                let Some(v) = col[i].as_str() else {
-                    continue;
-                };
-                row.push(v);
+            for col in &str_cols {
+                row.push(col[i]);
             }
             let ts = ts_values.as_ref().map_or(now, |ts| ts[i]);
             match timeline.insert(ts, &row, metric) {
@@ -1196,6 +1278,18 @@ fn handle_stats(state: &ServerState) -> Response {
         (
             "wal_append_errors",
             Value::from(engine_stats.wal_append_errors),
+        ),
+        (
+            "snapshot_cells_folded",
+            Value::from(engine_stats.snapshot_cells_folded),
+        ),
+        (
+            "delta_cells_applied",
+            Value::from(engine_stats.delta_cells_applied),
+        ),
+        (
+            "last_refresh_micros",
+            Value::from(engine_stats.last_refresh_micros),
         ),
         (
             "degraded_served",

@@ -218,6 +218,61 @@ fn wal_recovery_restores_served_answers_bit_exactly() {
 }
 
 #[test]
+fn ingest_proceeds_while_a_checkpoint_fsync_stalls() {
+    let _guard = FAILPOINT_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let dir = std::env::temp_dir().join("msketch-server-fault-fsync-stall");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut server = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        refresh_interval: Duration::from_secs(3600),
+        wal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    client::post(addr, "/ingest", &ingest_body(0..300)).unwrap();
+
+    // Pin the checkpoint's WAL sync: the staged-commit split means the
+    // engine lock is released before this sleep, so ingest keeps
+    // flowing while the refresh is stuck fsyncing its pane.
+    failpoint::cfg("engine::wal_fsync", "1*sleep(800)").unwrap();
+    let refresh_started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let refresher = scope.spawn(|| server.refresh());
+        // Give the refresh time to stage, drop the engine lock, and
+        // enter the sleeping fsync.
+        std::thread::sleep(Duration::from_millis(200));
+        let ingest_started = std::time::Instant::now();
+        let (status, body) = client::post(addr, "/ingest", &ingest_body(300..400)).unwrap();
+        let ingest_elapsed = ingest_started.elapsed();
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            ingest_elapsed < Duration::from_millis(400),
+            "ingest stalled {ingest_elapsed:?} behind the checkpoint fsync"
+        );
+        refresher.join().unwrap().unwrap();
+    });
+    // The refresh really did sit in the armed fsync — the ingest above
+    // overlapped it rather than racing past an already-finished one.
+    assert!(
+        refresh_started.elapsed() >= Duration::from_millis(700),
+        "checkpoint finished too fast for the failpoint to have fired"
+    );
+    failpoint::remove("engine::wal_fsync");
+
+    // Both batches survive the stalled checkpoint and the next one.
+    server.refresh().unwrap();
+    let (status, body) = client::get(addr, "/quantile?q=0.5").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc.get("count").and_then(|v| v.as_f64()), Some(400.0));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shutdown_races_the_refresher_without_hanging() {
     // A refresher ticking every millisecond against a WAL-backed
     // engine maximizes the chance that shutdown lands mid-refresh;
