@@ -84,6 +84,31 @@ pub struct CascadeStats {
 }
 
 impl CascadeStats {
+    /// Fold another run's counters into this one — how a server keeps
+    /// cumulative process-lifetime totals across per-query evaluators.
+    pub fn accumulate(&mut self, other: &CascadeStats) {
+        self.total += other.total;
+        self.simple_hits += other.simple_hits;
+        self.markov_hits += other.markov_hits;
+        self.rtt_hits += other.rtt_hits;
+        self.maxent_evals += other.maxent_evals;
+        self.maxent_failures += other.maxent_failures;
+    }
+
+    /// `(stage, count)` pairs in cascade order — the stable label values
+    /// a metrics exposition keys its per-stage series by. `"groups"` is
+    /// the total evaluated; the rest are per-stage resolutions.
+    pub fn stage_counts(&self) -> [(&'static str, u64); 6] {
+        [
+            ("groups", self.total),
+            ("simple", self.simple_hits),
+            ("markov", self.markov_hits),
+            ("rtt", self.rtt_hits),
+            ("maxent", self.maxent_evals),
+            ("maxent_failure", self.maxent_failures),
+        ]
+    }
+
     /// Fraction of queries that reached a given stage, as in Figure 13(c).
     pub fn fraction_reaching(&self) -> [f64; 4] {
         let t = self.total.max(1) as f64;

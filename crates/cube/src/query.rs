@@ -247,9 +247,13 @@ impl GroupThresholdQuery {
         group_dims: &[usize],
         filter: &[Option<u32>],
     ) -> Result<ThresholdReport> {
+        let mut span = msketch_obs::span("cascade::evaluate");
         let entries = Self::sorted_groups(cube, group_dims, filter)?;
         let groups = entries.len();
         let (hits, stats) = self.run_entries(&entries);
+        span.field("groups", groups);
+        span.field("maxent_evals", stats.maxent_evals);
+        drop(span);
         let mut hits: Vec<Vec<String>> = hits
             .iter()
             .map(|key| decode_group_key(cube, group_dims, key))

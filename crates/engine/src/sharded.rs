@@ -301,6 +301,9 @@ where
     delta_cells_applied: u64,
     /// Wall-clock micros of the most recent refresh.
     last_refresh_micros: u64,
+    /// Refresh-latency recorder, attached via [`Self::set_obs`]; every
+    /// snapshot / refold / checkpoint observes its wall-clock cost.
+    refresh_seconds: Option<msketch_obs::Recorder>,
 }
 
 /// A sharded engine over runtime-chosen (boxed) sketch cells; snapshots
@@ -328,7 +331,7 @@ where
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("msketch-shard-{shard}"))
-                    .spawn(move || worker_loop(rx, cube, factory, names, stats))
+                    .spawn(move || worker_loop(shard, rx, cube, factory, names, stats))
                     // lint:allow(panic): thread spawn fails only on OS
                     // resource exhaustion during engine construction — no
                     // channel peer exists yet to park, and no caller has
@@ -354,6 +357,37 @@ where
             snapshot_cells_folded: 0,
             delta_cells_applied: 0,
             last_refresh_micros: 0,
+            refresh_seconds: None,
+        }
+    }
+
+    /// Attach observability: refresh latencies land in the
+    /// `msketch_engine_refresh_seconds` recorder, shard-worker
+    /// restarts / abandonments and WAL append failures emit warn
+    /// events the moment their counters increment, and WAL fsyncs
+    /// record into `msketch_wal_fsync_seconds`. Call after
+    /// construction (or after [`DynShardedCube::recover`], so the WAL
+    /// handle picks up its hooks too); child spans need no attachment
+    /// at all — they follow the calling thread's active trace.
+    pub fn set_obs(&mut self, obs: &msketch_obs::Obs) {
+        self.refresh_seconds = Some(obs.registry.recorder("msketch_engine_refresh_seconds", &[]));
+        *self
+            .stats
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some((*obs.trace).clone());
+        if let Some(wal) = &self.wal {
+            wal.lock().unwrap_or_else(PoisonError::into_inner).set_obs(
+                obs.registry.recorder("msketch_wal_fsync_seconds", &[]),
+                (*obs.trace).clone(),
+            );
+        }
+    }
+
+    /// Record one refresh's wall-clock cost (no-op before `set_obs`).
+    fn observe_refresh(&self, started: Instant) {
+        if let Some(rec) = &self.refresh_seconds {
+            rec.observe(started.elapsed().as_secs_f64());
         }
     }
 
@@ -466,6 +500,7 @@ where
     /// same single `merge_from` a refold performs.
     pub fn snapshot(&mut self) -> Result<EngineSnapshot<F>> {
         self.ensure_running()?;
+        let mut span = msketch_obs::span("engine::snapshot");
         let started = Instant::now();
         self.writer.flush()?;
         // Ask every shard first, then await the replies: workers build
@@ -487,6 +522,9 @@ where
         let (snap, cells_applied) = self.merged.refresh(&deltas, self.epoch)?;
         self.delta_cells_applied += cells_applied;
         self.last_refresh_micros = started.elapsed().as_micros() as u64;
+        self.observe_refresh(started);
+        span.field("epoch", self.epoch);
+        span.field("delta_cells", cells_applied);
         Ok(snap)
     }
 
@@ -498,6 +536,7 @@ where
     /// engine's persistent merged cube).
     pub fn snapshot_refold(&mut self) -> Result<EngineSnapshot<F>> {
         self.ensure_running()?;
+        let _span = msketch_obs::span("engine::snapshot_refold");
         let started = Instant::now();
         self.writer.flush()?;
         let replies = self.request_cubes(false)?;
@@ -510,6 +549,7 @@ where
         }
         self.epoch += 1;
         self.last_refresh_micros = started.elapsed().as_micros() as u64;
+        self.observe_refresh(started);
         Ok(EngineSnapshot::new(self.epoch, merged))
     }
 
@@ -722,6 +762,7 @@ impl DynShardedCube {
     /// far) and is immediately serveable.
     pub fn stage_checkpoint(&mut self) -> Result<StagedCheckpoint> {
         self.ensure_running()?;
+        let mut span = msketch_obs::span("engine::stage_checkpoint");
         let started = Instant::now();
         self.writer.flush()?;
         let pane = self.collect_pane()?;
@@ -730,6 +771,9 @@ impl DynShardedCube {
         self.delta_cells_applied += pane.cell_count() as u64;
         let snapshot = self.merged.rotate_into_base(&pane, self.epoch)?;
         self.last_refresh_micros = started.elapsed().as_micros() as u64;
+        self.observe_refresh(started);
+        span.field("epoch", self.epoch);
+        span.field("pane_rows", pane.row_count());
         Ok(StagedCheckpoint {
             epoch: self.epoch,
             snapshot,

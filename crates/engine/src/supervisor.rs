@@ -30,10 +30,11 @@
 use crate::sharded::ShardMsg;
 use msketch_cube::hash::{FxHashMap, FxHashSet};
 use msketch_cube::{DataCube, WriterTable};
+use msketch_obs::{Level, TraceSink};
 use msketch_sketches::traits::SummaryFactory;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Lock-free counters shared between shard workers and the engine
 /// handle; folded into [`EngineStats`] on demand.
@@ -42,6 +43,12 @@ pub(crate) struct SharedStats {
     pub(crate) restarts: AtomicU64,
     pub(crate) rows_lost: AtomicU64,
     pub(crate) rows_applied: AtomicU64,
+    /// Warn-event sink, attached after construction via
+    /// [`ShardedCube::set_obs`](crate::ShardedCube::set_obs). Counters
+    /// say how many rollbacks happened; events say *when* — each
+    /// restart / abandonment emits one at the moment it increments.
+    /// Only exceptional paths lock this, never batch ingest.
+    pub(crate) events: Mutex<Option<TraceSink>>,
 }
 
 /// A point-in-time view of the engine's health counters
@@ -94,12 +101,20 @@ impl SharedStats {
     pub(crate) fn rows_applied(&self) -> u64 {
         self.rows_applied.load(Ordering::Relaxed)
     }
+    /// Emit a warn event if a sink is attached (no-op otherwise).
+    pub(crate) fn warn(&self, name: &'static str, fields: &[(&'static str, String)]) {
+        let guard = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(sink) = guard.as_ref() {
+            sink.event(Level::Warn, name, fields);
+        }
+    }
 }
 
 /// The supervised shard-worker loop. Runs on a dedicated thread owned
 /// by [`ShardedCube`](crate::ShardedCube); exits when a shutdown marker
 /// arrives or every sender is dropped.
 pub(crate) fn worker_loop<F>(
+    shard: usize,
     rx: crossbeam::channel::Receiver<ShardMsg<F>>,
     mut cube: DataCube<F>,
     factory: F,
@@ -128,7 +143,7 @@ pub(crate) fn worker_loop<F>(
                 // Dropping the receiver surfaces as `Disconnected` at
                 // the next engine call.
                 if failpoint::fail_if("engine::worker_exit") {
-                    abandon(&rx, batch.metrics.len() as u64, &stats);
+                    abandon(shard, &rx, batch.metrics.len() as u64, &stats);
                     return;
                 }
                 let rows = batch.metrics.len() as u64;
@@ -159,7 +174,7 @@ pub(crate) fn worker_loop<F>(
                     // `Disconnected` at the next engine call, without
                     // parking channel peers behind a dead worker.
                     Ok(Err(_)) => {
-                        abandon(&rx, rows, &stats);
+                        abandon(shard, &rx, rows, &stats);
                         return;
                     }
                     Err(_) => {
@@ -180,11 +195,18 @@ pub(crate) fn worker_loop<F>(
                         for writer_tables in tables.values_mut() {
                             cube.rebind_tables(writer_tables);
                         }
-                        stats
-                            .rows_lost
-                            .fetch_add(rolled_back.saturating_add(rows), Ordering::Relaxed);
+                        let lost = rolled_back.saturating_add(rows);
+                        stats.rows_lost.fetch_add(lost, Ordering::Relaxed);
                         stats.rows_applied.fetch_sub(rolled_back, Ordering::Relaxed);
                         stats.restarts.fetch_add(1, Ordering::Relaxed);
+                        stats.warn(
+                            "engine::worker_restart",
+                            &[
+                                ("shard", shard.to_string()),
+                                ("rows_lost", lost.to_string()),
+                                ("restarts_total", stats.restarts().to_string()),
+                            ],
+                        );
                     }
                 }
             }
@@ -235,6 +257,7 @@ pub(crate) fn worker_loop<F>(
 /// engine call surfaces `Disconnected`. Rows sent *after* this drain
 /// are rejected at the engine's send, which has its own error path.
 fn abandon<F>(
+    shard: usize,
     rx: &crossbeam::channel::Receiver<ShardMsg<F>>,
     in_flight_rows: u64,
     stats: &SharedStats,
@@ -250,4 +273,11 @@ fn abandon<F>(
         // the disconnect, same as when the receiver itself drops.
     }
     stats.rows_lost.fetch_add(lost, Ordering::Relaxed);
+    stats.warn(
+        "engine::worker_abandoned",
+        &[
+            ("shard", shard.to_string()),
+            ("rows_lost", lost.to_string()),
+        ],
+    );
 }

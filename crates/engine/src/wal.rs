@@ -218,6 +218,17 @@ pub struct Wal {
     /// append returns [`WalError::Poisoned`] until the log is
     /// reopened.
     poisoned: Option<String>,
+    /// Observability hooks, attached via [`Wal::set_obs`].
+    obs: Option<WalObs>,
+}
+
+/// Fsync latency recorder plus warn-event sink for append failures:
+/// [`WalCounters`] say how many appends failed, events say when and
+/// why, and the recorder gives `/metrics` the fsync latency
+/// distribution (moment sketch, like every other recorder).
+struct WalObs {
+    fsync_seconds: msketch_obs::Recorder,
+    events: msketch_obs::TraceSink,
 }
 
 impl Wal {
@@ -285,6 +296,7 @@ impl Wal {
                 counters: Arc::new(WalCounters::default()),
                 committed_len: report.valid_bytes,
                 poisoned: None,
+                obs: None,
             },
             base,
             report,
@@ -302,8 +314,11 @@ impl Wal {
     /// subsequent call answers [`WalError::Poisoned`] until the log is
     /// reopened.
     pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<u64, WalError> {
+        let mut span = msketch_obs::span("engine::wal_append");
+        span.field("epoch", epoch);
         if let Some(detail) = &self.poisoned {
             self.counters.append_errors.fetch_add(1, Ordering::Relaxed);
+            self.warn_append_error("append refused: log poisoned");
             return Err(WalError::Poisoned {
                 detail: detail.clone(),
             });
@@ -324,6 +339,7 @@ impl Wal {
                 .map_err(|e| io_err("append wal (injected torn write)", e))?;
             self.counters.append_errors.fetch_add(1, Ordering::Relaxed);
             self.poisoned = Some("injected torn append".to_string());
+            self.warn_append_error("injected torn append");
             return Err(WalError::Io("injected torn append".to_string()));
         }
         // Fault injection: a *transient* partial write (ENOSPC halfway
@@ -348,6 +364,7 @@ impl Wal {
             if let Err(rewind) = self.rewind_to_committed() {
                 self.poisoned = Some(format!("{e}; rewind failed: {rewind}"));
             }
+            self.warn_append_error(&e.to_string());
             return Err(e);
         }
         self.counters
@@ -384,11 +401,18 @@ impl Wal {
             FsyncPolicy::Never => false,
         };
         if due {
+            // Span + recorder cover the injected stall too, so a slow
+            // fsync shows up in both the trace and the p99 series.
+            let _span = msketch_obs::span("engine::wal_fsync");
+            let started = std::time::Instant::now();
             // Fault injection: a slow fsync (arm with `sleep(..)`), the
             // stall the serving layer's staged-commit path must never
             // hold the engine lock across.
             failpoint::sleep_if("engine::wal_fsync");
             self.sync()?;
+            if let Some(obs) = &self.obs {
+                obs.fsync_seconds.observe(started.elapsed().as_secs_f64());
+            }
         }
         Ok(())
     }
@@ -430,6 +454,37 @@ impl Wal {
     /// (every append now returns [`WalError::Poisoned`]).
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.is_some()
+    }
+
+    /// Attach observability: policy-driven fsyncs record their latency
+    /// into `fsync_seconds`, and every append failure emits a
+    /// warn-level event through `events` at the moment the
+    /// `append_errors` counter increments.
+    pub fn set_obs(
+        &mut self,
+        fsync_seconds: msketch_obs::Recorder,
+        events: msketch_obs::TraceSink,
+    ) {
+        self.obs = Some(WalObs {
+            fsync_seconds,
+            events,
+        });
+    }
+
+    fn warn_append_error(&self, detail: &str) {
+        if let Some(obs) = &self.obs {
+            obs.events.event(
+                msketch_obs::Level::Warn,
+                "engine::wal_append_error",
+                &[
+                    ("detail", detail.to_string()),
+                    (
+                        "append_errors_total",
+                        self.counters.append_errors().to_string(),
+                    ),
+                ],
+            );
+        }
     }
 }
 

@@ -1,13 +1,14 @@
 //! `msketch-lint` — workspace static analysis for the moments-sketch
 //! repo.
 //!
-//! The workspace carries four load-bearing invariants that `cargo
+//! The workspace carries five load-bearing invariants that `cargo
 //! test` cannot see: wire tags must never move (`wire`), the concurrent
 //! core must never panic (`panic`, `channel`), `unsafe` lives only
-//! in the reviewed compat stand-ins (`unsafe`), and every
+//! in the reviewed compat stand-ins (`unsafe`), every
 //! fault-injection site stays pinned in the registry CI arms by name
-//! (`failpoint`). This crate machine-checks them — plus public-API doc
-//! coverage (`docs`) — with a
+//! (`failpoint`), and every metric name dashboards scrape stays pinned
+//! the same way (`metrics`). This crate machine-checks them — plus
+//! public-API doc coverage (`docs`) — with a
 //! dependency-free scanner over the tree (`std::fs` + a hand-rolled
 //! line scanner in [`scan`]).
 //!
@@ -33,6 +34,8 @@ pub const GOLDEN_PATH: &str = "lint/wire_tags.golden";
 /// The committed fault-injection site registry the `failpoint` rule
 /// diffs against.
 pub const FAILPOINTS_GOLDEN_PATH: &str = "lint/failpoints.golden";
+/// The committed metric-name registry the `metrics` rule diffs against.
+pub const METRICS_GOLDEN_PATH: &str = "lint/metrics.golden";
 
 /// One diagnostic, printed as `file:line: rule: message`.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,7 +45,7 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     /// Stable rule id (`wire`, `panic`, `unsafe`, `channel`, `docs`,
-    /// `failpoint`, `lint-allow`).
+    /// `failpoint`, `metrics`, `lint-allow`).
     pub rule: &'static str,
     /// Human-readable explanation with a remediation hint.
     pub message: String,
@@ -109,7 +112,9 @@ pub struct FileContext {
     /// exempt from panic/docs rules (stand-ins mirror foreign APIs).
     pub compat: bool,
     /// In the panic-freedom perimeter (`crates/engine`, `crates/server`,
-    /// `crates/timeline`, and the cube crate's delta/interning module —
+    /// `crates/timeline`, `crates/obs` — instrumentation runs inside
+    /// every handler and shard worker, so a panicking probe is a
+    /// panicking server — and the cube crate's delta/interning module:
     /// shard workers call straight into it, so a panic there would tear
     /// a live shard cube).
     pub panic_scope: bool,
@@ -128,6 +133,7 @@ impl FileContext {
         let panic_scope = path.starts_with("crates/engine/src/")
             || path.starts_with("crates/server/src/")
             || path.starts_with("crates/timeline/src/")
+            || path.starts_with("crates/obs/src/")
             || path == "crates/cube/src/delta.rs";
         let test_code = path.starts_with("tests/")
             || path.contains("/tests/")
@@ -202,6 +208,7 @@ pub fn lint_workspace(root: &Path, ruleset: &RuleSet) -> std::io::Result<Vec<Fin
         ));
     }
     let mut failpoint_sites = Vec::new();
+    let mut metric_regs = Vec::new();
     for rel in files {
         let text = std::fs::read_to_string(root.join(&rel))?;
         let ctx = FileContext::classify(&rel);
@@ -209,6 +216,25 @@ pub fn lint_workspace(root: &Path, ruleset: &RuleSet) -> std::io::Result<Vec<Fin
         findings.extend(rules::check_file(&ctx, &file, ruleset));
         if ruleset.enabled("failpoint") {
             rules::failpoints::collect(&ctx, &file, &text, &mut failpoint_sites, &mut findings);
+        }
+        if ruleset.enabled("metrics") {
+            rules::metrics::collect(&ctx, &file, &text, &mut metric_regs, &mut findings);
+        }
+    }
+    if ruleset.enabled("metrics") {
+        match std::fs::read_to_string(root.join(METRICS_GOLDEN_PATH)) {
+            Ok(golden) => findings.extend(rules::metrics::check(
+                METRICS_GOLDEN_PATH,
+                &golden,
+                &metric_regs,
+            )),
+            Err(_) => findings.push(Finding::at(
+                METRICS_GOLDEN_PATH,
+                1,
+                "metrics",
+                "golden metric-name registry is missing; restore it from version control"
+                    .to_string(),
+            )),
         }
     }
     if ruleset.enabled("failpoint") {

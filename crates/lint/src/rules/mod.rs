@@ -1,4 +1,4 @@
-//! The six repo-specific rules. Each rule is a pure function from
+//! The seven repo-specific rules. Each rule is a pure function from
 //! scanned source (plus file context) to findings, so unit tests drive
 //! them with inline fixture snippets and the binary drives them with
 //! the real tree — same code path either way.
@@ -6,6 +6,7 @@
 pub mod channels;
 pub mod docs;
 pub mod failpoints;
+pub mod metrics;
 pub mod panics;
 pub mod unsafety;
 pub mod wire;
@@ -15,21 +16,23 @@ use crate::{FileContext, Finding, RuleSet};
 
 /// Stable rule identifiers, as accepted by `--rule` and
 /// `lint:allow(<id>)`.
-pub const RULE_IDS: [&str; 7] = [
+pub const RULE_IDS: [&str; 8] = [
     "wire",
     "panic",
     "unsafe",
     "channel",
     "docs",
     "failpoint",
+    "metrics",
     "lint-allow",
 ];
 
 /// Run every per-file rule enabled in `rules` over one scanned file.
 ///
-/// The `wire` and `failpoint` rules are workspace-level (they diff
-/// collected state against a committed golden registry) and run
-/// separately — see [`wire::check`] and [`failpoints::check`].
+/// The `wire`, `failpoint`, and `metrics` rules are workspace-level
+/// (they diff collected state against a committed golden registry) and
+/// run separately — see [`wire::check`], [`failpoints::check`], and
+/// [`metrics::check`].
 pub fn check_file(ctx: &FileContext, file: &SourceFile, rules: &RuleSet) -> Vec<Finding> {
     let mut findings = Vec::new();
     if rules.enabled("panic") {
@@ -61,7 +64,7 @@ fn check_allow_hygiene(ctx: &FileContext, file: &SourceFile, findings: &mut Vec<
                     ctx,
                     line.number,
                     "lint-allow",
-                    format!("unknown rule {rule:?} in lint:allow (known: wire, panic, unsafe, channel, docs, failpoint)"),
+                    format!("unknown rule {rule:?} in lint:allow (known: wire, panic, unsafe, channel, docs, failpoint, metrics)"),
                 ));
             } else if !justified {
                 findings.push(Finding::new(

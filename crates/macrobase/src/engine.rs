@@ -168,6 +168,7 @@ impl MacroBaseEngine {
         cube: &DataCube<F>,
         group_dims: &[usize],
     ) -> Result<Vec<SubpopulationReport>, SearchError> {
+        let mut span = msketch_obs::span("macrobase::search");
         let all = cube.rollup(&cube.no_filter())?;
         let threshold = self
             .global_threshold_dyn(&all)
@@ -199,6 +200,8 @@ impl MacroBaseEngine {
                 });
             }
         }
+        span.field("groups", entries.len());
+        span.field("subpopulations", out.len());
         Ok(out)
     }
 

@@ -1,0 +1,491 @@
+//! Metrics registry: counters, gauges, and moment-sketch latency
+//! recorders, rendered in Prometheus text exposition format.
+//!
+//! The registry follows the same discipline as
+//! `crates/compat/failpoint`: hot paths touch only relaxed atomics (or,
+//! for recorders, one striped mutex), and the global arming gate is a
+//! single relaxed load so unarmed instrumentation costs ~1 ns.
+//!
+//! Latency recorders are the self-hosting part: each (metric,
+//! label-set) owns a small pool of [`MomentsSketch`] stripes (one per
+//! recording thread, assigned round-robin), merged in stripe order at
+//! scrape time exactly as shard panes are merged in shard order — so
+//! concurrent recording is bit-identical to sequential recording of the
+//! same per-stripe sequences, and `/metrics` serves p50/p95/p99 through
+//! the repo's own max-entropy solver.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use moments_sketch::{bounds, MomentsSketch, SolverConfig};
+use msketch_sketches::traits::Sketch as _;
+use msketch_sketches::MSketchSummary;
+
+/// Sketch order for latency recorders — the paper's default (184 bytes).
+const RECORDER_K: usize = 10;
+
+/// Stripes per recorder. Threads are assigned stripes round-robin, so
+/// up to this many threads record without contending on one mutex.
+pub const RECORDER_STRIPES: usize = 8;
+
+/// Bisection iterations for the certified-bounds fallback when the
+/// max-entropy solve fails (same budget as the server's degraded path).
+const BOUND_ITERS: usize = 60;
+
+/// Quantiles exposed per summary series.
+pub const EXPOSED_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonically increasing counter (relaxed atomics).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value. Only for mirroring a total accumulated
+    /// elsewhere (e.g. engine `SharedStats` scraped into the registry);
+    /// regular call sites should use [`Counter::inc`]/[`Counter::add`].
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A settable gauge (relaxed atomics, unsigned).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Round-robin stripe assignment: each thread gets a stable stripe
+/// index the first time it records, so a given thread's observations
+/// always land in the same sketch (deterministic merge inputs).
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_STRIPE: usize =
+        NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % RECORDER_STRIPES;
+}
+
+struct RecorderShared {
+    stripes: [Mutex<MomentsSketch>; RECORDER_STRIPES],
+    enabled: Arc<AtomicBool>,
+}
+
+/// A latency recorder backed by striped [`MomentsSketch`]es.
+///
+/// `observe` values are in **seconds** (Prometheus base-unit
+/// convention). The merged sketch is queried at scrape time via the
+/// max-entropy solver, falling back to certified-bound midpoints on
+/// solver failure — the same degradation ladder as `/quantile`.
+#[derive(Clone)]
+pub struct Recorder {
+    shared: Arc<RecorderShared>,
+}
+
+impl Recorder {
+    fn new(enabled: Arc<AtomicBool>) -> Recorder {
+        Recorder {
+            shared: Arc::new(RecorderShared {
+                stripes: std::array::from_fn(|_| Mutex::new(MomentsSketch::new(RECORDER_K))),
+                enabled,
+            }),
+        }
+    }
+
+    /// Record one observation (seconds) into the calling thread's stripe.
+    pub fn observe(&self, secs: f64) {
+        let stripe = THREAD_STRIPE.with(|s| *s);
+        self.observe_striped(stripe, secs);
+    }
+
+    /// Record into an explicit stripe. Tests use this to prove the
+    /// concurrent-merge path bit-identical to sequential recording.
+    pub fn observe_striped(&self, stripe: usize, secs: f64) {
+        lock(&self.shared.stripes[stripe % RECORDER_STRIPES]).accumulate(secs);
+    }
+
+    /// Start a timer that records its elapsed time on [`Timer::stop`] or
+    /// drop. When the registry is disarmed this is a single relaxed
+    /// load and the timer is a no-op.
+    pub fn start(&self) -> Timer {
+        if self.shared.enabled.load(Ordering::Relaxed) {
+            Timer {
+                recorder: Some(self.clone()),
+                started: Instant::now(),
+            }
+        } else {
+            Timer {
+                recorder: None,
+                started: Instant::now(),
+            }
+        }
+    }
+
+    /// Merge all stripes in stripe order into one sketch.
+    ///
+    /// Stripe order is fixed, so the result is bit-identical no matter
+    /// how recording threads interleaved (float addition per stripe is
+    /// sequenced by the stripe mutex; cross-stripe addition is sequenced
+    /// here) — the pane-merge discipline from the engine.
+    pub fn merged(&self) -> MomentsSketch {
+        let mut out = MomentsSketch::new(RECORDER_K);
+        for stripe in &self.shared.stripes {
+            out.merge(&lock(stripe));
+        }
+        out
+    }
+
+    /// Total observations across stripes.
+    pub fn count(&self) -> u64 {
+        self.shared
+            .stripes
+            .iter()
+            .map(|s| lock(s).count() as u64)
+            .sum()
+    }
+
+    /// Estimate quantiles of the merged sketch: one max-entropy solve
+    /// amortized over all `phis`, with certified-bound midpoints for any
+    /// quantile the solver cannot produce. Empty recorders yield NaNs.
+    pub fn quantiles(&self, phis: &[f64]) -> Vec<f64> {
+        let merged = self.merged();
+        if merged.count() == 0.0 {
+            return vec![f64::NAN; phis.len()];
+        }
+        let summary = MSketchSummary::from_sketch(merged.clone(), SolverConfig::default());
+        let mut qs = summary.quantiles(phis);
+        for (q, &phi) in qs.iter_mut().zip(phis) {
+            if q.is_nan() {
+                let iv = bounds::quantile_interval(&merged, phi, BOUND_ITERS);
+                *q = 0.5 * (iv.lo + iv.hi);
+            }
+        }
+        qs
+    }
+}
+
+/// Guard returned by [`Recorder::start`]; records elapsed seconds on
+/// drop (or explicitly via [`Timer::stop`]).
+pub struct Timer {
+    recorder: Option<Recorder>,
+    started: Instant,
+}
+
+impl Timer {
+    /// Stop now and record; consumes the timer.
+    pub fn stop(self) {}
+
+    /// Elapsed seconds so far (whether or not the timer is armed).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Discard without recording (e.g. on error paths that should not
+    /// pollute the latency distribution).
+    pub fn cancel(mut self) {
+        self.recorder = None;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(rec) = self.recorder.take() {
+            rec.observe(self.started.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Sorted label pairs — the series key within a metric family.
+type LabelSet = Vec<(String, String)>;
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut ls: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    ls.sort();
+    ls
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<(String, LabelSet), Counter>,
+    gauges: BTreeMap<(String, LabelSet), Gauge>,
+    recorders: BTreeMap<(String, LabelSet), Recorder>,
+}
+
+/// A metrics registry: named counter/gauge/summary families, each
+/// family a set of label-distinguished series.
+///
+/// Handles returned by [`Registry::counter`] etc. are cached per
+/// (name, label-set) and cheap to clone; hot paths fetch them once at
+/// startup and never touch the registry map again. Metric names used
+/// with literal names are pinned append-only in `lint/metrics.golden`
+/// (lint rule `metrics`), like wire tags and failpoints.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    inner: Mutex<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, armed registry.
+    pub fn new() -> Registry {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    /// The process-global registry, for binaries that do not thread an
+    /// explicit [`crate::Obs`] handle. The server builds its own
+    /// per-instance registry so tests stay isolated.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Arm or disarm timers ([`Recorder::start`]). Counters and gauges
+    /// are so cheap they are unconditional; this gate exists for the
+    /// armed-vs-unarmed overhead bench and for `--no-obs` style opt-out.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether timers are armed.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Get or register the counter series `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        lock(&self.inner)
+            .counters
+            .entry((name.to_string(), label_set(labels)))
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Get or register the gauge series `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        lock(&self.inner)
+            .gauges
+            .entry((name.to_string(), label_set(labels)))
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Get or register the latency-recorder (summary) series
+    /// `name{labels}`.
+    pub fn recorder(&self, name: &str, labels: &[(&str, &str)]) -> Recorder {
+        lock(&self.inner)
+            .recorders
+            .entry((name.to_string(), label_set(labels)))
+            .or_insert_with(|| Recorder::new(Arc::clone(&self.enabled)))
+            .clone()
+    }
+
+    /// All registered series names (sorted, deduplicated) — the lint
+    /// `metrics` rule's runtime counterpart, used by tests.
+    pub fn names(&self) -> Vec<String> {
+        let inner = lock(&self.inner);
+        let mut names: Vec<String> = inner
+            .counters
+            .keys()
+            .chain(inner.gauges.keys())
+            .chain(inner.recorders.keys())
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Render every registered series in Prometheus text exposition
+    /// format (version 0.0.4): `# TYPE` per family, then one line per
+    /// series, summaries as `quantile=` series plus `_sum`/`_count`.
+    ///
+    /// Output is deterministically ordered (BTreeMap iteration), so
+    /// scrapes are diffable.
+    pub fn render(&self) -> String {
+        // Snapshot handles under the lock, estimate quantiles outside it
+        // (the max-entropy solve is the expensive part of a scrape).
+        let (counters, gauges, recorders) = {
+            let inner = lock(&self.inner);
+            (
+                inner
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
+                inner
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
+                inner
+                    .recorders
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut out = String::new();
+        let mut last_type: Option<String> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            if last_type.as_deref() != Some(name) {
+                out.push_str("# TYPE ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                last_type = Some(name.to_string());
+            }
+        };
+        for ((name, labels), c) in &counters {
+            type_line(&mut out, name, "counter");
+            series_line(&mut out, name, labels, &[], &c.get().to_string());
+        }
+        for ((name, labels), g) in &gauges {
+            type_line(&mut out, name, "gauge");
+            series_line(&mut out, name, labels, &[], &g.get().to_string());
+        }
+        for ((name, labels), r) in &recorders {
+            type_line(&mut out, name, "summary");
+            let merged = r.merged();
+            let qs = r.quantiles(&EXPOSED_QUANTILES);
+            for (phi, q) in EXPOSED_QUANTILES.iter().zip(&qs) {
+                series_line(
+                    &mut out,
+                    name,
+                    labels,
+                    &[("quantile", &format_phi(*phi))],
+                    &format_value(*q),
+                );
+            }
+            // The moments sketch carries sum and count natively:
+            // power_sums[1] = Σx, power_sums[0] = n.
+            let sum = if merged.count() == 0.0 {
+                0.0
+            } else {
+                merged.power_sums()[1]
+            };
+            let mut sum_name = name.clone();
+            sum_name.push_str("_sum");
+            series_line(&mut out, &sum_name, labels, &[], &format_value(sum));
+            let mut count_name = name.clone();
+            count_name.push_str("_count");
+            series_line(
+                &mut out,
+                &count_name,
+                labels,
+                &[],
+                &(merged.count() as u64).to_string(),
+            );
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+/// `0.5` / `0.95` / `0.99` — trimmed, no trailing zeros (label text).
+fn format_phi(phi: f64) -> String {
+    let mut s = format!("{phi}");
+    if !s.contains('.') {
+        s.push_str(".0");
+    }
+    s
+}
+
+/// A sample value: Rust's shortest-round-trip float formatting, which
+/// the Prometheus text format accepts (including `NaN`).
+fn format_value(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn series_line(
+    out: &mut String,
+    name: &str,
+    labels: &LabelSet,
+    extra: &[(&str, &str)],
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        let pairs = labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied());
+        for (k, v) in pairs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}

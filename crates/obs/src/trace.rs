@@ -1,0 +1,569 @@
+//! Structured request tracing: spans, traces, and warn-level events.
+//!
+//! A trace is rooted by [`TraceSink::root_span`] (the server does this
+//! per request, the refresher per refresh). While a root is open on a
+//! thread, any code on that thread — engine snapshot, WAL append/fsync,
+//! cascade evaluation, timeline cover planning — can open child spans
+//! with the free function [`span`] without any API threading: the
+//! active trace lives in a thread local, and `span` is a no-op (one
+//! thread-local probe) when no trace is open.
+//!
+//! Completed traces land in a bounded ring drained by `GET
+//! /trace?last=N`; traces slower than the sink's slow threshold are
+//! also written to stderr as one JSON line (the slow-query log), as are
+//! warn-level [`TraceSink::event`]s (WAL append errors, worker
+//! restarts, rows lost) at the moment they happen.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Severity of a [`TraceSink::event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Routine lifecycle information.
+    Info,
+    /// Something was lost or degraded; mirrored to stderr immediately.
+    Warn,
+}
+
+impl Level {
+    /// Lowercase name used in the JSON encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// A span-field value. Numeric fields are stored unboxed so annotating
+/// a hot-path span with a count costs no allocation; they render as
+/// bare JSON numbers.
+#[derive(Debug, Clone)]
+pub enum FieldValue {
+    /// Free-form text (rendered as a JSON string).
+    Str(String),
+    /// An unsigned count (rendered as a JSON number).
+    U64(u64),
+    /// A flag (rendered as a JSON boolean).
+    Bool(bool),
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u16> for FieldValue {
+    fn from(v: u16) -> FieldValue {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            FieldValue::Str(s) => {
+                out.push('"');
+                json_escape(s, out);
+                out.push('"');
+            }
+            FieldValue::U64(n) => out.push_str(&n.to_string()),
+            FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+/// One completed span within a trace.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span id, unique within the trace; the root is always 1.
+    pub id: u64,
+    /// Parent span id; 0 for the root.
+    pub parent: u64,
+    /// Stage name, e.g. `engine::wal_fsync`.
+    pub name: &'static str,
+    /// Microseconds from trace start to span start (monotonic clock).
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Key=value annotations attached via [`SpanGuard::field`].
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanRecord {
+    fn to_json(&self, out: &mut String) {
+        out.push_str("{\"id\":");
+        out.push_str(&self.id.to_string());
+        out.push_str(",\"parent\":");
+        out.push_str(&self.parent.to_string());
+        out.push_str(",\"name\":\"");
+        json_escape(self.name, out);
+        out.push_str("\",\"start_us\":");
+        out.push_str(&self.start_us.to_string());
+        out.push_str(",\"dur_us\":");
+        out.push_str(&self.dur_us.to_string());
+        span_fields_json(&self.fields, out);
+        out.push('}');
+    }
+}
+
+/// One completed trace: the root span plus every child recorded on the
+/// rooting thread, in completion order.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Root span name, e.g. `http::/quantile`.
+    pub root: &'static str,
+    /// Wall-clock start (milliseconds since the Unix epoch).
+    pub started_unix_ms: u64,
+    /// Total root duration in microseconds.
+    pub total_us: u64,
+    /// Whether the trace exceeded the sink's slow threshold.
+    pub slow: bool,
+    /// Spans in completion order; the root (id 1) is last.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceRecord {
+    /// Encode as a single JSON object (one line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + 96 * self.spans.len());
+        out.push_str("{\"trace\":\"");
+        json_escape(self.root, &mut out);
+        out.push_str("\",\"started_unix_ms\":");
+        out.push_str(&self.started_unix_ms.to_string());
+        out.push_str(",\"total_us\":");
+        out.push_str(&self.total_us.to_string());
+        out.push_str(",\"slow\":");
+        out.push_str(if self.slow { "true" } else { "false" });
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            s.to_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One structured event (outside any trace).
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Wall-clock timestamp (milliseconds since the Unix epoch).
+    pub unix_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Event name, e.g. `engine::worker_restart`.
+    pub name: &'static str,
+    /// Key=value payload.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl EventRecord {
+    /// Encode as a single JSON object (one line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"event\":\"");
+        json_escape(self.name, &mut out);
+        out.push_str("\",\"level\":\"");
+        out.push_str(self.level.as_str());
+        out.push_str("\",\"unix_ms\":");
+        out.push_str(&self.unix_ms.to_string());
+        fields_json(&self.fields, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+fn fields_json(fields: &[(&'static str, String)], out: &mut String) {
+    if fields.is_empty() {
+        return;
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape(k, out);
+        out.push_str("\":\"");
+        json_escape(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn span_fields_json(fields: &[(&'static str, FieldValue)], out: &mut String) {
+    if fields.is_empty() {
+        return;
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape(k, out);
+        out.push_str("\":");
+        v.to_json(out);
+    }
+    out.push('}');
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The per-thread trace under construction.
+struct ActiveTrace {
+    sink: Arc<SinkShared>,
+    root: &'static str,
+    epoch: Instant,
+    started_unix_ms: u64,
+    next_id: u64,
+    /// Open span ids, root first — `last()` is the current parent.
+    stack: Vec<u64>,
+    spans: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+    /// Recycled span stack: unlike `spans` (which is moved into the
+    /// completed record), the stack never leaves the thread, so each
+    /// request after the first opens its root without allocating it.
+    static STACK_POOL: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct SinkShared {
+    slow_us: AtomicU64,
+    traces: Mutex<VecDeque<TraceRecord>>,
+    events: Mutex<VecDeque<EventRecord>>,
+    trace_cap: usize,
+    event_cap: usize,
+}
+
+/// Default ring capacity for completed traces.
+pub const DEFAULT_TRACE_CAP: usize = 256;
+/// Default ring capacity for events.
+pub const DEFAULT_EVENT_CAP: usize = 512;
+
+/// Bounded ring of completed traces and events, plus the slow-trace
+/// stderr policy. Cloneable handle; all clones share state.
+#[derive(Clone)]
+pub struct TraceSink {
+    shared: Arc<SinkShared>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new(DEFAULT_TRACE_CAP)
+    }
+}
+
+impl TraceSink {
+    /// A sink retaining up to `trace_cap` traces (and a proportional
+    /// number of events), with the slow-trace log disabled.
+    pub fn new(trace_cap: usize) -> TraceSink {
+        TraceSink {
+            shared: Arc::new(SinkShared {
+                slow_us: AtomicU64::new(0),
+                traces: Mutex::new(VecDeque::new()),
+                events: Mutex::new(VecDeque::new()),
+                trace_cap: trace_cap.max(1),
+                event_cap: DEFAULT_EVENT_CAP.max(2 * trace_cap),
+            }),
+        }
+    }
+
+    /// Traces at least this slow are written to stderr as JSON lines
+    /// (and marked `"slow":true` in the ring). Zero disables.
+    pub fn set_slow_threshold(&self, threshold: Duration) {
+        self.shared
+            .slow_us
+            .store(threshold.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Current slow threshold; zero means disabled.
+    pub fn slow_threshold(&self) -> Duration {
+        Duration::from_micros(self.shared.slow_us.load(Ordering::Relaxed))
+    }
+
+    /// Open a root span on the calling thread. Child spans opened on
+    /// this thread (via [`span`]) nest under it until the guard drops,
+    /// at which point the assembled [`TraceRecord`] lands in the ring.
+    ///
+    /// If a trace is already open on this thread (e.g. a refresh forced
+    /// inline by a handler that is itself traced), the "root" degrades
+    /// to an ordinary child span of the existing trace.
+    pub fn root_span(&self, name: &'static str) -> RootSpan {
+        let nested = ACTIVE.with(|a| a.borrow().is_some());
+        if nested {
+            return RootSpan {
+                inner: RootInner::Nested(span(name)),
+            };
+        }
+        let mut stack = STACK_POOL.with(|p| std::mem::take(&mut *p.borrow_mut()));
+        stack.clear();
+        stack.push(1);
+        ACTIVE.with(|a| {
+            *a.borrow_mut() = Some(ActiveTrace {
+                sink: Arc::clone(&self.shared),
+                root: name,
+                epoch: Instant::now(),
+                started_unix_ms: unix_ms(),
+                next_id: 2,
+                stack,
+                spans: Vec::new(),
+            });
+        });
+        RootSpan {
+            inner: RootInner::Root { fields: Vec::new() },
+        }
+    }
+
+    /// Record a structured event. Warn-level events are also written to
+    /// stderr immediately as JSON lines — the "when, not just how many"
+    /// half of counters like `wal_append_errors`.
+    pub fn event(&self, level: Level, name: &'static str, fields: &[(&'static str, String)]) {
+        let rec = EventRecord {
+            unix_ms: unix_ms(),
+            level,
+            name,
+            fields: fields.to_vec(),
+        };
+        if level == Level::Warn {
+            eprintln!("{}", rec.to_json());
+        }
+        let mut events = lock(&self.shared.events);
+        if events.len() >= self.shared.event_cap {
+            events.pop_front();
+        }
+        events.push_back(rec);
+    }
+
+    /// The most recent `n` completed traces, oldest first.
+    pub fn recent_traces(&self, n: usize) -> Vec<TraceRecord> {
+        let traces = lock(&self.shared.traces);
+        traces
+            .iter()
+            .skip(traces.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent_events(&self, n: usize) -> Vec<EventRecord> {
+        let events = lock(&self.shared.events);
+        events
+            .iter()
+            .skip(events.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Completed-trace count currently retained.
+    pub fn trace_count(&self) -> usize {
+        lock(&self.shared.traces).len()
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("traces", &self.trace_count())
+            .finish_non_exhaustive()
+    }
+}
+
+enum RootInner {
+    Root {
+        fields: Vec<(&'static str, FieldValue)>,
+    },
+    Nested(SpanGuard),
+}
+
+/// Guard for a root span; finalizes the trace on drop.
+pub struct RootSpan {
+    inner: RootInner,
+}
+
+impl RootSpan {
+    /// Attach a key=value field to the root span.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        match &mut self.inner {
+            RootInner::Root { fields } => fields.push((key, value.into())),
+            RootInner::Nested(g) => g.field(key, value),
+        }
+    }
+}
+
+impl Drop for RootSpan {
+    fn drop(&mut self) {
+        let RootInner::Root { fields } = &mut self.inner else {
+            return; // nested child: SpanGuard's own drop records it
+        };
+        let fields = std::mem::take(fields);
+        let Some(mut active) = ACTIVE.with(|a| a.borrow_mut().take()) else {
+            return;
+        };
+        STACK_POOL.with(|p| *p.borrow_mut() = std::mem::take(&mut active.stack));
+        let total_us = active.epoch.elapsed().as_micros() as u64;
+        let slow_us = active.sink.slow_us.load(Ordering::Relaxed);
+        let slow = slow_us > 0 && total_us >= slow_us;
+        active.spans.push(SpanRecord {
+            id: 1,
+            parent: 0,
+            name: active.root,
+            start_us: 0,
+            dur_us: total_us,
+            fields,
+        });
+        let rec = TraceRecord {
+            root: active.root,
+            started_unix_ms: active.started_unix_ms,
+            total_us,
+            slow,
+            spans: active.spans,
+        };
+        if slow {
+            eprintln!("{}", rec.to_json());
+        }
+        let mut traces = lock(&active.sink.traces);
+        if traces.len() >= active.sink.trace_cap {
+            traces.pop_front();
+        }
+        traces.push_back(rec);
+    }
+}
+
+/// Open a child span of the thread's active trace, if any. When no
+/// trace is open this is a no-op guard — one thread-local probe — so
+/// library layers (engine, WAL, cube, timeline) instrument
+/// unconditionally without threading any handle.
+pub fn span(name: &'static str) -> SpanGuard {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(active) = slot.as_mut() else {
+            return SpanGuard {
+                armed: false,
+                id: 0,
+                parent: 0,
+                name,
+                start_us: 0,
+                fields: Vec::new(),
+            };
+        };
+        let id = active.next_id;
+        active.next_id += 1;
+        let parent = active.stack.last().copied().unwrap_or(1);
+        active.stack.push(id);
+        SpanGuard {
+            armed: true,
+            id,
+            parent,
+            name,
+            start_us: active.epoch.elapsed().as_micros() as u64,
+            fields: Vec::new(),
+        }
+    })
+}
+
+/// Guard for a child span; records it into the active trace on drop.
+pub struct SpanGuard {
+    armed: bool,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_us: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanGuard {
+    /// Attach a key=value field (no-op when the guard is unarmed).
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.armed {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let Some(active) = slot.as_mut() else {
+                return; // root already closed (guard escaped its trace)
+            };
+            let end_us = active.epoch.elapsed().as_micros() as u64;
+            if active.stack.last() == Some(&self.id) {
+                active.stack.pop();
+            } else {
+                active.stack.retain(|&i| i != self.id);
+            }
+            active.spans.push(SpanRecord {
+                id: self.id,
+                parent: self.parent,
+                name: self.name,
+                start_us: self.start_us,
+                dur_us: end_us.saturating_sub(self.start_us),
+                fields: std::mem::take(&mut self.fields),
+            });
+        });
+    }
+}

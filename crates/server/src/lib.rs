@@ -69,6 +69,18 @@
 //! | `GET /search`     | `?by=dim` MacroBase outlier-rate search          |
 //! | `GET /stats`      | epochs, lag, rows, cells, shard/thread info      |
 //! | `GET /health`     | liveness + readiness (200 ready / 503 not yet)   |
+//! | `GET /metrics`    | Prometheus text exposition (see below)           |
+//! | `GET /trace`      | `?last=N` recent request traces + warn events    |
+//!
+//! The server **observes itself with the paper's own sketch**
+//! (README, "Observability"): per-route latency recorders are striped
+//! [`moments_sketch::MomentsSketch`]es merged at scrape time, so the
+//! `p50/p95/p99` series on `/metrics` are computed by the max-entropy
+//! solver being served. Each instrumented request also opens a root
+//! span; the engine's snapshot/WAL spans and the handlers' parse/merge/
+//! estimate spans attach to it through a thread local, land in the ring
+//! `GET /trace` drains, and are mirrored to stderr as JSON once they
+//! cross [`ServerConfig::slow_query`].
 
 #![warn(missing_docs)]
 
@@ -81,6 +93,8 @@ use msketch_engine::{
     ShardWriter, WalConfig,
 };
 use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
+use msketch_obs::trace::DEFAULT_TRACE_CAP;
+use msketch_obs::{Counter, EventRecord, Gauge, Level, Obs, Recorder, Registry, TraceRecord};
 use msketch_sketches::{MomentsBacked, QuantileSummary, Sketch, SketchSpec};
 use msketch_timeline::{RangeAnswer, StoreRecovery, Timeline, TimelineConfig, TimelineError};
 use serde_json::Value;
@@ -158,6 +172,17 @@ pub struct ServerConfig {
     /// Cell budget per rolled-up timeline segment (rare dimension
     /// values fold into `<other>`). Zero disables the budget.
     pub cell_budget: usize,
+    /// Requests slower than this are mirrored to stderr as JSON trace
+    /// lines (they always enter the `/trace` ring regardless).
+    /// `Duration::ZERO` disables the slow log.
+    pub slow_query: Duration,
+    /// Capacity of the in-memory trace ring served by `GET /trace`.
+    pub trace_cap: usize,
+    /// Master switch for the observability layer: `false` disarms the
+    /// latency recorders and per-request root spans (counters still
+    /// count — they are too cheap to gate). This is the unarmed
+    /// baseline the `obs_bench` overhead gate compares against.
+    pub obs_enabled: bool,
 }
 
 impl Default for ServerConfig {
@@ -177,6 +202,9 @@ impl Default for ServerConfig {
             bucket_ms: 60_000,
             retention_ms: 0,
             cell_budget: 0,
+            slow_query: Duration::ZERO,
+            trace_cap: DEFAULT_TRACE_CAP,
+            obs_enabled: true,
         }
     }
 }
@@ -232,6 +260,203 @@ fn now_ms() -> u64 {
         .unwrap_or(0)
 }
 
+/// One instrumented route: an exact `(method, path)` pair that does
+/// real work and therefore gets a latency recorder
+/// (`msketch_request_seconds{route=…}`), per-status-class counters, and
+/// a per-request root span. `/metrics` and `/trace` are deliberately
+/// absent: the exposition endpoints observe, they are not observed, so
+/// a scrape never moves the series it is reporting.
+struct RouteSpec {
+    method: &'static str,
+    path: &'static str,
+    /// Root-span name for requests on this route.
+    span: &'static str,
+}
+
+/// Every route the latency recorders cover, in the order the
+/// [`Metrics::routes`] handles are registered.
+const ROUTES: &[RouteSpec] = &[
+    RouteSpec {
+        method: "POST",
+        path: "/ingest",
+        span: "http::ingest",
+    },
+    RouteSpec {
+        method: "POST",
+        path: "/refresh",
+        span: "http::refresh",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/quantile",
+        span: "http::quantile",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/groupby",
+        span: "http::groupby",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/threshold",
+        span: "http::threshold",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/search",
+        span: "http::search",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/stats",
+        span: "http::stats",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/health",
+        span: "http::health",
+    },
+];
+
+fn route_index(method: &str, path: &str) -> Option<usize> {
+    ROUTES
+        .iter()
+        .position(|r| r.method == method && r.path == path)
+}
+
+/// Status-class label values for `msketch_http_requests_total`. Classes
+/// keep the cardinality fixed at registration time; this server never
+/// emits 1xx/3xx from a handler, so three classes cover everything.
+const STATUS_CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+fn status_class(status: u16) -> usize {
+    match status / 100 {
+        2 => 0,
+        4 => 1,
+        _ => 2,
+    }
+}
+
+/// Pre-registered handles for one route's hot path: a moment-sketch
+/// latency recorder plus one counter per status class.
+struct RouteMetrics {
+    seconds: Recorder,
+    by_class: [Counter; 3],
+}
+
+/// Cumulative cascade-stage counters, labelled
+/// `{stage=…, backend=…}` — the fix for per-query [`CascadeStats`]
+/// being computed, serialized into one response, and dropped. Every
+/// `/threshold` and `/search` report folds in here, so `/metrics` and
+/// `/stats` show process-lifetime stage hit rates.
+struct CascadeCounters {
+    /// One counter per [`CascadeStats::stage_counts`] entry, same order.
+    stages: Vec<(&'static str, Counter)>,
+}
+
+impl CascadeCounters {
+    fn register(registry: &Registry, backend: &str) -> CascadeCounters {
+        let stages = CascadeStats::default()
+            .stage_counts()
+            .iter()
+            .map(|&(stage, _)| {
+                let counter = registry.counter(
+                    "msketch_cascade_stage_hits_total",
+                    &[("stage", stage), ("backend", backend)],
+                );
+                (stage, counter)
+            })
+            .collect();
+        CascadeCounters { stages }
+    }
+
+    /// Fold one query's evaluator statistics into the running totals.
+    fn accumulate(&self, stats: &CascadeStats) {
+        for ((_, counter), (_, count)) in self.stages.iter().zip(stats.stage_counts()) {
+            counter.add(count);
+        }
+    }
+
+    /// The cumulative totals, read back out of the registry — the
+    /// counters are the single source of truth, `/stats` just reshapes
+    /// them.
+    fn totals(&self) -> CascadeStats {
+        let get = |i: usize| self.stages[i].1.get();
+        CascadeStats {
+            total: get(0),
+            simple_hits: get(1),
+            markov_hits: get(2),
+            rtt_hits: get(3),
+            maxent_evals: get(4),
+            maxent_failures: get(5),
+        }
+    }
+}
+
+/// Every metric handle the server touches, registered once at startup
+/// so request handlers only ever touch relaxed atomics and their
+/// route's striped recorder — never the registry's name-map lock.
+struct Metrics {
+    /// Aligned with [`ROUTES`].
+    routes: Vec<RouteMetrics>,
+    rows_ingested: Counter,
+    degraded_served: Counter,
+    refresh_errors: Counter,
+    timeline_errors: Counter,
+    cascade: CascadeCounters,
+    // Scrape-time mirrors of engine/snapshot/timeline-owned totals:
+    // `/metrics` `set()`s them from the owning structs at exposition
+    // time, so the engine stays the source of truth and the registry
+    // stays one coherent view.
+    worker_restarts: Counter,
+    rows_lost: Counter,
+    wal_append_errors: Counter,
+    engine_epoch: Gauge,
+    snapshot_epoch: Gauge,
+    snapshot_rows: Gauge,
+    snapshot_cells: Gauge,
+    wal_segments: Gauge,
+    wal_bytes: Gauge,
+    timeline_segments: Gauge,
+    timeline_segment_bytes: Gauge,
+}
+
+impl Metrics {
+    fn register(registry: &Registry, backend: &str) -> Metrics {
+        let routes = ROUTES
+            .iter()
+            .map(|r| RouteMetrics {
+                seconds: registry.recorder("msketch_request_seconds", &[("route", r.path)]),
+                by_class: STATUS_CLASSES.map(|class| {
+                    registry.counter(
+                        "msketch_http_requests_total",
+                        &[("route", r.path), ("status", class)],
+                    )
+                }),
+            })
+            .collect();
+        Metrics {
+            routes,
+            rows_ingested: registry.counter("msketch_rows_ingested_total", &[]),
+            degraded_served: registry.counter("msketch_degraded_responses_total", &[]),
+            refresh_errors: registry.counter("msketch_refresh_errors_total", &[]),
+            timeline_errors: registry.counter("msketch_timeline_errors_total", &[]),
+            cascade: CascadeCounters::register(registry, backend),
+            worker_restarts: registry.counter("msketch_worker_restarts_total", &[]),
+            rows_lost: registry.counter("msketch_rows_lost_total", &[]),
+            wal_append_errors: registry.counter("msketch_wal_append_errors_total", &[]),
+            engine_epoch: registry.gauge("msketch_engine_epoch", &[]),
+            snapshot_epoch: registry.gauge("msketch_snapshot_epoch", &[]),
+            snapshot_rows: registry.gauge("msketch_snapshot_rows", &[]),
+            snapshot_cells: registry.gauge("msketch_snapshot_cells", &[]),
+            wal_segments: registry.gauge("msketch_wal_segments", &[]),
+            wal_bytes: registry.gauge("msketch_wal_bytes", &[]),
+            timeline_segments: registry.gauge("msketch_timeline_segments", &[]),
+            timeline_segment_bytes: registry.gauge("msketch_timeline_segment_bytes", &[]),
+        }
+    }
+}
+
 /// Shared state behind every request handler.
 struct ServerState {
     engine: Mutex<DynShardedCube>,
@@ -255,25 +480,30 @@ struct ServerState {
     dims: Vec<String>,
     backend: String,
     threads: usize,
-    rows_accepted: AtomicU64,
-    /// `rows_accepted` as of the last snapshot, so the refresher can
-    /// skip epochs in which nothing arrived.
+    /// `rows_ingested` (the counter) as of the last snapshot, so the
+    /// refresher can skip epochs in which nothing arrived.
     rows_at_refresh: AtomicU64,
     /// The time-bucketed rollup timeline, when configured. Writers
     /// (ingest) and maintenance (refresher) lock it briefly; range
     /// queries hold the lock while merging their segment cover.
     timeline: Option<Mutex<Timeline>>,
-    /// Timeline maintenance cycles that failed (non-fatal, like
-    /// `refresh_errors`).
-    timeline_errors: AtomicU64,
     /// Per-request `/quantile` time budget (`ZERO` = disabled).
     quantile_deadline: Duration,
     /// Advice attached to `429`/`503` responses.
     retry_after_secs: u64,
-    /// `/quantile` responses that fell back to moment-bound midpoints.
-    degraded_served: AtomicU64,
-    /// Background refreshes that failed without being fatal.
-    refresh_errors: AtomicU64,
+    /// The observability bundle: the registry `/metrics` renders and
+    /// the trace sink `/trace` drains, shared with the engine via
+    /// `set_obs`.
+    obs: Obs,
+    /// Pre-registered metric handles (see [`Metrics`]). The serving
+    /// counters that used to live here as bare `AtomicU64`s —
+    /// `rows_accepted`, `degraded_served`, `refresh_errors`,
+    /// `timeline_errors` — are now registry counters, so `/stats` and
+    /// `/metrics` read the same cells.
+    metrics: Metrics,
+    /// Open a root span per instrumented request? `false` is the
+    /// unarmed bench baseline ([`ServerConfig::obs_enabled`]).
+    trace_requests: bool,
     started: Instant,
 }
 
@@ -347,12 +577,22 @@ impl ServerState {
     /// contract is unchanged: the snapshot containing a pane is
     /// published only after `commit()` has put that pane on disk.
     fn refresh(&self) -> Result<u64, EngineError> {
+        // Root the refresh trace here: on the refresher thread this
+        // *is* the root; under `POST /refresh` it degrades to a child
+        // of the request's root span. The engine's own
+        // snapshot/checkpoint/WAL spans attach underneath through the
+        // thread local.
+        let _root = if self.trace_requests {
+            Some(self.obs.trace.root_span("server::refresh"))
+        } else {
+            None
+        };
         let _ordered = self
             .wal_commit
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let mut engine = self.lock_engine();
-        let accepted = self.rows_accepted.load(Ordering::SeqCst);
+        let accepted = self.metrics.rows_ingested.get();
         let snapshot = if engine.wal_attached() {
             let staged = engine.stage_checkpoint()?;
             drop(engine);
@@ -367,11 +607,23 @@ impl ServerState {
         self.snapshot.store(Arc::new(Some(Arc::new(snapshot))));
         // Timeline maintenance rides the refresh cadence: checkpoint
         // open buckets, roll up closed windows, enforce retention. A
-        // failed cycle (e.g. a full disk) is non-fatal — counted, and
-        // retried on the next refresh.
+        // failed cycle (e.g. a full disk) is non-fatal — counted and
+        // warn-traced at the moment it happens, retried next refresh.
         if let Some(mut timeline) = self.lock_timeline() {
-            if timeline.maintain(now_ms()).is_err() {
-                self.timeline_errors.fetch_add(1, Ordering::SeqCst);
+            let _span = msketch_obs::span("server::timeline_maintain");
+            if let Err(e) = timeline.maintain(now_ms()) {
+                self.metrics.timeline_errors.inc();
+                self.obs.trace.event(
+                    Level::Warn,
+                    "server::timeline_error",
+                    &[
+                        ("detail", format!("{e}")),
+                        (
+                            "maintenance_errors_total",
+                            self.metrics.timeline_errors.get().to_string(),
+                        ),
+                    ],
+                );
             }
         }
         Ok(epoch)
@@ -420,8 +672,18 @@ impl MsketchServer {
             bucket_ms,
             retention_ms,
             cell_budget,
+            slow_query,
+            trace_cap,
+            obs_enabled,
         } = config;
         let backend = format!("{}:{}", spec.kind(), spec.param());
+        let obs = Obs {
+            registry: Arc::new(Registry::new()),
+            trace: Arc::new(msketch_obs::TraceSink::new(trace_cap)),
+        };
+        obs.registry.set_enabled(obs_enabled);
+        obs.trace.set_slow_threshold(slow_query);
+        let metrics = Metrics::register(&obs.registry, &backend);
         let (timeline, timeline_recovery) = match &timeline_dir {
             Some(dir) => {
                 let timeline_config = TimelineConfig::default()
@@ -434,7 +696,7 @@ impl MsketchServer {
             }
             None => (None, None),
         };
-        let (engine, recovery) = match &wal_dir {
+        let (mut engine, recovery) = match &wal_dir {
             Some(dir) => {
                 let (engine, report) =
                     DynShardedCube::recover(spec, dims, engine_config, dir, WalConfig { fsync })?;
@@ -442,22 +704,24 @@ impl MsketchServer {
             }
             None => (DynShardedCube::new(spec, dims, engine_config), None),
         };
+        // Hook the engine into the bundle *after* recovery so the WAL
+        // handle (re)opened by replay gets its fsync recorder too.
+        engine.set_obs(&obs);
         let state = Arc::new(ServerState {
             engine: Mutex::new(engine),
             writers: Mutex::new(Vec::new()),
             wal_commit: Mutex::new(()),
             timeline,
-            timeline_errors: AtomicU64::new(0),
             snapshot: ArcSwap::new(Arc::new(None)),
             dims: dims.iter().map(|s| s.to_string()).collect(),
             backend,
             threads: threads.max(1),
-            rows_accepted: AtomicU64::new(0),
             rows_at_refresh: AtomicU64::new(0),
             quantile_deadline,
             retry_after_secs,
-            degraded_served: AtomicU64::new(0),
-            refresh_errors: AtomicU64::new(0),
+            obs,
+            metrics,
+            trace_requests: obs_enabled,
             started: Instant::now(),
         });
         // An initial snapshot means the slot is never empty: every read
@@ -499,7 +763,7 @@ impl MsketchServer {
                         // unless the slot is still empty (deferred
                         // initial snapshot): then refreshing is how the
                         // server becomes ready.
-                        let accepted = state.rows_accepted.load(Ordering::SeqCst);
+                        let accepted = state.metrics.rows_ingested.get();
                         if accepted == state.rows_at_refresh.load(Ordering::SeqCst)
                             && state.load_snapshot().is_some()
                         {
@@ -510,10 +774,21 @@ impl MsketchServer {
                             // The engine is gone for good (shutdown
                             // race): stop quietly. Anything else —
                             // e.g. a WAL append failure — is transient:
-                            // count it and keep refreshing.
+                            // count it, trace it, and keep refreshing.
                             Err(EngineError::ShutDown) | Err(EngineError::Disconnected) => return,
-                            Err(_) => {
-                                state.refresh_errors.fetch_add(1, Ordering::SeqCst);
+                            Err(e) => {
+                                state.metrics.refresh_errors.inc();
+                                state.obs.trace.event(
+                                    Level::Warn,
+                                    "server::refresh_error",
+                                    &[
+                                        ("detail", format!("{e}")),
+                                        (
+                                            "refresh_errors_total",
+                                            state.metrics.refresh_errors.get().to_string(),
+                                        ),
+                                    ],
+                                );
                             }
                         }
                     }
@@ -544,6 +819,13 @@ impl MsketchServer {
     /// has not refreshed yet (deferred initial snapshot).
     pub fn current_snapshot(&self) -> Option<Arc<ServedSnapshot>> {
         self.state.load_snapshot()
+    }
+
+    /// The server's observability bundle — the registry `GET /metrics`
+    /// renders and the trace sink `GET /trace` drains. Tests and
+    /// benches read the same handles the handlers write.
+    pub fn obs(&self) -> &Obs {
+        &self.state.obs
     }
 
     /// What WAL replay recovered at startup; `None` when the server
@@ -593,7 +875,44 @@ impl Drop for MsketchServer {
 /// Query parameter names that are operators, not dimension filters.
 const RESERVED_PARAMS: &[&str] = &["q", "by", "t", "global_phi", "ratio", "t0", "t1"];
 
+/// Instrument, then dispatch: every exact `(method, path)` match in
+/// [`ROUTES`] runs under a latency timer, a status-class counter, and
+/// (when armed) a root span the handler's child spans attach to.
+/// Method-mismatch `405`s and unknown-path `404`s skip instrumentation
+/// — the recorders measure real work, not typos — and so do the
+/// exposition endpoints themselves.
 fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => return handle_metrics(state),
+        ("GET", "/trace") => return handle_trace(state, req),
+        _ => {}
+    }
+    let Some(idx) = route_index(req.method.as_str(), req.path.as_str()) else {
+        return dispatch(state, req);
+    };
+    let spec = &ROUTES[idx];
+    let handles = &state.metrics.routes[idx];
+    // The timer spans root-span assembly too, so the recorder sees the
+    // full server-side cost of the request.
+    let timer = handles.seconds.start();
+    let mut root = if state.trace_requests {
+        Some(state.obs.trace.root_span(spec.span))
+    } else {
+        None
+    };
+    let resp = dispatch(state, req);
+    if let Some(root) = root.as_mut() {
+        // The root span name already carries the route; only the
+        // status is worth an allocation on this path.
+        root.field("status", resp.status);
+    }
+    drop(root);
+    timer.stop();
+    handles.by_class[status_class(resp.status)].inc();
+    resp
+}
+
+fn dispatch(state: &ServerState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/ingest") => handle_ingest(state, req),
         ("POST", "/refresh") => handle_refresh(state),
@@ -606,7 +925,7 @@ fn route(state: &ServerState, req: &Request) -> Response {
         (
             _,
             "/ingest" | "/refresh" | "/quantile" | "/groupby" | "/threshold" | "/search" | "/stats"
-            | "/health",
+            | "/health" | "/metrics" | "/trace",
         ) => error(405, "method not allowed for this route"),
         _ => error(404, "no such route"),
     }
@@ -633,6 +952,7 @@ fn unavailable(state: &ServerState, message: &str) -> Response {
 /// once per JSON array slot, and rows become visible to queries at the
 /// next snapshot rotation.
 fn handle_ingest(state: &ServerState, req: &Request) -> Response {
+    let mut decode_span = msketch_obs::span("server::decode_json");
     let Some(body) = req.body_str() else {
         return error(400, "body is not UTF-8");
     };
@@ -716,9 +1036,12 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Response {
         }
         str_cols.push(out);
     }
+    decode_span.field("rows", n);
+    drop(decode_span);
     // Multi-writer ingest: rows stream through a pooled ShardWriter,
     // not the engine mutex. Concurrent requests intern and buffer
     // independently and only meet at the bounded shard channels.
+    let mut write_span = msketch_obs::span("server::shard_write");
     let mut writer = match state.take_writer() {
         Ok(writer) => writer,
         Err(resp) => return resp,
@@ -741,12 +1064,15 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Response {
         return engine_error(&e);
     }
     state.return_writer(writer);
-    state.rows_accepted.fetch_add(n as u64, Ordering::SeqCst);
+    state.metrics.rows_ingested.add(n as u64);
+    write_span.field("rows", n);
+    drop(write_span);
     // Mirror the batch into the timeline (values already validated
     // above). Rows whose bucket is already rolled up are dropped as
     // late and reported, not errored.
     let mut late_dropped = 0u64;
     if let Some(mut timeline) = state.lock_timeline() {
+        let mut timeline_span = msketch_obs::span("server::timeline_insert");
         let now = now_ms();
         let mut row: Vec<&str> = Vec::with_capacity(str_cols.len());
         for (i, &metric) in metric_values.iter().enumerate() {
@@ -761,12 +1087,13 @@ fn handle_ingest(state: &ServerState, req: &Request) -> Response {
                 Err(e) => return error(500, &format!("timeline ingest failed: {e}")),
             }
         }
+        timeline_span.field("late_dropped", late_dropped);
     }
     let mut fields = vec![
         ("accepted", Value::from(n)),
         (
             "rows_accepted",
-            Value::from(state.rows_accepted.load(Ordering::SeqCst)),
+            Value::from(state.metrics.rows_ingested.get()),
         ),
     ];
     if state.timeline.is_some() {
@@ -956,6 +1283,7 @@ fn handle_quantile(state: &ServerState, req: &Request) -> Response {
         Ok(filter) => filter,
         Err(resp) => return resp,
     };
+    let mut merge_span = msketch_obs::span("server::merge_cells");
     let matching = cube.matching_sorted(&filter);
     let cells_merged = matching.len();
     let mut acc: Option<Box<dyn Sketch>> = None;
@@ -965,6 +1293,8 @@ fn handle_quantile(state: &ServerState, req: &Request) -> Response {
             Some(a) => a.merge_from(summary),
         }
     }
+    merge_span.field("cells", cells_merged);
+    drop(merge_span);
     let Some(merged) = acc else {
         // "No rows" is an answer, not an error: quiet windows and
         // never-seen filter values report zero rows.
@@ -979,6 +1309,7 @@ fn handle_quantile(state: &ServerState, req: &Request) -> Response {
         return ok(Value::object(fields));
     };
     let deadline = state.quantile_deadline;
+    let mut estimate_span = msketch_obs::span("server::estimate");
     let mut values = Vec::with_capacity(phis.len());
     let mut degraded = false;
     for &phi in &phis {
@@ -994,8 +1325,11 @@ fn handle_quantile(state: &ServerState, req: &Request) -> Response {
         }
         values.push(merged.quantile(phi));
     }
+    estimate_span.field("phis", phis.len());
+    estimate_span.field("degraded", degraded);
+    drop(estimate_span);
     if degraded {
-        state.degraded_served.fetch_add(1, Ordering::SeqCst);
+        state.metrics.degraded_served.inc();
     }
     fields.extend([
         ("rows", Value::from(merged.count())),
@@ -1124,6 +1458,11 @@ fn handle_threshold(state: &ServerState, req: &Request) -> Response {
     let query = GroupThresholdQuery::new(phi, t);
     match query.run_cube_decoded(cube, &group_dims, &filter) {
         Ok(report) => {
+            // Per-query stats used to be serialized into this one
+            // response and dropped; fold them into the cumulative
+            // stage counters so `/metrics` and `/stats` keep
+            // process-lifetime cascade hit rates.
+            state.metrics.cascade.accumulate(&report.stats);
             fields.extend([
                 ("groups", Value::from(report.groups)),
                 (
@@ -1176,26 +1515,29 @@ fn handle_search(state: &ServerState, req: &Request) -> Response {
         ..MacroBaseConfig::default()
     });
     match macrobase.search_cube(snap.cube(), &group_dims) {
-        Ok(reports) => ok(Value::object(vec![
-            ("epoch", Value::from(snap.epoch())),
-            ("global_phi", Value::from(global_phi)),
-            ("ratio", Value::from(ratio)),
-            (
-                "subpopulations",
-                Value::Array(
-                    reports
-                        .into_iter()
-                        .map(|r| {
-                            Value::object(vec![
-                                ("label", Value::from(r.label)),
-                                ("count", Value::from(r.count)),
-                            ])
-                        })
-                        .collect(),
+        Ok(reports) => {
+            state.metrics.cascade.accumulate(&macrobase.stats());
+            ok(Value::object(vec![
+                ("epoch", Value::from(snap.epoch())),
+                ("global_phi", Value::from(global_phi)),
+                ("ratio", Value::from(ratio)),
+                (
+                    "subpopulations",
+                    Value::Array(
+                        reports
+                            .into_iter()
+                            .map(|r| {
+                                Value::object(vec![
+                                    ("label", Value::from(r.label)),
+                                    ("count", Value::from(r.count)),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
-            ),
-            ("stats", stats_value(&macrobase.stats())),
-        ])),
+                ("stats", stats_value(&macrobase.stats())),
+            ]))
+        }
         Err(msketch_macrobase::SearchError::Cube(e)) => cube_error(&e),
         Err(e) => error(400, &format!("{e}")),
     }
@@ -1227,7 +1569,7 @@ fn timeline_stats_value(state: &ServerState) -> Value {
         ("retention_removed", Value::from(stats.retention_removed)),
         (
             "maintenance_errors",
-            Value::from(state.timeline_errors.load(Ordering::SeqCst)),
+            Value::from(state.metrics.timeline_errors.get()),
         ),
     ])
 }
@@ -1268,7 +1610,7 @@ fn handle_stats(state: &ServerState) -> Response {
         ("snapshot_cells", snapshot_cells),
         (
             "rows_accepted",
-            Value::from(state.rows_accepted.load(Ordering::SeqCst)),
+            Value::from(state.metrics.rows_ingested.get()),
         ),
         ("worker_restarts", Value::from(engine_stats.worker_restarts)),
         ("rows_lost", Value::from(engine_stats.rows_lost)),
@@ -1293,12 +1635,15 @@ fn handle_stats(state: &ServerState) -> Response {
         ),
         (
             "degraded_served",
-            Value::from(state.degraded_served.load(Ordering::SeqCst)),
+            Value::from(state.metrics.degraded_served.get()),
         ),
         (
             "refresh_errors",
-            Value::from(state.refresh_errors.load(Ordering::SeqCst)),
+            Value::from(state.metrics.refresh_errors.get()),
         ),
+        // Cumulative cascade totals across every /threshold and /search
+        // served — read back out of the same counters /metrics exposes.
+        ("cascade", stats_value(&state.metrics.cascade.totals())),
         ("timeline", timeline_stats_value(state)),
         ("shut_down", Value::from(engine_stats.shut_down)),
         (
@@ -1306,6 +1651,78 @@ fn handle_stats(state: &ServerState) -> Response {
             Value::from(state.started.elapsed().as_millis() as u64),
         ),
     ]))
+}
+
+/// `GET /metrics` — Prometheus text exposition (format 0.0.4).
+///
+/// Counters and gauges render as you'd expect; latency recorders render
+/// as summaries whose `quantile="0.5|0.95|0.99"` series are max-entropy
+/// solves over the recorder's merged moments sketch — the system
+/// reporting on itself with the paper's own estimator. Engine-, WAL-,
+/// snapshot-, and timeline-owned totals are mirrored into the registry
+/// at scrape time so one scrape is one coherent view.
+fn handle_metrics(state: &ServerState) -> Response {
+    let engine = state.lock_engine();
+    let engine_epoch = engine.current_epoch();
+    let engine_stats = engine.stats();
+    drop(engine);
+    let m = &state.metrics;
+    m.worker_restarts.set(engine_stats.worker_restarts);
+    m.rows_lost.set(engine_stats.rows_lost);
+    m.wal_append_errors.set(engine_stats.wal_append_errors);
+    m.engine_epoch.set(engine_epoch);
+    m.wal_segments.set(engine_stats.wal_segments);
+    m.wal_bytes.set(engine_stats.wal_bytes);
+    if let Some(snap) = state.load_snapshot() {
+        m.snapshot_epoch.set(snap.epoch());
+        m.snapshot_rows.set(snap.row_count());
+        m.snapshot_cells.set(snap.cell_count() as u64);
+    }
+    if let Some(timeline) = state.lock_timeline() {
+        m.timeline_segments
+            .set(timeline.store().index().len() as u64);
+        m.timeline_segment_bytes.set(timeline.store().total_bytes());
+    }
+    let mut resp = Response::text(200, &state.obs.registry.render());
+    resp.content_type = "text/plain; version=0.0.4";
+    resp
+}
+
+/// `GET /trace?last=N` — drain the most recent request traces and
+/// warn-level events (newest last), as the same JSON objects the slow
+/// log prints to stderr.
+fn handle_trace(state: &ServerState, req: &Request) -> Response {
+    let last = match req.query_param("last") {
+        None => 32,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return error(400, "last must be a non-negative integer"),
+        },
+    };
+    let traces: Vec<String> = state
+        .obs
+        .trace
+        .recent_traces(last)
+        .iter()
+        .map(TraceRecord::to_json)
+        .collect();
+    let events: Vec<String> = state
+        .obs
+        .trace
+        .recent_events(last)
+        .iter()
+        .map(EventRecord::to_json)
+        .collect();
+    // The records are already JSON objects (the trace layer renders
+    // them once, for stderr and for this endpoint); splice them rather
+    // than re-encoding.
+    let body = format!(
+        "{{\"slow_query_ms\":{},\"traces\":[{}],\"events\":[{}]}}",
+        state.obs.trace.slow_threshold().as_millis(),
+        traces.join(","),
+        events.join(",")
+    );
+    Response::json(200, body)
 }
 
 /// `GET /health` — liveness and readiness in one probe.

@@ -34,6 +34,16 @@ impl MSketchSummary {
             config,
         }
     }
+
+    /// Wrap an already-populated sketch for querying.
+    ///
+    /// The observability layer aggregates latencies into raw
+    /// [`MomentsSketch`]es (merged across threads like panes) and wraps
+    /// the merge result here to reuse the amortized one-solve
+    /// [`Sketch::quantiles`] path at exposition time.
+    pub fn from_sketch(sketch: MomentsSketch, config: SolverConfig) -> Self {
+        MSketchSummary { sketch, config }
+    }
 }
 
 impl Sketch for MSketchSummary {

@@ -330,9 +330,13 @@ impl Timeline {
     /// windows, enforce retention — what the serving layer runs on its
     /// refresh cadence.
     pub fn maintain(&mut self, now_ms: u64) -> Result<MaintenanceReport> {
+        let mut span = msketch_obs::span("timeline::maintain");
         let checkpointed = self.checkpoint(now_ms)?;
         let compacted = self.compact(now_ms)?;
         let expired = self.enforce_retention(now_ms)?;
+        span.field("checkpointed", checkpointed);
+        span.field("compacted", compacted);
+        span.field("expired", expired);
         Ok(MaintenanceReport {
             checkpointed,
             compacted,
@@ -346,12 +350,15 @@ impl Timeline {
         if t1 <= t0 {
             return Err(TimelineError::BadRange { t0, t1 });
         }
-        Ok(self
+        let mut span = msketch_obs::span("timeline::plan");
+        let cover: Vec<SegmentMeta> = self
             .planner
             .cover(self.store.index(), t0, t1)
             .into_iter()
             .filter_map(|(level, start)| self.store.get(level, start).cloned())
-            .collect())
+            .collect();
+        span.field("segments", cover.len());
+        Ok(cover)
     }
 
     /// Answer an arbitrary `[t0, t1)` range by merging the minimal
@@ -367,6 +374,7 @@ impl Timeline {
         if cover.is_empty() {
             return Ok(None);
         }
+        let _span = msketch_obs::span("timeline::merge_cover");
         let mut merged = DynCube::from_spec(self.spec.clone(), &self.dim_name_refs());
         for meta in &cover {
             let cube = self.store.load(meta)?;

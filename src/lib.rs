@@ -16,6 +16,8 @@
 //!   arbitrary-range query planning over the minimal segment cover;
 //! * [`server`] — the HTTP/JSON serving layer over engine snapshots;
 //! * [`macrobase`] — the MacroBase-like threshold-search engine;
+//! * [`obs`] — self-hosting observability: moment-sketch latency
+//!   recorders, request tracing, and Prometheus text exposition;
 //! * [`numerics`] — the numerical substrate.
 //!
 //! See `examples/` for runnable end-to-end scenarios and
@@ -43,6 +45,7 @@ pub use msketch_cube as cube;
 pub use msketch_datasets as datasets;
 pub use msketch_engine as engine;
 pub use msketch_macrobase as macrobase;
+pub use msketch_obs as obs;
 pub use msketch_server as server;
 pub use msketch_sketches as sketches;
 pub use msketch_timeline as timeline;
@@ -64,6 +67,7 @@ pub mod prelude {
         DynShardedCube, EngineConfig, EngineSnapshot, ShardWriter, ShardedCube, SlidingEngine,
     };
     pub use msketch_macrobase::{MacroBaseConfig, MacroBaseEngine};
+    pub use msketch_obs::{Obs, Registry, TraceSink};
     pub use msketch_server::{MsketchServer, ServerConfig};
     pub use msketch_sketches::api::{
         from_bytes as sketch_from_bytes_typed, sketch_from_bytes, SketchError, SketchKind,
